@@ -1,0 +1,89 @@
+//! Criterion micro-benchmarks for the multi-dimensional approximation
+//! schemes (Theorems 3.2 and 3.4): ε sweeps (the `1/ε` runtime factor) and
+//! the comparison against the pseudo-polynomial exact DP.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wsyn_datagen::{cube_bumps, quantize_to_i64};
+use wsyn_haar::nd::{NdArray, NdShape};
+use wsyn_synopsis::multi_dim::additive::AdditiveScheme;
+use wsyn_synopsis::multi_dim::integer::IntegerExact;
+use wsyn_synopsis::multi_dim::oneplus::OnePlusEps;
+use wsyn_synopsis::ErrorMetric;
+
+fn fixture_2d(side: usize) -> (NdShape, Vec<i64>, Vec<f64>) {
+    let shape = NdShape::hypercube(side, 2).unwrap();
+    let data = quantize_to_i64(&cube_bumps(side, 2, 3, (80.0, 300.0), 10.0, 17));
+    let data_f: Vec<f64> = data.iter().map(|&v| v as f64).collect();
+    (shape, data, data_f)
+}
+
+fn bench_additive_eps(c: &mut Criterion) {
+    let mut group = c.benchmark_group("additive_eps_sweep_8x8_b8");
+    group.sample_size(10);
+    let (shape, _, data_f) = fixture_2d(8);
+    let arr = NdArray::new(shape, data_f).unwrap();
+    let scheme = AdditiveScheme::new(&arr).unwrap();
+    for eps in [1.0f64, 0.5, 0.25, 0.1] {
+        group.bench_with_input(BenchmarkId::from_parameter(eps), &eps, |bch, &eps| {
+            bch.iter(|| scheme.run(8, ErrorMetric::absolute(), eps));
+        });
+    }
+    group.finish();
+}
+
+fn bench_oneplus_eps(c: &mut Criterion) {
+    let mut group = c.benchmark_group("oneplus_eps_sweep_8x8_b8");
+    group.sample_size(10);
+    let (shape, data, _) = fixture_2d(8);
+    let scheme = OnePlusEps::new(&shape, &data).unwrap();
+    for eps in [1.0f64, 0.5, 0.25] {
+        group.bench_with_input(BenchmarkId::from_parameter(eps), &eps, |bch, &eps| {
+            bch.iter(|| scheme.run(8, eps));
+        });
+    }
+    group.finish();
+}
+
+fn bench_exact_vs_approx(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exact_vs_approx_8x8_b8");
+    group.sample_size(10);
+    let (shape, data, data_f) = fixture_2d(8);
+    let exact = IntegerExact::new(&shape, &data).unwrap();
+    group.bench_function("pseudo_poly_exact", |bch| {
+        bch.iter(|| exact.run(8));
+    });
+    let arr = NdArray::new(shape.clone(), data_f).unwrap();
+    let additive = AdditiveScheme::new(&arr).unwrap();
+    group.bench_function("additive_eps0.25", |bch| {
+        bch.iter(|| additive.run(8, ErrorMetric::absolute(), 0.25));
+    });
+    let oneplus = OnePlusEps::new(&shape, &data).unwrap();
+    group.bench_function("oneplus_eps0.25", |bch| {
+        bch.iter(|| oneplus.run(8, 0.25));
+    });
+    group.finish();
+}
+
+fn bench_dims(c: &mut Criterion) {
+    let mut group = c.benchmark_group("additive_dimensionality_b8");
+    group.sample_size(10);
+    for (side, d) in [(64usize, 1usize), (8, 2), (4, 3)] {
+        let shape = NdShape::hypercube(side, d).unwrap();
+        let data: Vec<f64> = cube_bumps(side, d, 3, (80.0, 300.0), 10.0, 17);
+        let arr = NdArray::new(shape, data).unwrap();
+        let scheme = AdditiveScheme::new(&arr).unwrap();
+        group.bench_function(format!("{side}^{d}"), |bch| {
+            bch.iter(|| scheme.run(8, ErrorMetric::absolute(), 0.25));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_additive_eps,
+    bench_oneplus_eps,
+    bench_exact_vs_approx,
+    bench_dims
+);
+criterion_main!(benches);

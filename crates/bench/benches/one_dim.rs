@@ -1,0 +1,87 @@
+//! Criterion micro-benchmarks for the one-dimensional `MinMaxErr` DP:
+//! the `N` and `B` scaling of Theorem 3.1 and the engine/split ablations
+//! (companion to experiment E5).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wsyn_datagen::{zipf, ZipfPlacement};
+use wsyn_synopsis::one_dim::{Config, Engine, MinMaxErr, SplitSearch};
+use wsyn_synopsis::ErrorMetric;
+
+fn bench_n_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("minmaxerr_n_scaling_b8");
+    group.sample_size(10);
+    for n in [64usize, 128, 256] {
+        let data = zipf(n, 1.0, 100_000.0, ZipfPlacement::Shuffled, 5);
+        let solver = MinMaxErr::new(&data).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bch, _| {
+            bch.iter(|| solver.run(8, ErrorMetric::relative(1.0)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_b_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("minmaxerr_b_scaling_n128");
+    group.sample_size(10);
+    let data = zipf(128, 1.0, 100_000.0, ZipfPlacement::Shuffled, 5);
+    let solver = MinMaxErr::new(&data).unwrap();
+    for b in [4usize, 8, 16, 32] {
+        group.bench_with_input(BenchmarkId::from_parameter(b), &b, |bch, &b| {
+            bch.iter(|| solver.run(b, ErrorMetric::relative(1.0)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_engines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("minmaxerr_engine_ablation_n64_b8");
+    group.sample_size(10);
+    let data = zipf(64, 1.0, 100_000.0, ZipfPlacement::Shuffled, 5);
+    let solver = MinMaxErr::new(&data).unwrap();
+    for engine in [Engine::Dedup, Engine::SubsetMask, Engine::BottomUp] {
+        group.bench_function(format!("{engine:?}"), |bch| {
+            bch.iter(|| {
+                solver.run_with(
+                    8,
+                    ErrorMetric::relative(1.0),
+                    Config {
+                        engine,
+                        split: SplitSearch::Binary,
+                    },
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_split_search(c: &mut Criterion) {
+    let mut group = c.benchmark_group("minmaxerr_split_ablation_n128_b16");
+    group.sample_size(10);
+    let data = zipf(128, 1.0, 100_000.0, ZipfPlacement::Shuffled, 5);
+    let solver = MinMaxErr::new(&data).unwrap();
+    for split in [SplitSearch::Binary, SplitSearch::Linear] {
+        group.bench_function(format!("{split:?}"), |bch| {
+            bch.iter(|| {
+                solver.run_with(
+                    16,
+                    ErrorMetric::relative(1.0),
+                    Config {
+                        engine: Engine::Dedup,
+                        split,
+                    },
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_n_scaling,
+    bench_b_scaling,
+    bench_engines,
+    bench_split_search
+);
+criterion_main!(benches);

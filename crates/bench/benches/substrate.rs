@@ -1,0 +1,108 @@
+//! Criterion micro-benchmarks for the substrate: Haar transforms (linear
+//! time, §2), error-tree reconstruction, and query-engine operations
+//! (`O(log N)` points, `O(B)` range sums).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wsyn_aqp::QueryEngine1d;
+use wsyn_datagen::{zipf, ZipfPlacement};
+use wsyn_haar::nd::{nonstandard, standard, NdArray, NdShape};
+use wsyn_haar::{transform, ErrorTree1d};
+use wsyn_synopsis::one_dim::MinMaxErr;
+use wsyn_synopsis::ErrorMetric;
+
+fn bench_transform_1d(c: &mut Criterion) {
+    let mut group = c.benchmark_group("haar_forward_1d");
+    for n in [1usize << 10, 1 << 14, 1 << 18] {
+        let data = zipf(n, 0.8, 1e6, ZipfPlacement::Shuffled, 1);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bch, _| {
+            bch.iter(|| transform::forward(&data).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_transform_nd(c: &mut Criterion) {
+    let mut group = c.benchmark_group("haar_forward_nd_64x64");
+    let shape = NdShape::hypercube(64, 2).unwrap();
+    let data: Vec<f64> = (0..shape.len()).map(|i| (i % 97) as f64).collect();
+    let arr = NdArray::new(shape, data).unwrap();
+    group.bench_function("nonstandard", |bch| {
+        bch.iter(|| nonstandard::forward(&arr).unwrap());
+    });
+    group.bench_function("standard", |bch| {
+        bch.iter(|| standard::forward(&arr).unwrap());
+    });
+    group.finish();
+}
+
+fn bench_reconstruction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reconstruction_n4096");
+    let data = zipf(4096, 0.8, 1e6, ZipfPlacement::Shuffled, 1);
+    let tree = ErrorTree1d::from_data(&data).unwrap();
+    group.bench_function("full_inverse", |bch| {
+        bch.iter(|| tree.reconstruct_all());
+    });
+    group.bench_function("single_point_path", |bch| {
+        bch.iter(|| tree.reconstruct(1234));
+    });
+    group.finish();
+}
+
+fn bench_query_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("query_engine_n1024_b32");
+    let data = zipf(1024, 1.0, 1e6, ZipfPlacement::Shuffled, 1);
+    // Greedy synopsis (fast to build) — query cost depends only on B.
+    let tree = ErrorTree1d::from_data(&data).unwrap();
+    let syn = wsyn_synopsis::greedy::greedy_l2_1d(&tree, 32);
+    let engine = QueryEngine1d::new(syn);
+    group.bench_function("point", |bch| {
+        bch.iter(|| engine.point(777));
+    });
+    group.bench_function("range_sum_quarter", |bch| {
+        bch.iter(|| engine.range_sum(256..512));
+    });
+    group.finish();
+}
+
+fn bench_synopsis_construction_small(c: &mut Criterion) {
+    let mut group = c.benchmark_group("construction_n64_b8");
+    group.sample_size(20);
+    let data = zipf(64, 1.0, 1e5, ZipfPlacement::Shuffled, 1);
+    let tree = ErrorTree1d::from_data(&data).unwrap();
+    group.bench_function("greedy_l2", |bch| {
+        bch.iter(|| wsyn_synopsis::greedy::greedy_l2_1d(&tree, 8));
+    });
+    let solver = MinMaxErr::new(&data).unwrap();
+    group.bench_function("minmaxerr", |bch| {
+        bch.iter(|| solver.run(8, ErrorMetric::relative(1.0)));
+    });
+    group.finish();
+}
+
+fn bench_dynamic_updates(c: &mut Criterion) {
+    use wsyn_stream::DynamicErrorTree;
+    let mut group = c.benchmark_group("dynamic_update");
+    for n in [1usize << 8, 1 << 12, 1 << 16] {
+        let data = zipf(n, 0.8, 1e6, ZipfPlacement::Shuffled, 1);
+        let mut tree = DynamicErrorTree::new(&data).unwrap();
+        let mut i = 0usize;
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bch, &n| {
+            bch.iter(|| {
+                i = (i * 2654435761 + 1) % n;
+                tree.update(i, 1.0);
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_transform_1d,
+    bench_transform_nd,
+    bench_reconstruction,
+    bench_query_engine,
+    bench_synopsis_construction_small,
+    bench_dynamic_updates
+);
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! E15: the paper's §5 closing question — *"could other wavelet bases be
+//! better suited for relative-error metrics?"* — made quantitative.
+//!
+//! Compares, at equal budget, on max relative error (sanity bound = the
+//! log shift):
+//!
+//! * the paper's **direct optimum** (`MinMaxErr`, relative metric) —
+//!   `O(N²B log B)`;
+//! * **log-MinMaxErr** — the optimal *absolute*-error DP applied in the
+//!   log domain (`ln(d + s)`), whose guarantee transfers multiplicatively;
+//! * **log-greedy** — plain `O(N log N)` greedy L2 in the log domain;
+//! * **plain greedy** on the raw data (the conventional baseline).
+//!
+//! Key subtlety: `MinMaxErr` is optimal **among Haar synopses of the raw
+//! data**; the log-domain reconstruction `exp(ŷ) − s` is *nonlinear* and
+//! lives outside that space, so it can — and on skewed data does — beat
+//! the direct optimum. That is precisely the affirmative evidence the
+//! paper's open question asks for, and the table marks where it happens.
+
+use wsyn_bench::{f, md_table, timed, workloads_1d};
+use wsyn_haar::ErrorTree1d;
+use wsyn_synopsis::greedy::greedy_l2_1d;
+use wsyn_synopsis::logdomain::LogDomainSynopsis;
+use wsyn_synopsis::one_dim::MinMaxErr;
+use wsyn_synopsis::ErrorMetric;
+
+fn main() {
+    let n = 256usize;
+    let s = 1.0;
+    let metric = ErrorMetric::relative(s);
+    println!("## E15 — §5's \"other bases\" question: log-domain Haar for relative error (N = {n}, s = {s})\n");
+    for (name, data) in workloads_1d(n) {
+        // Log domain requires non-negative data; all standard workloads are.
+        println!("### workload: {name}\n");
+        let tree = ErrorTree1d::from_data(&data).unwrap();
+        let direct = MinMaxErr::new(&data).unwrap();
+        let mut rows = Vec::new();
+        for b in [8usize, 16, 32] {
+            let (d, d_ms) = timed(|| direct.run(b, metric));
+            let (lm, lm_ms) = timed(|| LogDomainSynopsis::min_max(&data, b, s).unwrap());
+            let (lg, lg_ms) = timed(|| LogDomainSynopsis::greedy(&data, b, s).unwrap());
+            let (pg, pg_ms) = timed(|| greedy_l2_1d(&tree, b));
+            let lm_err = lm.max_error(&data, metric);
+            let lg_err = lg.max_error(&data, metric);
+            let pg_err = pg.max_error(&data, metric);
+            // Plain greedy IS a Haar synopsis: the direct DP must beat it.
+            assert!(d.objective <= pg_err + 1e-9, "Haar optimality violated");
+            let mark = |v: f64| {
+                if v < d.objective - 1e-9 {
+                    format!("{} ◀ beats Haar-optimal", f(v))
+                } else {
+                    f(v)
+                }
+            };
+            rows.push(vec![
+                b.to_string(),
+                format!("{} ({} ms)", f(d.objective), f(d_ms)),
+                format!("{} ({} ms)", mark(lm_err), f(lm_ms)),
+                format!("{} ({} ms)", mark(lg_err), f(lg_ms)),
+                format!("{} ({} ms)", f(pg_err), f(pg_ms)),
+            ]);
+        }
+        md_table(
+            &[
+                "B",
+                "direct MinMaxErr (optimal)",
+                "log-MinMaxErr",
+                "log-greedy (O(N log N))",
+                "plain greedy",
+            ],
+            &rows,
+        );
+        println!();
+    }
+    println!(
+        "the direct DP is optimal among Haar synopses (asserted vs plain greedy);\n\
+         the nonlinear log-domain basis can beat it — affirmative evidence for §5's question."
+    );
+}

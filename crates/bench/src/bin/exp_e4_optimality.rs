@@ -1,0 +1,59 @@
+//! E4: Theorem 3.1 — `MinMaxErr` is optimal.
+//!
+//! Runs all three DP engines against the exhaustive-search oracle over
+//! hundreds of random instances (N ≤ 16, all budgets, both metrics) and
+//! reports the number of exact agreements. A single disagreement aborts.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use wsyn_bench::md_table;
+use wsyn_synopsis::one_dim::{Config, Engine, MinMaxErr, SplitSearch};
+use wsyn_synopsis::{oracle, ErrorMetric};
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(2004);
+    let mut rows = Vec::new();
+    for n in [4usize, 8, 16] {
+        for metric_name in ["absolute", "relative(s=1)"] {
+            let metric = if metric_name == "absolute" {
+                ErrorMetric::absolute()
+            } else {
+                ErrorMetric::relative(1.0)
+            };
+            let mut checks = 0usize;
+            for _ in 0..40 {
+                let data: Vec<f64> = (0..n).map(|_| rng.gen_range(-20i32..=20) as f64).collect();
+                let solver = MinMaxErr::new(&data).unwrap();
+                for b in 0..=n.min(8) {
+                    let opt = oracle::exhaustive_1d(solver.tree(), &data, b, metric).objective;
+                    for engine in [Engine::Dedup, Engine::SubsetMask, Engine::BottomUp] {
+                        for split in [SplitSearch::Binary, SplitSearch::Linear] {
+                            let r = solver.run_with(b, metric, Config { engine, split });
+                            assert!(
+                                (r.objective - opt).abs() < 1e-9,
+                                "OPTIMALITY VIOLATION: n={n} b={b} {metric:?} {engine:?} {split:?}: {} vs {opt} (data {data:?})",
+                                r.objective
+                            );
+                            // Returned synopsis attains the objective.
+                            let true_err = r.synopsis.max_error(&data, metric);
+                            assert!((true_err - r.objective).abs() < 1e-9);
+                            checks += 1;
+                        }
+                    }
+                }
+            }
+            rows.push(vec![
+                n.to_string(),
+                metric_name.to_string(),
+                checks.to_string(),
+                "0".to_string(),
+            ]);
+        }
+    }
+    println!("## E4 — Theorem 3.1: optimality of MinMaxErr vs exhaustive oracle\n");
+    md_table(
+        &["N", "metric", "engine×split×budget×instance checks", "violations"],
+        &rows,
+    );
+    println!("\nall engines, all splits, all budgets: exact agreement with the oracle  ✓");
+}

@@ -1,0 +1,320 @@
+//! Subcommand implementations.
+
+use wsyn_aqp::{bounds, QueryEngine1d};
+use wsyn_datagen as datagen;
+use wsyn_haar::{transform, ErrorTree1d};
+use wsyn_synopsis::greedy::greedy_l2_1d;
+use wsyn_synopsis::one_dim::MinMaxErr;
+use wsyn_synopsis::{rmse, ErrorMetric};
+
+use crate::args::{parse_metric, Args};
+use crate::io::{self, SynopsisDoc};
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+usage: wsyn <command> [flags]
+
+commands:
+  generate   --kind zipf|bumps|piecewise --n <N> [--seed S] [--skew Z] [--total T] --out FILE
+  transform  --input FILE
+  build      --input FILE --budget B [--metric abs|rel:S] [--algo minmax|greedy] --out FILE
+  eval       --synopsis FILE --input FILE [--metric abs|rel:S]
+  query      --synopsis FILE  point <i> | range <lo> <hi> | avg <lo> <hi>
+
+data files hold one value per line ('#' comments allowed); synopses are JSON.";
+
+/// Dispatches a full argv (without the program name).
+pub fn dispatch(argv: &[String]) -> Result<(), String> {
+    let Some((cmd, rest)) = argv.split_first() else {
+        return Err("no command given".into());
+    };
+    match cmd.as_str() {
+        "generate" => generate(&Args::parse(rest)?),
+        "transform" => transform_cmd(&Args::parse(rest)?),
+        "build" => build(&Args::parse(rest)?),
+        "eval" => eval(&Args::parse(rest)?),
+        "query" => query(&Args::parse(rest)?),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}'")),
+    }
+}
+
+fn generate(a: &Args) -> Result<(), String> {
+    a.ensure_known(&["kind", "n", "seed", "skew", "total", "out"])?;
+    let kind = a.req("kind")?;
+    let n: usize = a.req_parse("n")?;
+    if !wsyn_haar::is_pow2(n) {
+        return Err(format!("--n must be a power of two, got {n}"));
+    }
+    let seed: u64 = a.opt_parse("seed", 0u64)?;
+    let out = a.req("out")?;
+    let data = match kind {
+        "zipf" => {
+            let skew: f64 = a.opt_parse("skew", 1.0f64)?;
+            let total: f64 = a.opt_parse("total", 100_000.0f64)?;
+            datagen::zipf(n, skew, total, datagen::ZipfPlacement::Shuffled, seed)
+        }
+        "bumps" => datagen::gaussian_bumps(n, 5, (50.0, 400.0), (0.02, 0.12), 2.0, seed),
+        "piecewise" => datagen::piecewise_constant(n, 10, (1.0, 500.0), 0.0, seed),
+        other => return Err(format!("unknown --kind '{other}'")),
+    };
+    io::ensure_parent(out)?;
+    io::write_data(out, &data)?;
+    println!("wrote {n} values ({kind}, seed {seed}) to {out}");
+    Ok(())
+}
+
+fn transform_cmd(a: &Args) -> Result<(), String> {
+    a.ensure_known(&["input"])?;
+    let data = io::read_data(a.req("input")?)?;
+    let w = transform::forward(&data).map_err(|e| e.to_string())?;
+    // Bulk output is routinely piped into `head`/`grep`; treat a closed
+    // pipe as a normal early exit instead of panicking.
+    use std::io::Write;
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    for (j, c) in w.iter().enumerate() {
+        if let Err(e) = writeln!(out, "{j}\t{c}") {
+            if e.kind() == std::io::ErrorKind::BrokenPipe {
+                std::process::exit(0);
+            }
+            return Err(format!("cannot write to stdout: {e}"));
+        }
+    }
+    Ok(())
+}
+
+fn build(a: &Args) -> Result<(), String> {
+    a.ensure_known(&["input", "budget", "metric", "algo", "out"])?;
+    let data = io::read_data(a.req("input")?)?;
+    let budget: usize = a.req_parse("budget")?;
+    let metric_spec = a.opt("metric").unwrap_or("rel:1.0").to_string();
+    let metric = parse_metric(&metric_spec)?;
+    let algo = a.opt("algo").unwrap_or("minmax");
+    let out = a.req("out")?;
+    let doc = match algo {
+        "minmax" => {
+            let result = MinMaxErr::new(&data)
+                .map_err(|e| e.to_string())?
+                .run(budget, metric);
+            println!(
+                "MinMaxErr: retained {} coefficients, guaranteed max error {:.6}",
+                result.synopsis.len(),
+                result.objective
+            );
+            if let (ErrorMetric::Relative { sanity }, true) =
+                (metric, result.objective >= 1.0 - 1e-12)
+            {
+                eprintln!(
+                    "note: the max relative error saturates at {:.3} — the budget cannot \
+                     cover every spike (the optimum may retain few or no coefficients). \
+                     Consider a larger --budget, a larger sanity bound than {sanity}, or \
+                     --metric abs.",
+                    result.objective
+                );
+            }
+            SynopsisDoc {
+                algorithm: "minmax".into(),
+                metric: Some(metric_spec),
+                objective: Some(result.objective),
+                synopsis: result.synopsis,
+            }
+        }
+        "greedy" => {
+            let tree = ErrorTree1d::from_data(&data).map_err(|e| e.to_string())?;
+            let synopsis = greedy_l2_1d(&tree, budget);
+            println!(
+                "greedy L2: retained {} coefficients (no max-error guarantee)",
+                synopsis.len()
+            );
+            SynopsisDoc {
+                algorithm: "greedy".into(),
+                metric: None,
+                objective: None,
+                synopsis,
+            }
+        }
+        other => return Err(format!("unknown --algo '{other}'")),
+    };
+    io::ensure_parent(out)?;
+    io::write_synopsis(out, &doc)?;
+    println!("wrote synopsis to {out}");
+    Ok(())
+}
+
+fn eval(a: &Args) -> Result<(), String> {
+    a.ensure_known(&["synopsis", "input", "metric"])?;
+    let doc = io::read_synopsis(a.req("synopsis")?)?;
+    let data = io::read_data(a.req("input")?)?;
+    if data.len() != doc.synopsis.n() {
+        return Err(format!(
+            "domain mismatch: synopsis N = {}, data N = {}",
+            doc.synopsis.n(),
+            data.len()
+        ));
+    }
+    let metric_spec = a
+        .opt("metric")
+        .map(str::to_string)
+        .or_else(|| doc.metric.clone())
+        .unwrap_or_else(|| "rel:1.0".into());
+    let metric = parse_metric(&metric_spec)?;
+    let recon = doc.synopsis.reconstruct();
+    println!("algorithm          : {}", doc.algorithm);
+    println!("coefficients       : {}", doc.synopsis.len());
+    println!("metric             : {metric_spec}");
+    println!("max error          : {:.6}", metric.max_error(&data, &recon));
+    println!("mean error         : {:.6}", metric.mean_error(&data, &recon));
+    println!("rmse               : {:.6}", rmse(&data, &recon));
+    if let Some(obj) = doc.objective {
+        println!("built-in guarantee : {obj:.6}");
+    }
+    Ok(())
+}
+
+fn query(a: &Args) -> Result<(), String> {
+    a.ensure_known(&["synopsis"])?;
+    let doc = io::read_synopsis(a.req("synopsis")?)?;
+    let engine = QueryEngine1d::new(doc.synopsis.clone());
+    let pos = &a.positional;
+    let n = doc.synopsis.n();
+    let parse_idx = |s: &str, what: &str| -> Result<usize, String> {
+        let v: usize = s.parse().map_err(|_| format!("bad {what} '{s}'"))?;
+        if v > n {
+            return Err(format!("{what} {v} out of range (N = {n})"));
+        }
+        Ok(v)
+    };
+    match pos.first().map(String::as_str) {
+        Some("point") => {
+            let [_, i] = pos.as_slice() else {
+                return Err("usage: query point <i>".into());
+            };
+            let i = parse_idx(i, "index")?;
+            if i >= n {
+                return Err(format!("index {i} out of range (N = {n})"));
+            }
+            let est = engine.point(i) + 0.0; // normalizes -0
+            println!("point({i}) = {est}");
+            if let (Some(obj), Some(metric)) = (doc.objective, doc.metric.as_deref()) {
+                let iv = match parse_metric(metric)? {
+                    ErrorMetric::Absolute => bounds::point_absolute(est, obj),
+                    ErrorMetric::Relative { sanity } => bounds::point_relative(est, obj, sanity),
+                };
+                println!("guaranteed interval: [{}, {}]", iv.lo, iv.hi);
+            }
+        }
+        Some("range") | Some("avg") => {
+            let [kind, lo, hi] = pos.as_slice() else {
+                return Err("usage: query range|avg <lo> <hi>".into());
+            };
+            let lo = parse_idx(lo, "lo")?;
+            let hi = parse_idx(hi, "hi")?;
+            if lo > hi {
+                return Err(format!("empty range [{lo}, {hi})"));
+            }
+            if kind == "range" {
+                let est = engine.range_sum(lo..hi) + 0.0; // normalizes -0
+                println!("sum[{lo}, {hi}) = {est}");
+                if let (Some(obj), Some("abs")) = (doc.objective, doc.metric.as_deref()) {
+                    let iv = bounds::range_sum_absolute(est, obj, hi - lo);
+                    println!("guaranteed interval: [{}, {}]", iv.lo, iv.hi);
+                }
+            } else {
+                if lo == hi {
+                    return Err("empty range for avg".into());
+                }
+                println!("avg[{lo}, {hi}) = {}", engine.range_avg(lo..hi) + 0.0);
+            }
+        }
+        _ => return Err("usage: query point <i> | range <lo> <hi> | avg <lo> <hi>".into()),
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(s: &[&str]) -> Vec<String> {
+        s.iter().map(|x| x.to_string()).collect()
+    }
+
+    fn tmpdir(name: &str) -> String {
+        let dir = std::env::temp_dir().join(format!("wsyn-cli-{name}"));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.to_str().unwrap().to_string()
+    }
+
+    #[test]
+    fn end_to_end_generate_build_eval_query() {
+        let dir = tmpdir("e2e");
+        let data_path = format!("{dir}/data.txt");
+        let syn_path = format!("{dir}/syn.json");
+        dispatch(&v(&[
+            "generate", "--kind", "zipf", "--n", "64", "--seed", "3", "--out", &data_path,
+        ]))
+        .unwrap();
+        dispatch(&v(&[
+            "build", "--input", &data_path, "--budget", "8", "--metric", "rel:1.0", "--algo",
+            "minmax", "--out", &syn_path,
+        ]))
+        .unwrap();
+        dispatch(&v(&["eval", "--synopsis", &syn_path, "--input", &data_path])).unwrap();
+        dispatch(&v(&["query", "--synopsis", &syn_path, "point", "5"])).unwrap();
+        dispatch(&v(&["query", "--synopsis", &syn_path, "range", "0", "32"])).unwrap();
+        dispatch(&v(&["query", "--synopsis", &syn_path, "avg", "0", "64"])).unwrap();
+    }
+
+    #[test]
+    fn build_greedy_and_eval() {
+        let dir = tmpdir("greedy");
+        let data_path = format!("{dir}/data.txt");
+        let syn_path = format!("{dir}/syn.json");
+        crate::io::write_data(&data_path, &[2.0, 2.0, 0.0, 2.0, 3.0, 5.0, 4.0, 4.0]).unwrap();
+        dispatch(&v(&[
+            "build", "--input", &data_path, "--budget", "3", "--algo", "greedy", "--out",
+            &syn_path,
+        ]))
+        .unwrap();
+        let doc = crate::io::read_synopsis(&syn_path).unwrap();
+        assert_eq!(doc.algorithm, "greedy");
+        assert!(doc.synopsis.len() <= 3);
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(dispatch(&v(&["nope"])).is_err());
+        assert!(dispatch(&v(&[])).is_err());
+        assert!(dispatch(&v(&["generate", "--kind", "zipf", "--n", "63", "--out", "/tmp/x"]))
+            .is_err()); // not a power of two
+        assert!(dispatch(&v(&["build", "--input", "/nonexistent", "--budget", "4", "--out", "/tmp/x"]))
+            .is_err());
+    }
+
+    #[test]
+    fn query_bad_args() {
+        let dir = tmpdir("querybad");
+        let data_path = format!("{dir}/data.txt");
+        let syn_path = format!("{dir}/syn.json");
+        crate::io::write_data(&data_path, &[1.0, 2.0, 3.0, 4.0]).unwrap();
+        dispatch(&v(&[
+            "build", "--input", &data_path, "--budget", "2", "--out", &syn_path,
+        ]))
+        .unwrap();
+        assert!(dispatch(&v(&["query", "--synopsis", &syn_path, "point"])).is_err());
+        assert!(dispatch(&v(&["query", "--synopsis", &syn_path, "point", "99"])).is_err());
+        assert!(dispatch(&v(&["query", "--synopsis", &syn_path, "range", "3", "1"])).is_err());
+    }
+
+    #[test]
+    fn transform_prints_coefficients() {
+        let dir = tmpdir("transform");
+        let data_path = format!("{dir}/data.txt");
+        crate::io::write_data(&data_path, &[2.0, 2.0, 0.0, 2.0, 3.0, 5.0, 4.0, 4.0]).unwrap();
+        dispatch(&v(&["transform", "--input", &data_path])).unwrap();
+    }
+}

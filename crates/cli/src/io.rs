@@ -1,0 +1,146 @@
+//! File formats: data vectors (one f64 per line) and synopsis JSON.
+
+use std::fs;
+use std::path::Path;
+
+use serde::{Deserialize, Serialize};
+use wsyn_synopsis::Synopsis1d;
+
+/// Reads a data vector: one `f64` per line; blank lines and lines starting
+/// with `#` are ignored.
+pub fn read_data(path: &str) -> Result<Vec<f64>, String> {
+    let text =
+        fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let mut out = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let v: f64 = line
+            .parse()
+            .map_err(|_| format!("{path}:{}: not a number: '{line}'", lineno + 1))?;
+        out.push(v);
+    }
+    if out.is_empty() {
+        return Err(format!("{path}: no data values"));
+    }
+    Ok(out)
+}
+
+/// Writes a data vector, one value per line.
+pub fn write_data(path: &str, data: &[f64]) -> Result<(), String> {
+    let body: String = data.iter().map(|v| format!("{v}\n")).collect();
+    fs::write(path, body).map_err(|e| format!("cannot write {path}: {e}"))
+}
+
+/// On-disk synopsis document: the synopsis plus provenance metadata.
+#[derive(Debug, Serialize, Deserialize)]
+pub struct SynopsisDoc {
+    /// Which algorithm built it (`minmax`, `greedy`, `minrelvar-draw`).
+    pub algorithm: String,
+    /// Metric spec string (`abs` / `rel:<sanity>`), if applicable.
+    pub metric: Option<String>,
+    /// The guaranteed maximum error at build time (MinMaxErr only).
+    pub objective: Option<f64>,
+    /// The synopsis itself.
+    pub synopsis: Synopsis1d,
+}
+
+/// Writes a synopsis document as pretty JSON.
+pub fn write_synopsis(path: &str, doc: &SynopsisDoc) -> Result<(), String> {
+    let json = serde_json::to_string_pretty(doc).map_err(|e| e.to_string())?;
+    fs::write(path, json).map_err(|e| format!("cannot write {path}: {e}"))
+}
+
+/// Reads a synopsis document, validating the synopsis's structural
+/// invariants (serde alone would accept out-of-range or unsorted entries,
+/// which later panic or silently mis-answer queries).
+pub fn read_synopsis(path: &str) -> Result<SynopsisDoc, String> {
+    let text =
+        fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let doc: SynopsisDoc =
+        serde_json::from_str(&text).map_err(|e| format!("{path}: bad synopsis JSON: {e}"))?;
+    doc.synopsis
+        .validate()
+        .map_err(|e| format!("{path}: invalid synopsis: {e}"))?;
+    Ok(doc)
+}
+
+/// Ensures the parent directory of `path` exists.
+pub fn ensure_parent(path: &str) -> Result<(), String> {
+    if let Some(parent) = Path::new(path).parent() {
+        if !parent.as_os_str().is_empty() {
+            fs::create_dir_all(parent).map_err(|e| format!("cannot create {parent:?}: {e}"))?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn data_roundtrip() {
+        let dir = std::env::temp_dir().join("wsyn-cli-test-data");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("d.txt");
+        let path = path.to_str().unwrap();
+        write_data(path, &[1.5, -2.0, 3.25]).unwrap();
+        assert_eq!(read_data(path).unwrap(), vec![1.5, -2.0, 3.25]);
+    }
+
+    #[test]
+    fn data_skips_comments_and_blanks() {
+        let dir = std::env::temp_dir().join("wsyn-cli-test-data2");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("d.txt");
+        std::fs::write(&path, "# header\n1.0\n\n2.0\n").unwrap();
+        assert_eq!(read_data(path.to_str().unwrap()).unwrap(), vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn malformed_synopsis_json_rejected_not_panicking() {
+        let dir = std::env::temp_dir().join("wsyn-cli-test-evil");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("evil.json");
+        std::fs::write(
+            &path,
+            r#"{"algorithm":"minmax","metric":"abs","objective":1.0,
+                "synopsis":{"n":8,"entries":[[99,5.0]]}}"#,
+        )
+        .unwrap();
+        let err = read_synopsis(path.to_str().unwrap()).unwrap_err();
+        assert!(err.contains("out of range"), "{err}");
+        std::fs::write(
+            &path,
+            r#"{"algorithm":"minmax","metric":"abs","objective":0.0,
+                "synopsis":{"n":8,"entries":[[5,1.0],[2,3.0]]}}"#,
+        )
+        .unwrap();
+        let err = read_synopsis(path.to_str().unwrap()).unwrap_err();
+        assert!(err.contains("sorted"), "{err}");
+    }
+
+    #[test]
+    fn synopsis_roundtrip() {
+        let data = [2.0, 2.0, 0.0, 2.0, 3.0, 5.0, 4.0, 4.0];
+        let tree = wsyn_haar::ErrorTree1d::from_data(&data).unwrap();
+        let syn = Synopsis1d::from_indices(&tree, &[0, 1, 5]);
+        let doc = SynopsisDoc {
+            algorithm: "minmax".into(),
+            metric: Some("rel:1.0".into()),
+            objective: Some(0.5),
+            synopsis: syn.clone(),
+        };
+        let dir = std::env::temp_dir().join("wsyn-cli-test-syn");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("s.json");
+        let path = path.to_str().unwrap();
+        write_synopsis(path, &doc).unwrap();
+        let back = read_synopsis(path).unwrap();
+        assert_eq!(back.synopsis, syn);
+        assert_eq!(back.objective, Some(0.5));
+    }
+}

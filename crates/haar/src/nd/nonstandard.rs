@@ -1,0 +1,317 @@
+//! Nonstandard multi-dimensional Haar decomposition (§2.2, Figure 1(b)).
+//!
+//! At every resolution level the algorithm performs one unnormalized
+//! pairwise averaging/differencing step (`avg = (a+b)/2`, `detail =
+//! (a-b)/2`) along **each** dimension over the current low-pass hypercube,
+//! then recurses on the averages. For a `2^m`-per-side, `D`-dimensional
+//! array, the detail coefficients produced at level `l` (coarsest = 0)
+//! occupy the region `[0, 2^{l+1})^D \ [0, 2^l)^D` of the coefficient
+//! array, and the overall average lands at the origin.
+//!
+//! Coefficient semantics: the coefficient at position `q + b·2^l`
+//! (node position `q ∈ [0, 2^l)^D`, offset mask `b ∈ {0,1}^D \ {0}`)
+//! contributes to data cell `x` inside its support hypercube with sign
+//! `Π_{k : b_k = 1} (+1 if x_k in the low half along dim k, else -1)` —
+//! exactly the quadrant-sign structure of Figure 1(b).
+
+use super::{NdArray, NdShape};
+use crate::{HaarError, log2_exact};
+
+/// Computes the nonstandard Haar decomposition of `data`, returning the
+/// coefficient array (same shape).
+///
+/// # Errors
+/// [`HaarError::UnequalSides`] unless the shape is a hypercube (all sides
+/// equal powers of two).
+pub fn forward(data: &NdArray) -> Result<NdArray, HaarError> {
+    let mut out = data.clone();
+    forward_in_place(&mut out)?;
+    Ok(out)
+}
+
+/// In-place nonstandard decomposition.
+///
+/// # Errors
+/// [`HaarError::UnequalSides`] unless the shape is a hypercube.
+pub fn forward_in_place(arr: &mut NdArray) -> Result<(), HaarError> {
+    if !arr.shape().is_hypercube() {
+        return Err(HaarError::UnequalSides);
+    }
+    let side = arr.shape().sides()[0];
+    let d = arr.shape().ndims();
+    let shape = arr.shape().clone();
+    let mut size = side;
+    while size > 1 {
+        for dim in 0..d {
+            step_along(arr.data_mut(), &shape, dim, size, Direction::Forward);
+        }
+        size /= 2;
+    }
+    Ok(())
+}
+
+/// Reconstructs the data array from nonstandard coefficients.
+///
+/// # Errors
+/// [`HaarError::UnequalSides`] unless the shape is a hypercube.
+pub fn inverse(coeffs: &NdArray) -> Result<NdArray, HaarError> {
+    let mut out = coeffs.clone();
+    inverse_in_place(&mut out)?;
+    Ok(out)
+}
+
+/// In-place inverse of [`forward_in_place`].
+///
+/// # Errors
+/// [`HaarError::UnequalSides`] unless the shape is a hypercube.
+pub fn inverse_in_place(arr: &mut NdArray) -> Result<(), HaarError> {
+    if !arr.shape().is_hypercube() {
+        return Err(HaarError::UnequalSides);
+    }
+    let side = arr.shape().sides()[0];
+    let d = arr.shape().ndims();
+    let shape = arr.shape().clone();
+    let levels = log2_exact(side);
+    for l in (0..levels).rev() {
+        let size = side >> l;
+        for dim in (0..d).rev() {
+            step_along(arr.data_mut(), &shape, dim, size, Direction::Inverse);
+        }
+    }
+    Ok(())
+}
+
+#[derive(Clone, Copy)]
+enum Direction {
+    Forward,
+    Inverse,
+}
+
+/// Applies one pairwise Haar step (or its inverse) along `dim`, restricted
+/// to the box `[0, size)` in every dimension of the full array.
+///
+/// Forward: `(a, b) -> (avg, detail)` with `avg` stored in the low half and
+/// `detail` in the high half along `dim`. Inverse reverses this.
+fn step_along(data: &mut [f64], shape: &NdShape, dim: usize, size: usize, dir: Direction) {
+    let d = shape.ndims();
+    let half = size / 2;
+    // Stride of `dim` in the flat row-major buffer.
+    let mut stride = 1usize;
+    for k in (dim + 1)..d {
+        stride *= shape.sides()[k];
+    }
+    // Iterate over all positions in the box with coordinate 0..half along
+    // `dim` and 0..size along every other dim.
+    let mut coords = vec![0usize; d];
+    let mut scratch_lo = vec![0.0f64; half];
+    let mut scratch_hi = vec![0.0f64; half];
+    loop {
+        // Process the 1-D line through `coords` along `dim`.
+        let base = shape.linearize(&coords);
+        match dir {
+            Direction::Forward => {
+                for i in 0..half {
+                    let a = data[base + 2 * i * stride];
+                    let b = data[base + (2 * i + 1) * stride];
+                    scratch_lo[i] = (a + b) / 2.0;
+                    scratch_hi[i] = (a - b) / 2.0;
+                }
+            }
+            Direction::Inverse => {
+                for i in 0..half {
+                    let avg = data[base + i * stride];
+                    let detail = data[base + (half + i) * stride];
+                    scratch_lo[i] = avg + detail; // new low element (2i)
+                    scratch_hi[i] = avg - detail; // new high element (2i+1)
+                }
+            }
+        }
+        match dir {
+            Direction::Forward => {
+                for i in 0..half {
+                    data[base + i * stride] = scratch_lo[i];
+                    data[base + (half + i) * stride] = scratch_hi[i];
+                }
+            }
+            Direction::Inverse => {
+                for i in 0..half {
+                    data[base + 2 * i * stride] = scratch_lo[i];
+                    data[base + (2 * i + 1) * stride] = scratch_hi[i];
+                }
+            }
+        }
+        // Advance coords over all dims except `dim`, bounded by `size`.
+        let mut k = d;
+        loop {
+            if k == 0 {
+                return;
+            }
+            k -= 1;
+            if k == dim {
+                continue;
+            }
+            coords[k] += 1;
+            if coords[k] < size {
+                break;
+            }
+            coords[k] = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn arr2(side: usize, vals: Vec<f64>) -> NdArray {
+        NdArray::new(NdShape::hypercube(side, 2).unwrap(), vals).unwrap()
+    }
+
+    #[test]
+    fn two_by_two_block_transform() {
+        // [[a, b], [c, d]] with row-major [a, b, c, d].
+        let (a, b, c, d) = (5.0, 1.0, 3.0, 7.0);
+        let w = forward(&arr2(2, vec![a, b, c, d])).unwrap();
+        let wd = w.data();
+        assert_eq!(wd[0], (a + b + c + d) / 4.0); // overall average
+        assert_eq!(wd[1], (a - b + c - d) / 4.0); // detail along dim 1
+        assert_eq!(wd[2], (a + b - c - d) / 4.0); // detail along dim 0
+        assert_eq!(wd[3], (a - b - c + d) / 4.0); // diagonal detail
+    }
+
+    #[test]
+    fn roundtrip_4x4() {
+        let vals: Vec<f64> = (0..16).map(|i| (i * i % 7) as f64 - 3.0).collect();
+        let original = arr2(4, vals);
+        let w = forward(&original).unwrap();
+        let back = inverse(&w).unwrap();
+        for (x, y) in original.data().iter().zip(back.data()) {
+            assert!((x - y).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn roundtrip_3d() {
+        let shape = NdShape::hypercube(4, 3).unwrap();
+        let vals: Vec<f64> = (0..shape.len()).map(|i| ((i * 31 + 7) % 13) as f64).collect();
+        let original = NdArray::new(shape, vals).unwrap();
+        let w = forward(&original).unwrap();
+        let back = inverse(&w).unwrap();
+        for (x, y) in original.data().iter().zip(back.data()) {
+            assert!((x - y).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn constant_array_single_coefficient() {
+        let original = arr2(8, vec![2.5; 64]);
+        let w = forward(&original).unwrap();
+        assert_eq!(w.data()[0], 2.5);
+        assert!(w.data()[1..].iter().all(|&c| c == 0.0));
+    }
+
+    #[test]
+    fn rejects_non_hypercube() {
+        let shape = NdShape::new(vec![2, 4]).unwrap();
+        let a = NdArray::zeros(shape);
+        assert_eq!(forward(&a).unwrap_err(), HaarError::UnequalSides);
+        assert_eq!(inverse(&a).unwrap_err(), HaarError::UnequalSides);
+    }
+
+    #[test]
+    fn one_dimensional_case_matches_1d_transform() {
+        let vals = vec![2.0, 2.0, 0.0, 2.0, 3.0, 5.0, 4.0, 4.0];
+        let shape = NdShape::new(vec![8]).unwrap();
+        let w = forward(&NdArray::new(shape, vals.clone()).unwrap()).unwrap();
+        let w1d = crate::transform::forward(&vals).unwrap();
+        assert_eq!(w.data(), &w1d[..]);
+    }
+
+    #[test]
+    fn quadrant_sign_structure_matches_figure_1b() {
+        // Verify the sign pattern of each of the 16 basis functions of a
+        // 4x4 nonstandard decomposition by transforming indicator arrays:
+        // the inverse transform of a single unit coefficient is the basis
+        // function; its sign pattern must follow the quadrant rule.
+        let shape = NdShape::hypercube(4, 2).unwrap();
+        let m = 2u32;
+        for pos in 0..16usize {
+            let mut coeffs = NdArray::zeros(shape.clone());
+            coeffs.data_mut()[pos] = 1.0;
+            let basis = inverse(&coeffs).unwrap();
+            let coord = shape.delinearize(pos);
+            if pos == 0 {
+                // Overall average: +1 everywhere.
+                assert!(basis.data().iter().all(|&v| v == 1.0));
+                continue;
+            }
+            // Determine level l and offset mask b of this coefficient: the
+            // unique l with all coords < 2^{l+1} and at least one >= 2^l.
+            let l = (0..m as usize)
+                .find(|&ll| {
+                    coord.iter().all(|&c| c < (1usize << (ll + 1)))
+                        && coord.iter().any(|&c| c >= (1usize << ll))
+                })
+                .unwrap();
+            let q: Vec<usize> = coord.iter().map(|&c| c & ((1 << l) - 1)).collect();
+            let b: Vec<bool> = coord.iter().map(|&c| c >= (1 << l)).collect();
+            let node_width = 4usize >> l; // support side
+            for x0 in 0..4usize {
+                for x1 in 0..4usize {
+                    let x = [x0, x1];
+                    let inside = (0..2).all(|k| x[k] / node_width == q[k]);
+                    let v = basis.get(&x);
+                    if !inside {
+                        assert_eq!(v, 0.0, "pos {pos} outside support");
+                    } else {
+                        let mut sign = 1.0;
+                        for k in 0..2 {
+                            if b[k] {
+                                let low = (x[k] % node_width) < node_width / 2;
+                                if !low {
+                                    sign = -sign;
+                                }
+                            }
+                        }
+                        assert_eq!(v, sign, "pos {pos} cell {x:?}");
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn roundtrip_2d(side_exp in 0u32..=4, seed_vals in proptest::collection::vec(-1e4f64..1e4, 256)) {
+            let side = 1usize << side_exp;
+            let shape = NdShape::hypercube(side, 2).unwrap();
+            let vals: Vec<f64> = seed_vals.into_iter().take(shape.len()).collect();
+            prop_assume!(vals.len() == shape.len());
+            let original = NdArray::new(shape, vals).unwrap();
+            let w = forward(&original).unwrap();
+            let back = inverse(&w).unwrap();
+            for (x, y) in original.data().iter().zip(back.data()) {
+                prop_assert!((x - y).abs() <= 1e-7 * (1.0 + x.abs()));
+            }
+        }
+
+        #[test]
+        fn linearity_2d(vals_a in proptest::collection::vec(-1e4f64..1e4, 16),
+                        vals_b in proptest::collection::vec(-1e4f64..1e4, 16)) {
+            let shape = NdShape::hypercube(4, 2).unwrap();
+            let wa = forward(&NdArray::new(shape.clone(), vals_a.clone()).unwrap()).unwrap();
+            let wb = forward(&NdArray::new(shape.clone(), vals_b.clone()).unwrap()).unwrap();
+            let sum: Vec<f64> = vals_a.iter().zip(&vals_b).map(|(x, y)| x + y).collect();
+            let ws = forward(&NdArray::new(shape, sum).unwrap()).unwrap();
+            for i in 0..16 {
+                prop_assert!((ws.data()[i] - (wa.data()[i] + wb.data()[i])).abs() < 1e-9);
+            }
+        }
+    }
+}

@@ -1,0 +1,162 @@
+//! Standard multi-dimensional Haar decomposition (§2.2).
+//!
+//! The standard decomposition applies the *complete* one-dimensional Haar
+//! transform along each dimension in turn. Unlike the nonstandard
+//! decomposition it accepts unequal (power-of-two) sides, which makes it the
+//! substrate of choice for rectangular OLAP cubes; the paper's thresholding
+//! algorithms, however, operate on the nonstandard error tree, so this
+//! module exists for substrate completeness and for cross-checking energy
+//! properties.
+
+use super::{NdArray, NdShape};
+use crate::HaarError;
+
+/// Computes the standard Haar decomposition of `data`.
+///
+/// # Errors
+/// None beyond shape construction (any power-of-two sides are accepted);
+/// kept as a `Result` for API symmetry with the nonstandard transform.
+pub fn forward(data: &NdArray) -> Result<NdArray, HaarError> {
+    let mut out = data.clone();
+    forward_in_place(&mut out);
+    Ok(out)
+}
+
+/// In-place standard decomposition.
+pub fn forward_in_place(arr: &mut NdArray) {
+    let shape = arr.shape().clone();
+    for dim in 0..shape.ndims() {
+        full_transform_along(arr.data_mut(), &shape, dim, Direction::Forward);
+    }
+}
+
+/// Reconstructs the data array from standard coefficients.
+///
+/// # Errors
+/// None in practice; `Result` for API symmetry.
+pub fn inverse(coeffs: &NdArray) -> Result<NdArray, HaarError> {
+    let mut out = coeffs.clone();
+    inverse_in_place(&mut out);
+    Ok(out)
+}
+
+/// In-place inverse of [`forward_in_place`].
+pub fn inverse_in_place(arr: &mut NdArray) {
+    let shape = arr.shape().clone();
+    for dim in (0..shape.ndims()).rev() {
+        full_transform_along(arr.data_mut(), &shape, dim, Direction::Inverse);
+    }
+}
+
+#[derive(Clone, Copy)]
+enum Direction {
+    Forward,
+    Inverse,
+}
+
+/// Applies the full 1-D Haar transform (or inverse) along `dim` to every
+/// line of the array.
+fn full_transform_along(data: &mut [f64], shape: &NdShape, dim: usize, dir: Direction) {
+    let d = shape.ndims();
+    let side = shape.sides()[dim];
+    let mut stride = 1usize;
+    for k in (dim + 1)..d {
+        stride *= shape.sides()[k];
+    }
+    let mut line = vec![0.0f64; side];
+    let mut coords = vec![0usize; d];
+    loop {
+        let base = shape.linearize(&coords);
+        for i in 0..side {
+            line[i] = data[base + i * stride];
+        }
+        match dir {
+            Direction::Forward => crate::transform::forward_in_place(&mut line),
+            Direction::Inverse => crate::transform::inverse_in_place(&mut line),
+        }
+        for i in 0..side {
+            data[base + i * stride] = line[i];
+        }
+        // Advance over all dims except `dim`.
+        let mut k = d;
+        loop {
+            if k == 0 {
+                return;
+            }
+            k -= 1;
+            if k == dim {
+                continue;
+            }
+            coords[k] += 1;
+            if coords[k] < shape.sides()[k] {
+                break;
+            }
+            coords[k] = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_rectangular() {
+        let shape = NdShape::new(vec![2, 8]).unwrap();
+        let vals: Vec<f64> = (0..16).map(|i| ((i * 5 + 3) % 11) as f64 - 4.0).collect();
+        let original = NdArray::new(shape, vals).unwrap();
+        let w = forward(&original).unwrap();
+        let back = inverse(&w).unwrap();
+        for (x, y) in original.data().iter().zip(back.data()) {
+            assert!((x - y).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn constant_array_single_coefficient() {
+        let shape = NdShape::new(vec![4, 4]).unwrap();
+        let w = forward(&NdArray::new(shape, vec![3.0; 16]).unwrap()).unwrap();
+        assert_eq!(w.data()[0], 3.0);
+        assert!(w.data()[1..].iter().all(|&c| c == 0.0));
+    }
+
+    #[test]
+    fn overall_average_agrees_with_nonstandard() {
+        let shape = NdShape::hypercube(4, 2).unwrap();
+        let vals: Vec<f64> = (0..16).map(|i| i as f64).collect();
+        let arr = NdArray::new(shape, vals).unwrap();
+        let ws = forward(&arr).unwrap();
+        let wn = super::super::nonstandard::forward(&arr).unwrap();
+        assert!((ws.data()[0] - wn.data()[0]).abs() < 1e-12);
+        assert_eq!(ws.data()[0], 7.5);
+    }
+
+    #[test]
+    fn one_dimensional_case_matches_1d_transform() {
+        let vals = vec![2.0, 2.0, 0.0, 2.0, 3.0, 5.0, 4.0, 4.0];
+        let shape = NdShape::new(vec![8]).unwrap();
+        let w = forward(&NdArray::new(shape, vals.clone()).unwrap()).unwrap();
+        let w1d = crate::transform::forward(&vals).unwrap();
+        assert_eq!(w.data(), &w1d[..]);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn roundtrip(e0 in 0u32..=3, e1 in 0u32..=3, vals in proptest::collection::vec(-1e4f64..1e4, 64)) {
+            let shape = NdShape::new(vec![1 << e0, 1 << e1]).unwrap();
+            let vals: Vec<f64> = vals.into_iter().take(shape.len()).collect();
+            prop_assume!(vals.len() == shape.len());
+            let original = NdArray::new(shape, vals).unwrap();
+            let back = inverse(&forward(&original).unwrap()).unwrap();
+            for (x, y) in original.data().iter().zip(back.data()) {
+                prop_assert!((x - y).abs() <= 1e-7 * (1.0 + x.abs()));
+            }
+        }
+    }
+}

@@ -1,0 +1,405 @@
+//! One-dimensional Haar error tree (§2.1, Figure 1(a)).
+//!
+//! The error tree is the hierarchical view of the wavelet transform used by
+//! every thresholding algorithm in the paper. Internal node `c_j`
+//! (`0 <= j < N`) carries the unnormalized coefficient `W_A[j]`; leaf `d_i`
+//! carries the `i`-th data value. The root `c_0` (the overall average) has a
+//! single child `c_1`; every other internal node `c_j` has children
+//! `c_{2j}` and `c_{2j+1}` (which are leaves `d_{2j-N}` and `d_{2j+1-N}`
+//! once `2j >= N`).
+//!
+//! Key property (Equation (1)): a data value is reconstructed from exactly
+//! the coefficients on its root path,
+//! `d_i = Σ_{c_j ∈ path(d_i)} sign_{ij} · c_j`, where `sign_{ij} = +1` if
+//! `d_i` lies in the left child subtree of `c_j` or `j = 0`, and `-1`
+//! otherwise. An ancestor coefficient therefore contributes with a *fixed*
+//! sign to every leaf of a given subtree — the observation underlying the
+//! incoming-error dynamic programs of §3.
+
+use crate::{is_pow2, log2_exact, transform, HaarError};
+
+/// The two children of an internal error-tree node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Children {
+    /// Root case (`j = 0`, `N > 1`): a single coefficient child, `c_1`.
+    RootCoeff(usize),
+    /// Root case (`j = 0`, `N = 1`): a single leaf child, `d_0`.
+    RootLeaf(usize),
+    /// Two coefficient children `(c_{2j}, c_{2j+1})`.
+    Coeffs(usize, usize),
+    /// Two leaf children `(d_{2j-N}, d_{2j+1-N})` (data indices).
+    Leaves(usize, usize),
+}
+
+/// One-dimensional Haar error tree over `N = 2^m` data values.
+///
+/// Stores the unnormalized coefficient array; all structural queries
+/// (children, paths, signs, supports) are `O(1)` or `O(log N)`.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct ErrorTree1d {
+    coeffs: Vec<f64>,
+}
+
+impl ErrorTree1d {
+    /// Builds the error tree for a data vector (computes the transform).
+    ///
+    /// # Errors
+    /// Propagates [`HaarError`] for empty / non-power-of-two input.
+    pub fn from_data(data: &[f64]) -> Result<Self, HaarError> {
+        Ok(Self {
+            coeffs: transform::forward(data)?,
+        })
+    }
+
+    /// Wraps an existing unnormalized coefficient array.
+    ///
+    /// # Errors
+    /// [`HaarError`] if the length is empty or not a power of two.
+    pub fn from_coeffs(coeffs: Vec<f64>) -> Result<Self, HaarError> {
+        if coeffs.is_empty() {
+            return Err(HaarError::Empty);
+        }
+        if !is_pow2(coeffs.len()) {
+            return Err(HaarError::NotPowerOfTwo { len: coeffs.len() });
+        }
+        Ok(Self { coeffs })
+    }
+
+    /// Domain size `N` (number of data values == number of coefficients).
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.coeffs.len()
+    }
+
+    /// Number of resolution levels, `log2 N`.
+    #[inline]
+    pub fn levels(&self) -> u32 {
+        log2_exact(self.n())
+    }
+
+    /// The unnormalized coefficient array `W_A`.
+    #[inline]
+    pub fn coeffs(&self) -> &[f64] {
+        &self.coeffs
+    }
+
+    /// Value of coefficient `c_j`.
+    #[inline]
+    pub fn coeff(&self, j: usize) -> f64 {
+        self.coeffs[j]
+    }
+
+    /// Resolution level of coefficient `c_j` (see [`transform::level`]).
+    #[inline]
+    pub fn level(&self, j: usize) -> u32 {
+        transform::level(j)
+    }
+
+    /// Children of internal node `c_j`.
+    ///
+    /// # Panics
+    /// Panics if `j >= N` (leaves have no children).
+    pub fn children(&self, j: usize) -> Children {
+        let n = self.n();
+        assert!(j < n, "c_{j} is not an internal node (N = {n})");
+        if j == 0 {
+            return if n == 1 {
+                Children::RootLeaf(0)
+            } else {
+                Children::RootCoeff(1)
+            };
+        }
+        let l = 2 * j;
+        if l < n {
+            Children::Coeffs(l, l + 1)
+        } else {
+            Children::Leaves(l - n, l + 1 - n)
+        }
+    }
+
+    /// Parent coefficient index of internal node `c_j` (`j >= 1`).
+    ///
+    /// `c_1`'s parent is `c_0`; otherwise `parent(j) = j / 2`.
+    #[inline]
+    pub fn parent(&self, j: usize) -> usize {
+        debug_assert!(j >= 1 && j < self.n());
+        if j == 1 {
+            0
+        } else {
+            j / 2
+        }
+    }
+
+    /// Support region of coefficient `c_j`: the contiguous range of data
+    /// indices whose reconstruction involves `c_j`.
+    ///
+    /// `c_0` and `c_1` support the whole domain; `c_j` (`j >= 2`) at level
+    /// `l` supports `(j - 2^l) * N/2^l .. (j - 2^l + 1) * N/2^l`.
+    pub fn support(&self, j: usize) -> std::ops::Range<usize> {
+        let n = self.n();
+        debug_assert!(j < n);
+        if j <= 1 {
+            return 0..n;
+        }
+        let l = transform::level(j);
+        let width = n >> l;
+        let pos = j - (1 << l);
+        pos * width..(pos + 1) * width
+    }
+
+    /// Sign of coefficient `c_j`'s contribution to data value `d_i`
+    /// (Equation (1)): `+1.0`, `-1.0`, or `0.0` when `d_i` is outside the
+    /// support of `c_j`.
+    pub fn sign(&self, j: usize, i: usize) -> f64 {
+        let sup = self.support(j);
+        if !sup.contains(&i) {
+            return 0.0;
+        }
+        if j == 0 {
+            return 1.0;
+        }
+        let mid = sup.start + (sup.end - sup.start) / 2;
+        if i < mid {
+            1.0
+        } else {
+            -1.0
+        }
+    }
+
+    /// Ancestor path of leaf `d_i`: the coefficient indices on the path from
+    /// the root down to (and including) the finest coefficient covering
+    /// `d_i`, together with the contribution sign of each. Ordered root
+    /// first. Length is `log2 N + 1` (or 1 when `N = 1`).
+    ///
+    /// Unlike the paper's `path(u)` (which drops zero coefficients because
+    /// they can never be usefully retained), this method returns *all*
+    /// structural ancestors; filter on [`Self::coeff`] if needed.
+    pub fn path(&self, i: usize) -> Vec<(usize, f64)> {
+        let n = self.n();
+        assert!(i < n, "leaf index {i} out of range (N = {n})");
+        let mut out = Vec::with_capacity(self.levels() as usize + 1);
+        out.push((0, 1.0));
+        if n == 1 {
+            return out;
+        }
+        // Descend from c_1: at level l the covering coefficient is
+        // 2^l + (i >> (m - l)) and the sign is determined by bit (m - l - 1).
+        let m = self.levels();
+        for l in 0..m {
+            let j = (1usize << l) + (i >> (m - l));
+            let sign = if (i >> (m - l - 1)) & 1 == 0 { 1.0 } else { -1.0 };
+            out.push((j, sign));
+        }
+        out
+    }
+
+    /// Reconstructs data value `d_i` via Equation (1) (`O(log N)`).
+    pub fn reconstruct(&self, i: usize) -> f64 {
+        self.path(i)
+            .iter()
+            .map(|&(j, s)| s * self.coeffs[j])
+            .sum()
+    }
+
+    /// Reconstructs the full data vector (`O(N)` via the inverse transform).
+    pub fn reconstruct_all(&self) -> Vec<f64> {
+        let mut out = self.coeffs.clone();
+        transform::inverse_in_place(&mut out);
+        out
+    }
+
+    /// Reconstructs data value `d_i` using only a retained subset of
+    /// coefficients, supplied as a predicate over coefficient indices.
+    /// Dropped coefficients are treated as zero (§2.3).
+    pub fn reconstruct_with<F: Fn(usize) -> bool>(&self, i: usize, retained: F) -> f64 {
+        self.path(i)
+            .iter()
+            .filter(|&&(j, _)| retained(j))
+            .map(|&(j, s)| s * self.coeffs[j])
+            .sum()
+    }
+
+    /// The data (leaf) indices underneath internal node `c_j` — identical to
+    /// [`Self::support`] for `j >= 1`, and the whole domain for `j = 0`.
+    #[inline]
+    pub fn leaves_under(&self, j: usize) -> std::ops::Range<usize> {
+        self.support(j)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::needless_range_loop)] // index loops read clearer in assertions
+    use super::*;
+
+    const EXAMPLE: [f64; 8] = [2.0, 2.0, 0.0, 2.0, 3.0, 5.0, 4.0, 4.0];
+
+    fn tree() -> ErrorTree1d {
+        ErrorTree1d::from_data(&EXAMPLE).unwrap()
+    }
+
+    #[test]
+    fn paper_example_d4_equals_c0_minus_c1_plus_c6() {
+        // §2.1: d_4 = c_0 - c_1 + c_6 = 11/4 + 5/4 - 1 = 3.
+        let t = tree();
+        let path = t.path(4);
+        let indices: Vec<usize> = path.iter().map(|&(j, _)| j).collect();
+        assert_eq!(indices, vec![0, 1, 3, 6]);
+        let signs: Vec<f64> = path.iter().map(|&(_, s)| s).collect();
+        assert_eq!(signs, vec![1.0, -1.0, 1.0, 1.0]); // c_3 is 0 in the example
+        assert_eq!(t.reconstruct(4), 3.0);
+    }
+
+    #[test]
+    fn reconstruct_matches_inverse_transform() {
+        let t = tree();
+        let all = t.reconstruct_all();
+        assert_eq!(all, EXAMPLE.to_vec());
+        for i in 0..8 {
+            assert_eq!(t.reconstruct(i), EXAMPLE[i], "d_{i}");
+        }
+    }
+
+    #[test]
+    fn children_structure_matches_figure_1a() {
+        let t = tree();
+        assert_eq!(t.children(0), Children::RootCoeff(1));
+        assert_eq!(t.children(1), Children::Coeffs(2, 3));
+        assert_eq!(t.children(2), Children::Coeffs(4, 5));
+        assert_eq!(t.children(3), Children::Coeffs(6, 7));
+        assert_eq!(t.children(4), Children::Leaves(0, 1));
+        assert_eq!(t.children(7), Children::Leaves(6, 7));
+    }
+
+    #[test]
+    fn parent_inverts_children() {
+        let t = tree();
+        for j in 1..8 {
+            let p = t.parent(j);
+            match t.children(p) {
+                Children::RootCoeff(c) => assert_eq!(c, j),
+                Children::Coeffs(l, r) => assert!(j == l || j == r),
+                _ => panic!("unexpected"),
+            }
+        }
+    }
+
+    #[test]
+    fn supports() {
+        let t = tree();
+        assert_eq!(t.support(0), 0..8);
+        assert_eq!(t.support(1), 0..8);
+        assert_eq!(t.support(2), 0..4);
+        assert_eq!(t.support(3), 4..8);
+        assert_eq!(t.support(6), 4..6);
+        assert_eq!(t.support(7), 6..8);
+    }
+
+    #[test]
+    fn signs_flip_at_support_midpoint() {
+        let t = tree();
+        assert_eq!(t.sign(1, 0), 1.0);
+        assert_eq!(t.sign(1, 3), 1.0);
+        assert_eq!(t.sign(1, 4), -1.0);
+        assert_eq!(t.sign(6, 4), 1.0);
+        assert_eq!(t.sign(6, 5), -1.0);
+        assert_eq!(t.sign(6, 0), 0.0); // outside support
+        for i in 0..8 {
+            assert_eq!(t.sign(0, i), 1.0); // root always +
+        }
+    }
+
+    #[test]
+    fn single_value_tree() {
+        let t = ErrorTree1d::from_data(&[5.0]).unwrap();
+        assert_eq!(t.children(0), Children::RootLeaf(0));
+        assert_eq!(t.path(0), vec![(0, 1.0)]);
+        assert_eq!(t.reconstruct(0), 5.0);
+    }
+
+    #[test]
+    fn reconstruct_with_subset() {
+        let t = tree();
+        // Retaining only c_0 reconstructs every value as the overall average.
+        for i in 0..8 {
+            assert_eq!(t.reconstruct_with(i, |j| j == 0), 11.0 / 4.0);
+        }
+        // Retaining everything reconstructs exactly.
+        for i in 0..8 {
+            assert_eq!(t.reconstruct_with(i, |_| true), EXAMPLE[i]);
+        }
+        // Retaining nothing reconstructs zero.
+        for i in 0..8 {
+            assert_eq!(t.reconstruct_with(i, |_| false), 0.0);
+        }
+    }
+
+    #[test]
+    fn path_lengths_are_logn_plus_one() {
+        for m in 0..6u32 {
+            let n = 1usize << m;
+            let t = ErrorTree1d::from_coeffs(vec![1.0; n]).unwrap();
+            for i in 0..n {
+                assert_eq!(t.path(i).len(), m as usize + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn from_coeffs_validates() {
+        assert!(ErrorTree1d::from_coeffs(vec![]).is_err());
+        assert!(ErrorTree1d::from_coeffs(vec![1.0; 3]).is_err());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn pow2_vec() -> impl Strategy<Value = Vec<f64>> {
+        (0u32..=7).prop_flat_map(|m| proptest::collection::vec(-1e5f64..1e5, 1usize << m))
+    }
+
+    proptest! {
+        #[test]
+        fn equation_1_reconstruction_matches_inverse(data in pow2_vec()) {
+            let t = ErrorTree1d::from_data(&data).unwrap();
+            let all = t.reconstruct_all();
+            for i in 0..data.len() {
+                let via_path = t.reconstruct(i);
+                prop_assert!((via_path - all[i]).abs() <= 1e-6 * (1.0 + all[i].abs()));
+                prop_assert!((via_path - data[i]).abs() <= 1e-6 * (1.0 + data[i].abs()));
+            }
+        }
+
+        #[test]
+        fn sign_function_agrees_with_path(data in pow2_vec()) {
+            let t = ErrorTree1d::from_data(&data).unwrap();
+            for i in 0..data.len() {
+                for (j, s) in t.path(i) {
+                    prop_assert_eq!(t.sign(j, i), s);
+                }
+            }
+        }
+
+        #[test]
+        fn ancestors_have_constant_sign_over_subtrees(data in pow2_vec()) {
+            // The property the incoming-error DP relies on: an ancestor's
+            // sign is constant over all leaves of each child subtree.
+            let t = ErrorTree1d::from_data(&data).unwrap();
+            let n = data.len();
+            for j in 1..n {
+                let sup = t.support(j);
+                let mid = sup.start + (sup.end - sup.start) / 2;
+                for i in sup.start..mid {
+                    prop_assert_eq!(t.sign(j, i), 1.0);
+                }
+                for i in mid..sup.end {
+                    prop_assert_eq!(t.sign(j, i), -1.0);
+                }
+            }
+        }
+    }
+}

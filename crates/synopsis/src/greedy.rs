@@ -1,0 +1,148 @@
+//! Conventional greedy L2 thresholding (§2.3) — the baseline every earlier
+//! wavelet-synopsis study uses.
+//!
+//! Retains the `B` coefficients with the largest *normalized* absolute
+//! value `|c_i|·sqrt(support(i))`; this is provably optimal for the overall
+//! root-mean-squared (L2-norm average) error, but — as the paper argues —
+//! can be arbitrarily bad for maximum relative/absolute error. Ties are
+//! broken by coefficient index for determinism.
+
+use wsyn_haar::{transform, ErrorTree1d, ErrorTreeNd};
+
+use crate::synopsis::{Synopsis1d, SynopsisNd};
+
+/// Greedy L2 thresholding over a one-dimensional error tree: retains the
+/// `b` largest normalized coefficients (zero coefficients are never
+/// retained, so the result may hold fewer than `b` entries).
+pub fn greedy_l2_1d(tree: &ErrorTree1d, b: usize) -> Synopsis1d {
+    let norms = transform::normalized_magnitudes(tree.coeffs());
+    let indices = top_b_indices(&norms, b);
+    Synopsis1d::from_indices(tree, &indices)
+}
+
+/// Greedy L2 thresholding over a multi-dimensional (nonstandard) error
+/// tree. Normalization weight for a coefficient at level `l` of a
+/// `D`-dimensional tree is `sqrt(support cells) = sqrt((side/2^l)^D)`; the
+/// overall average has full-domain support.
+pub fn greedy_l2_nd(tree: &ErrorTreeNd, b: usize) -> SynopsisNd {
+    let n = tree.n();
+    let mut norms = vec![0.0f64; n];
+    norms[0] = tree.root_average().abs() * (n as f64).sqrt();
+    let d = tree.ndims() as u32;
+    for node in tree.all_nodes() {
+        let support_cells = ((tree.side() >> node.level) as f64).powi(d as i32);
+        let w = support_cells.sqrt();
+        for c in tree.node_coeffs(node) {
+            norms[c.pos] = c.value.abs() * w;
+        }
+    }
+    let positions = top_b_indices(&norms, b);
+    SynopsisNd::from_positions(tree, &positions)
+}
+
+/// Indices of the `b` largest strictly-positive values, ties broken by
+/// smaller index first.
+fn top_b_indices(norms: &[f64], b: usize) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..norms.len()).filter(|&i| norms[i] > 0.0).collect();
+    order.sort_by(|&i, &j| norms[j].total_cmp(&norms[i]).then(i.cmp(&j)));
+    order.truncate(b);
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metric::rmse;
+    use wsyn_haar::nd::{NdArray, NdShape};
+
+    const EXAMPLE: [f64; 8] = [2.0, 2.0, 0.0, 2.0, 3.0, 5.0, 4.0, 4.0];
+
+    #[test]
+    fn retains_at_most_b() {
+        let tree = ErrorTree1d::from_data(&EXAMPLE).unwrap();
+        for b in 0..=8 {
+            let s = greedy_l2_1d(&tree, b);
+            assert!(s.len() <= b);
+        }
+    }
+
+    #[test]
+    fn never_retains_zero_coefficients() {
+        // W_A = [11/4, -5/4, 1/2, 0, 0, -1, -1, 0]: only 5 non-zeros.
+        let tree = ErrorTree1d::from_data(&EXAMPLE).unwrap();
+        let s = greedy_l2_1d(&tree, 8);
+        assert_eq!(s.len(), 5);
+        for (j, v) in s.entries() {
+            assert_ne!(*v, 0.0, "retained zero coefficient {j}");
+        }
+    }
+
+    #[test]
+    fn greedy_is_l2_optimal_vs_exhaustive() {
+        // Exhaustively verify the classical optimality fact on the example.
+        let tree = ErrorTree1d::from_data(&EXAMPLE).unwrap();
+        for b in 1..=4usize {
+            let greedy = greedy_l2_1d(&tree, b);
+            let greedy_rmse = rmse(&EXAMPLE, &greedy.reconstruct());
+            // All subsets of size <= b.
+            let mut best = f64::INFINITY;
+            for mask in 0u32..256 {
+                if mask.count_ones() as usize > b {
+                    continue;
+                }
+                let idx: Vec<usize> = (0..8).filter(|&j| mask >> j & 1 == 1).collect();
+                let s = Synopsis1d::from_indices(&tree, &idx);
+                best = best.min(rmse(&EXAMPLE, &s.reconstruct()));
+            }
+            assert!(
+                greedy_rmse <= best + 1e-9,
+                "b={b}: greedy {greedy_rmse} vs best {best}"
+            );
+        }
+    }
+
+    #[test]
+    fn greedy_ranks_by_normalized_not_raw_value() {
+        // A coarse coefficient with modest raw value can outrank a fine
+        // coefficient with larger raw value.
+        // data: big smooth trend + one small spike.
+        let mut data = vec![0.0f64; 16];
+        for (i, v) in data.iter_mut().enumerate() {
+            *v = if i < 8 { 10.0 } else { -10.0 };
+        }
+        data[3] += 4.0; // small local spike
+        let tree = ErrorTree1d::from_data(&data).unwrap();
+        let s = greedy_l2_1d(&tree, 1);
+        // c_1 = 10 with support 16 dominates any spike coefficient.
+        assert_eq!(s.indices(), vec![1]);
+    }
+
+    #[test]
+    fn nd_greedy_basics() {
+        let shape = NdShape::hypercube(4, 2).unwrap();
+        // A mild spike: the overall average stays the largest normalized
+        // coefficient (avg 1.125·sqrt(16) = 4.5 vs spike detail ~0.5·2).
+        let vals: Vec<f64> = (0..16).map(|i| if i == 5 { 3.0 } else { 1.0 }).collect();
+        let tree = ErrorTreeNd::from_data(&NdArray::new(shape, vals.clone()).unwrap()).unwrap();
+        let s = greedy_l2_nd(&tree, 16);
+        // Retaining all non-zero coefficients reconstructs exactly.
+        let recon = s.reconstruct();
+        for (a, b) in recon.data().iter().zip(&vals) {
+            assert!((a - b).abs() < 1e-9);
+        }
+        // b = 1 must retain the overall average (largest normalized value
+        // here) and reconstruct the mean everywhere.
+        let s1 = greedy_l2_nd(&tree, 1);
+        assert_eq!(s1.positions(), vec![0]);
+    }
+
+    #[test]
+    fn deterministic_tie_break() {
+        let data = vec![1.0, -1.0, 1.0, -1.0]; // equal-magnitude details
+        let tree = ErrorTree1d::from_data(&data).unwrap();
+        let a = greedy_l2_1d(&tree, 1);
+        let b = greedy_l2_1d(&tree, 1);
+        assert_eq!(a, b);
+        assert_eq!(a.indices(), vec![2]); // smallest index among ties
+    }
+}

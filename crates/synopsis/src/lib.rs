@@ -1,0 +1,41 @@
+//! # wsyn-synopsis — deterministic wavelet thresholding for maximum-error
+//! metrics
+//!
+//! The core contribution of *Garofalakis & Kumar (PODS 2004)*: given a
+//! Haar-wavelet error tree and a space budget `B`, select at most `B`
+//! coefficients minimizing the **maximum relative error** (with a sanity
+//! bound) or the **maximum absolute error** of the reconstructed data.
+//!
+//! * [`one_dim::MinMaxErr`] — the optimal one-dimensional dynamic program
+//!   (§3.1, Theorem 3.1), with three interchangeable engines and both
+//!   budget-split search strategies.
+//! * [`multi_dim`] — the multi-dimensional approximation schemes: the
+//!   ε-additive-error scheme for relative/absolute error (§3.2.1,
+//!   Theorem 3.2) and the `(1+ε)`-approximation for absolute error
+//!   (§3.2.2, Theorem 3.4), plus the pseudo-polynomial exact integer DP
+//!   they build on.
+//! * [`greedy`] — the conventional L2-optimal greedy baseline (§2.3).
+//! * [`oracle`] — exhaustive-search oracles validating optimality and
+//!   approximation guarantees on small instances.
+//! * [`prop33`] — the sign-navigation argument of Proposition 3.3 as an
+//!   executable lower bound.
+//! * [`logdomain`] — an exploration of the paper's §5 closing question:
+//!   log-domain Haar synopses whose absolute-error machinery yields
+//!   multiplicative (relative-error) guarantees.
+//! * [`metric`] / [`synopsis`] — shared error metrics and synopsis types.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod greedy;
+pub mod logdomain;
+pub mod metric;
+pub mod multi_dim;
+pub mod one_dim;
+pub mod oracle;
+pub mod prop33;
+#[allow(clippy::module_inception)]
+pub mod synopsis;
+
+pub use metric::{rmse, ErrorMetric};
+pub use synopsis::{Synopsis1d, SynopsisNd};

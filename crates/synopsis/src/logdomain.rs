@@ -1,0 +1,235 @@
+//! Log-domain Haar synopses — an executable answer to the paper's closing
+//! question (§5): *"Could there be other (existing or new) wavelet bases
+//! that are better suited for optimizing, for example, relative-error
+//! metrics?"*
+//!
+//! For non-negative data, transform `y_i = ln(d_i + s)` and build any
+//! synopsis minimizing **absolute** error in the log domain. If the log
+//! reconstruction satisfies `|ŷ_i − y_i| ≤ E`, then
+//! `(d̂_i + s) ∈ [(d_i + s)·e^{−E}, (d_i + s)·e^{E}]`, i.e. the shifted
+//! value carries a *multiplicative* guarantee of `e^E − 1` — a relative
+//! error bound, obtained from absolute-error machinery:
+//!
+//! * [`LogDomainSynopsis::greedy`] pairs the transform with plain greedy
+//!   L2 thresholding: an `O(N log N)` heuristic whose relative-error
+//!   behaviour is far better than greedy on the raw data (experiment E15);
+//! * [`LogDomainSynopsis::min_max`] pairs it with the optimal
+//!   absolute-error `MinMaxErr` DP: optimal in the log domain, hence
+//!   carrying the tightest transferable multiplicative guarantee.
+//!
+//! `MinMaxErr` is optimal **among Haar synopses of the raw data**; the
+//! log-domain reconstruction `exp(ŷ) − s` is *nonlinear* and lives outside
+//! that space, so it can — and on smooth skewed data measurably does —
+//! beat the direct relative-error optimum (experiment E15; also pinned by
+//! a unit test below). That is affirmative evidence for the paper's open
+//! question. On spiky data the log transform misjudges which errors are
+//! cheap and loses; neither basis dominates.
+
+use wsyn_haar::{ErrorTree1d, HaarError};
+
+use crate::greedy::greedy_l2_1d;
+use crate::metric::ErrorMetric;
+use crate::one_dim::MinMaxErr;
+use crate::synopsis::Synopsis1d;
+
+/// A synopsis of the log-transformed signal `ln(d + s)`, reconstructing
+/// approximate data as `exp(ŷ) − s` (clamped at 0).
+#[derive(Debug, Clone)]
+pub struct LogDomainSynopsis {
+    inner: Synopsis1d,
+    shift: f64,
+    /// Maximum absolute error of `inner` in the log domain (exact for
+    /// [`LogDomainSynopsis::min_max`], evaluated for
+    /// [`LogDomainSynopsis::greedy`]).
+    log_abs_error: f64,
+}
+
+impl LogDomainSynopsis {
+    /// Builds the log-domain signal; `shift > 0` plays the role of the
+    /// sanity bound (values are shifted by it before the log).
+    ///
+    /// # Errors
+    /// Propagates [`HaarError`] for bad domain sizes.
+    ///
+    /// # Panics
+    /// Panics when `shift <= 0` or any value is negative.
+    fn log_signal(data: &[f64], shift: f64) -> Vec<f64> {
+        assert!(shift > 0.0, "shift must be positive");
+        data.iter()
+            .map(|&d| {
+                assert!(d >= 0.0, "log-domain synopses require non-negative data");
+                (d + shift).ln()
+            })
+            .collect()
+    }
+
+    /// Greedy L2 thresholding in the log domain — the cheap heuristic.
+    ///
+    /// # Errors
+    /// Propagates [`HaarError`].
+    pub fn greedy(data: &[f64], b: usize, shift: f64) -> Result<Self, HaarError> {
+        let y = Self::log_signal(data, shift);
+        let tree = ErrorTree1d::from_data(&y)?;
+        let inner = greedy_l2_1d(&tree, b);
+        let log_abs_error = inner.max_error(&y, ErrorMetric::absolute());
+        Ok(Self {
+            inner,
+            shift,
+            log_abs_error,
+        })
+    }
+
+    /// Optimal absolute-error thresholding (`MinMaxErr`) in the log domain
+    /// — the tightest transferable multiplicative guarantee.
+    ///
+    /// # Errors
+    /// Propagates [`HaarError`].
+    pub fn min_max(data: &[f64], b: usize, shift: f64) -> Result<Self, HaarError> {
+        let y = Self::log_signal(data, shift);
+        let solver = MinMaxErr::new(&y)?;
+        let result = solver.run(b, ErrorMetric::absolute());
+        Ok(Self {
+            inner: result.synopsis,
+            shift,
+            log_abs_error: result.objective,
+        })
+    }
+
+    /// The synopsis over the log-signal's coefficients.
+    pub fn inner(&self) -> &Synopsis1d {
+        &self.inner
+    }
+
+    /// Number of retained coefficients.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// Whether no coefficients are retained.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// The deterministic multiplicative guarantee `e^E − 1`: for every
+    /// value, `|d̂_i − d_i| ≤ (e^E − 1)·(d_i + shift)` — a relative-error
+    /// bound with the shift acting as the sanity bound.
+    pub fn guarantee(&self) -> f64 {
+        self.log_abs_error.exp_m1()
+    }
+
+    /// Reconstructs the approximate data vector (`exp(ŷ) − shift`,
+    /// clamped at 0 since the inputs were non-negative).
+    pub fn reconstruct(&self) -> Vec<f64> {
+        self.inner
+            .reconstruct()
+            .into_iter()
+            .map(|y| (y.exp() - self.shift).max(0.0))
+            .collect()
+    }
+
+    /// Maximum error against the original data under `metric`.
+    pub fn max_error(&self, data: &[f64], metric: ErrorMetric) -> f64 {
+        metric.max_error(data, &self.reconstruct())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn positive_data() -> Vec<f64> {
+        (0..32).map(|i| (((i * 13 + 7) % 29) as f64) * 4.0 + 1.0).collect()
+    }
+
+    #[test]
+    fn full_budget_reconstructs_exactly() {
+        let data = positive_data();
+        let s = LogDomainSynopsis::min_max(&data, 32, 1.0).unwrap();
+        let recon = s.reconstruct();
+        for (a, b) in recon.iter().zip(&data) {
+            assert!((a - b).abs() < 1e-9 * (1.0 + b.abs()), "{a} vs {b}");
+        }
+        assert!(s.guarantee() < 1e-9);
+    }
+
+    #[test]
+    fn multiplicative_guarantee_holds() {
+        let data = positive_data();
+        for b in [2usize, 4, 8, 16] {
+            for ctor in [LogDomainSynopsis::min_max, LogDomainSynopsis::greedy] {
+                let s = ctor(&data, b, 1.0).unwrap();
+                let g = s.guarantee();
+                let recon = s.reconstruct();
+                for (i, (&d, &dh)) in data.iter().zip(&recon).enumerate() {
+                    assert!(
+                        (dh - d).abs() <= g * (d + 1.0) + 1e-9,
+                        "b={b} i={i}: |{dh} - {d}| > {g} * {}",
+                        d + 1.0
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn log_minmax_guarantee_tighter_or_equal_to_log_greedy() {
+        let data = positive_data();
+        for b in [2usize, 4, 8] {
+            let opt = LogDomainSynopsis::min_max(&data, b, 1.0).unwrap();
+            let grd = LogDomainSynopsis::greedy(&data, b, 1.0).unwrap();
+            assert!(
+                opt.guarantee() <= grd.guarantee() + 1e-9,
+                "b={b}: {} vs {}",
+                opt.guarantee(),
+                grd.guarantee()
+            );
+        }
+    }
+
+    #[test]
+    fn log_domain_can_beat_the_haar_optimal_relative_error() {
+        // MinMaxErr is optimal among *Haar synopses of the raw data*; the
+        // log-domain reconstruction exp(ŷ) − s is nonlinear and can do
+        // better — the affirmative answer to the paper's §5 question this
+        // module exists to demonstrate. Pin the smooth decreasing-Zipf
+        // instance verified by experiment E15 (log 0.2746 < direct 0.3123
+        // at B = 8).
+        let weights: Vec<f64> = (1..=256).map(|r| 1.0 / (r as f64).powf(0.7)).collect();
+        let total: f64 = weights.iter().sum();
+        let data: Vec<f64> = weights
+            .iter()
+            .map(|w| (w / total * 100_000.0).round())
+            .collect();
+        let metric = ErrorMetric::relative(1.0);
+        let b = 8;
+        let direct = MinMaxErr::new(&data).unwrap().run(b, metric).objective;
+        let log = LogDomainSynopsis::min_max(&data, b, 1.0).unwrap();
+        let log_err = log.max_error(&data, metric);
+        assert!(
+            log_err < direct,
+            "expected the nonlinear basis to win here: log {log_err} vs direct {direct}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_data_rejected() {
+        let _ = LogDomainSynopsis::greedy(&[1.0, -2.0], 1, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "shift must be positive")]
+    fn zero_shift_rejected() {
+        let _ = LogDomainSynopsis::greedy(&[1.0, 2.0], 1, 0.0);
+    }
+
+    #[test]
+    fn zero_values_handled_via_shift() {
+        let data = vec![0.0, 0.0, 100.0, 0.0, 0.0, 0.0, 0.0, 50.0];
+        let s = LogDomainSynopsis::min_max(&data, 8, 1.0).unwrap();
+        let recon = s.reconstruct();
+        for (a, b) in recon.iter().zip(&data) {
+            assert!((a - b).abs() < 1e-6, "{a} vs {b}");
+        }
+    }
+}

@@ -1,0 +1,829 @@
+//! The optimal **pseudo-polynomial** integer DP of §3.2.2.
+//!
+//! With integer coefficients (obtained by scaling integer data by
+//! `2^{D·m}`, see [`wsyn_haar::int`]), the additive error entering any
+//! subtree is an integer in `[-R_Z·2^D·log N, +R_Z·2^D·log N]`, so a DP
+//! table `M[j, b, e]` indexed by the *exact* integer incoming error is
+//! finite — of size proportional to `R_Z`, hence pseudo-polynomial. This
+//! module implements that DP (top-down, materializing only reachable `e`
+//! values) and exposes a crate-internal engine reused by the truncated
+//! `(1+ε)` scheme of [`super::oneplus`], which additionally force-retains
+//! all coefficients above a threshold.
+//!
+//! The primary engine targets **maximum absolute error** (the paper's
+//! setting for this scheme) with exact integer DP values — no
+//! floating-point comparisons. Per the paper's remark that the
+//! pseudo-polynomial scheme "directly extends to maximum relative-error
+//! minimization as well", [`IntegerExact::run_relative`] provides that
+//! extension: integer incoming errors, float values normalized at the
+//! leaves by `max{|d_i|, s}`.
+
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use wsyn_haar::int::{self, ScaledCoeffs};
+use wsyn_haar::nd::{NdArray, NdShape, NodeChildren};
+use wsyn_haar::{ErrorTreeNd, HaarError, NodeRef};
+
+use super::{NdThresholdResult, MAX_DIMS};
+use crate::metric::ErrorMetric;
+use crate::one_dim::{best_split, SplitSearch};
+use crate::synopsis::SynopsisNd;
+
+/// Sentinel for "infeasible" (e.g. forced retention exceeds the budget).
+/// DP values are never added, only compared, so saturation is safe.
+const INFEASIBLE: i64 = i64::MAX;
+
+/// Outcome of an integer DP run (crate-internal engine).
+pub(crate) struct IntDpOutcome {
+    /// Optimal maximum absolute error in *scaled coefficient units*, or
+    /// `None` when no feasible solution exists.
+    pub value: Option<i64>,
+    /// Retained coefficient positions of the optimum (empty if infeasible).
+    pub retained: Vec<usize>,
+    /// DP states materialized.
+    pub states: usize,
+}
+
+/// Exact optimal absolute-error thresholding via the pseudo-polynomial
+/// integer DP. Intended for small/medium instances and as an optimality
+/// oracle for the approximation schemes.
+pub struct IntegerExact {
+    tree: ErrorTreeNd,
+    scaled: ScaledCoeffs,
+    data_f64: Vec<f64>,
+}
+
+impl IntegerExact {
+    /// Builds the solver from integer data over a hypercube shape.
+    ///
+    /// # Errors
+    /// Propagates [`HaarError`] (shape problems, overflow while scaling).
+    ///
+    /// # Panics
+    /// Panics when the dimensionality exceeds [`MAX_DIMS`].
+    pub fn new(shape: &NdShape, data: &[i64]) -> Result<Self, HaarError> {
+        assert!(
+            shape.ndims() <= MAX_DIMS,
+            "integer DP supports at most {MAX_DIMS} dimensions"
+        );
+        let scaled = int::forward_scaled_nd(shape, data)?;
+        let data_f64: Vec<f64> = data.iter().map(|&v| v as f64).collect();
+        let coeffs_f64 = NdArray::new(shape.clone(), scaled.to_f64())?;
+        let tree = ErrorTreeNd::from_coeffs(coeffs_f64)?;
+        Ok(Self {
+            tree,
+            scaled,
+            data_f64,
+        })
+    }
+
+    /// The error tree (unnormalized f64 coefficients).
+    pub fn tree(&self) -> &ErrorTreeNd {
+        &self.tree
+    }
+
+    /// The maximum absolute scaled coefficient `R_Z` (drives the DP cost).
+    pub fn rz(&self) -> i64 {
+        self.scaled.max_abs()
+    }
+
+    /// The integer scale factor `2^{D·m}`.
+    pub fn scale(&self) -> i64 {
+        self.scaled.scale
+    }
+
+    /// Runs the exact DP for budget `b`, minimizing maximum absolute error.
+    pub fn run(&self, b: usize) -> NdThresholdResult {
+        let outcome = run_int_dp(&self.tree, &self.scaled.coeffs, None, b);
+        let value = outcome
+            .value
+            .expect("unforced DP always feasible (empty synopsis)");
+        let synopsis = SynopsisNd::from_positions(&self.tree, &outcome.retained);
+        let true_objective = synopsis.max_error(&self.data_f64, ErrorMetric::absolute());
+        NdThresholdResult {
+            synopsis,
+            dp_objective: value as f64 / self.scaled.scale as f64,
+            true_objective,
+            states: outcome.states,
+        }
+    }
+
+    /// Runs the exact DP for budget `b`, minimizing maximum **relative**
+    /// error with sanity bound `sanity` — the paper notes in §3.2.2 that
+    /// "this pseudo-polynomial time scheme directly extends to maximum
+    /// relative-error minimization as well": incoming errors remain exact
+    /// integers, only the leaf values are normalized by
+    /// `max{|d_i|, s}` (so DP values become floats).
+    ///
+    /// # Panics
+    /// Panics unless `sanity > 0`.
+    pub fn run_relative(&self, b: usize, sanity: f64) -> NdThresholdResult {
+        assert!(sanity > 0.0, "sanity bound must be positive");
+        let metric = ErrorMetric::relative(sanity);
+        // Leaf denominators in *scaled* units: the DP errors carry the
+        // 2^{D·m} scale, so denominators must too.
+        let scale = self.scaled.scale as f64;
+        let denom: Vec<f64> = self.data_f64.iter().map(|&d| metric.denom(d) * scale).collect();
+        let mut solver = RelSolver {
+            tree: &self.tree,
+            coeff: &self.scaled.coeffs,
+            denom: &denom,
+            b,
+            memo: HashMap::new(),
+            states: 0,
+        };
+        let avg = self.scaled.coeffs[0];
+        let mut retained = Vec::new();
+        let (value, keep_avg, child_budget) = match self.tree.root_children() {
+            NodeChildren::Cells(cells) => {
+                let cell = cells[0];
+                if b >= 1 && avg != 0 {
+                    (0.0, true, 0usize)
+                } else {
+                    (avg.abs() as f64 / denom[cell], false, 0)
+                }
+            }
+            NodeChildren::Nodes(nodes) => {
+                let top = nodes[0];
+                let drop_val = solver.node_row(top, avg).values[b];
+                let keep_val = if b >= 1 && avg != 0 {
+                    solver.node_row(top, 0).values[b - 1]
+                } else {
+                    f64::INFINITY
+                };
+                if keep_val < drop_val {
+                    (keep_val, true, b - 1)
+                } else {
+                    (drop_val, false, b)
+                }
+            }
+        };
+        if keep_avg {
+            retained.push(0);
+        }
+        if let NodeChildren::Nodes(nodes) = self.tree.root_children() {
+            let e0 = if keep_avg { 0 } else { avg };
+            solver.trace(nodes[0], child_budget, e0, &mut retained);
+        }
+        let synopsis = SynopsisNd::from_positions(&self.tree, &retained);
+        let true_objective = synopsis.max_error(&self.data_f64, metric);
+        NdThresholdResult {
+            synopsis,
+            dp_objective: value,
+            true_objective,
+            states: solver.states,
+        }
+    }
+}
+
+/// Relative-error variant of the integer DP: exact integer incoming
+/// errors, float DP values (normalized at the leaves).
+struct RelRow {
+    values: Vec<f64>,
+    choice: Vec<u32>,
+}
+
+struct RelSolver<'a> {
+    tree: &'a ErrorTreeNd,
+    coeff: &'a [i64],
+    /// Per-cell denominator in scaled units.
+    denom: &'a [f64],
+    b: usize,
+    memo: HashMap<(u64, i64), Rc<RelRow>>,
+    states: usize,
+}
+
+impl RelSolver<'_> {
+    fn coeffs_of(&self, node: NodeRef) -> Vec<CoeffI> {
+        self.tree
+            .node_coeffs(node)
+            .into_iter()
+            .filter_map(|c| {
+                let v = self.coeff[c.pos];
+                (v != 0).then_some(CoeffI {
+                    bmask: c.bmask,
+                    pos: c.pos,
+                    value: v,
+                    forced: false,
+                })
+            })
+            .collect()
+    }
+
+    fn node_row(&mut self, node: NodeRef, e: i64) -> Rc<RelRow> {
+        let key = (node.key(), e);
+        if let Some(row) = self.memo.get(&key) {
+            return Rc::clone(row);
+        }
+        let coeffs = self.coeffs_of(node);
+        let children = self.tree.children(node);
+        let k = coeffs.len();
+        let mut values = vec![f64::INFINITY; self.b + 1];
+        let mut choice = vec![0u32; self.b + 1];
+        for s_mask in 0..(1u32 << k) {
+            let cost = s_mask.count_ones() as usize;
+            if cost > self.b {
+                continue;
+            }
+            let e_children = child_errors_int(e, &coeffs, s_mask, &children);
+            let suffix = self.alloc_suffix(&children, &e_children, self.b - cost);
+            for b in cost..=self.b {
+                let v = suffix[0][b - cost];
+                if v < values[b] {
+                    values[b] = v;
+                    choice[b] = s_mask;
+                }
+            }
+        }
+        self.states += values.len();
+        let row = Rc::new(RelRow { values, choice });
+        self.memo.insert(key, Rc::clone(&row));
+        row
+    }
+
+    fn alloc_suffix(
+        &mut self,
+        children: &NodeChildren,
+        e_children: &[i64],
+        avail: usize,
+    ) -> Vec<Vec<f64>> {
+        let m = e_children.len();
+        let child_vals: Vec<ChildValRel> = match children {
+            NodeChildren::Nodes(nodes) => nodes
+                .iter()
+                .zip(e_children)
+                .map(|(n, &ec)| ChildValRel::Row(self.node_row(*n, ec)))
+                .collect(),
+            NodeChildren::Cells(cells) => cells
+                .iter()
+                .zip(e_children)
+                .map(|(&cell, &ec)| ChildValRel::Const(ec.abs() as f64 / self.denom[cell]))
+                .collect(),
+        };
+        let mut tables: Vec<Vec<f64>> = vec![Vec::new(); m];
+        tables[m - 1] = (0..=avail).map(|b| child_vals[m - 1].get(b)).collect();
+        for i in (0..m - 1).rev() {
+            let mut row = vec![f64::INFINITY; avail + 1];
+            for (b, slot) in row.iter_mut().enumerate() {
+                let (v, _) = best_split(
+                    &mut (),
+                    b,
+                    SplitSearch::Binary,
+                    |_, bp| child_vals[i].get(bp),
+                    |_, bp| tables[i + 1][b - bp],
+                );
+                *slot = v;
+            }
+            tables[i] = row;
+        }
+        tables
+    }
+
+    fn trace(&mut self, node: NodeRef, b: usize, e: i64, out: &mut Vec<usize>) {
+        let row = self.node_row(node, e);
+        let s_mask = row.choice[b];
+        let coeffs = self.coeffs_of(node);
+        for (ci, c) in coeffs.iter().enumerate() {
+            if s_mask >> ci & 1 == 1 {
+                out.push(c.pos);
+            }
+        }
+        let cost = s_mask.count_ones() as usize;
+        let children = self.tree.children(node);
+        let e_children = child_errors_int(e, &coeffs, s_mask, &children);
+        let avail = b - cost;
+        let tables = self.alloc_suffix(&children, &e_children, avail);
+        if let NodeChildren::Nodes(nodes) = &children {
+            let child_rows: Vec<Rc<RelRow>> = nodes
+                .iter()
+                .zip(&e_children)
+                .map(|(n, &ec)| self.node_row(*n, ec))
+                .collect();
+            let m = nodes.len();
+            let mut budget = avail;
+            for i in 0..m {
+                let bi = if i + 1 == m {
+                    budget
+                } else {
+                    best_split(
+                        &mut (),
+                        budget,
+                        SplitSearch::Binary,
+                        |_, bp| child_rows[i].values[bp],
+                        |_, bp| tables[i + 1][budget - bp],
+                    )
+                    .1
+                };
+                self.trace(nodes[i], bi, e_children[i], out);
+                budget -= bi;
+            }
+        }
+    }
+}
+
+enum ChildValRel {
+    Row(Rc<RelRow>),
+    Const(f64),
+}
+
+impl ChildValRel {
+    #[inline]
+    fn get(&self, b: usize) -> f64 {
+        match self {
+            ChildValRel::Row(r) => r.values[b],
+            ChildValRel::Const(v) => *v,
+        }
+    }
+}
+
+/// Runs the integer DP over `tree`'s structure with integer coefficient
+/// values `coeff[pos]` (which may be truncated/scaled-down versions of the
+/// tree's actual coefficients) and an optional per-position forced-retention
+/// set. Crate-internal: shared by [`IntegerExact`] and the truncated
+/// `(1+ε)` scheme.
+pub(crate) fn run_int_dp(
+    tree: &ErrorTreeNd,
+    coeff: &[i64],
+    forced: Option<&[bool]>,
+    b: usize,
+) -> IntDpOutcome {
+    let mut solver = IntSolver {
+        tree,
+        coeff,
+        forced,
+        b,
+        memo: HashMap::new(),
+        states: 0,
+    };
+    let avg = coeff[0];
+    let forced0 = forced.map(|f| f[0]).unwrap_or(false);
+    let mut retained = Vec::new();
+    let (value, keep_avg, child_budget) = match tree.root_children() {
+        NodeChildren::Cells(cells) => {
+            debug_assert_eq!(cells, vec![0]);
+            let keep_ok = b >= 1 && avg != 0;
+            let drop_ok = !forced0;
+            match (keep_ok, drop_ok) {
+                (true, _) => (0i64, avg != 0 && b >= 1, 0usize),
+                (false, true) => (avg.abs(), false, 0),
+                (false, false) => (INFEASIBLE, false, 0),
+            }
+        }
+        NodeChildren::Nodes(nodes) => {
+            let top = nodes[0];
+            let drop_val = if forced0 {
+                INFEASIBLE
+            } else {
+                solver.node_row(top, avg).values[b]
+            };
+            let keep_val = if b >= 1 && avg != 0 {
+                solver.node_row(top, 0).values[b - 1]
+            } else {
+                INFEASIBLE
+            };
+            if keep_val < drop_val {
+                (keep_val, true, b - 1)
+            } else {
+                (drop_val, false, b)
+            }
+        }
+    };
+    if value == INFEASIBLE {
+        return IntDpOutcome {
+            value: None,
+            retained: Vec::new(),
+            states: solver.states,
+        };
+    }
+    if keep_avg {
+        retained.push(0);
+    }
+    if let NodeChildren::Nodes(nodes) = tree.root_children() {
+        let e0 = if keep_avg { 0 } else { avg };
+        solver.trace(nodes[0], child_budget, e0, &mut retained);
+    }
+    IntDpOutcome {
+        value: Some(value),
+        retained,
+        states: solver.states,
+    }
+}
+
+struct RowI {
+    values: Vec<i64>,
+    choice: Vec<u32>,
+}
+
+/// A node coefficient in integer form.
+#[derive(Clone, Copy)]
+struct CoeffI {
+    bmask: u32,
+    pos: usize,
+    value: i64,
+    forced: bool,
+}
+
+struct IntSolver<'a> {
+    tree: &'a ErrorTreeNd,
+    coeff: &'a [i64],
+    forced: Option<&'a [bool]>,
+    b: usize,
+    memo: HashMap<(u64, i64), Rc<RowI>>,
+    states: usize,
+}
+
+impl IntSolver<'_> {
+    /// Non-zero integer coefficients of a node (zero coefficients are never
+    /// retained and contribute nothing when dropped).
+    fn coeffs_of(&self, node: NodeRef) -> Vec<CoeffI> {
+        self.tree
+            .node_coeffs(node)
+            .into_iter()
+            .filter_map(|c| {
+                let v = self.coeff[c.pos];
+                let forced = self.forced.map(|f| f[c.pos]).unwrap_or(false);
+                // A forced coefficient must survive the filter even if its
+                // truncated value is zero (retention is about the original
+                // magnitude, not the scaled-down one).
+                if v != 0 || forced {
+                    Some(CoeffI {
+                        bmask: c.bmask,
+                        pos: c.pos,
+                        value: v,
+                        forced,
+                    })
+                } else {
+                    None
+                }
+            })
+            .collect()
+    }
+
+    fn node_row(&mut self, node: NodeRef, e: i64) -> Rc<RowI> {
+        let key = (node.key(), e);
+        if let Some(row) = self.memo.get(&key) {
+            return Rc::clone(row);
+        }
+        let coeffs = self.coeffs_of(node);
+        let children = self.tree.children(node);
+        let k = coeffs.len();
+        let forced_mask: u32 = coeffs
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.forced)
+            .map(|(i, _)| 1u32 << i)
+            .sum();
+        let mut values = vec![INFEASIBLE; self.b + 1];
+        let mut choice = vec![0u32; self.b + 1];
+        for s_mask in 0..(1u32 << k) {
+            if s_mask & forced_mask != forced_mask {
+                continue; // must retain every forced coefficient
+            }
+            let cost = s_mask.count_ones() as usize;
+            if cost > self.b {
+                continue;
+            }
+            let e_children = child_errors_int(e, &coeffs, s_mask, &children);
+            let suffix = self.alloc_suffix(&children, &e_children, self.b - cost);
+            for b in cost..=self.b {
+                let v = suffix[0][b - cost];
+                if v < values[b] {
+                    values[b] = v;
+                    choice[b] = s_mask;
+                }
+            }
+        }
+        self.states += values.len();
+        let row = Rc::new(RowI { values, choice });
+        self.memo.insert(key, Rc::clone(&row));
+        row
+    }
+
+    fn alloc_suffix(
+        &mut self,
+        children: &NodeChildren,
+        e_children: &[i64],
+        avail: usize,
+    ) -> Vec<Vec<i64>> {
+        let m = e_children.len();
+        let child_vals: Vec<ChildValI> = match children {
+            NodeChildren::Nodes(nodes) => nodes
+                .iter()
+                .zip(e_children)
+                .map(|(n, &ec)| ChildValI::Row(self.node_row(*n, ec)))
+                .collect(),
+            NodeChildren::Cells(_) => e_children
+                .iter()
+                .map(|&ec| ChildValI::Const(ec.abs()))
+                .collect(),
+        };
+        let mut tables: Vec<Vec<i64>> = vec![Vec::new(); m];
+        tables[m - 1] = (0..=avail).map(|b| child_vals[m - 1].get(b)).collect();
+        for i in (0..m - 1).rev() {
+            let mut row = vec![INFEASIBLE; avail + 1];
+            for (b, slot) in row.iter_mut().enumerate() {
+                let (v, _) = best_split(
+                    &mut (),
+                    b,
+                    SplitSearch::Binary,
+                    |_, bp| child_vals[i].get(bp),
+                    |_, bp| tables[i + 1][b - bp],
+                );
+                *slot = v;
+            }
+            tables[i] = row;
+        }
+        tables
+    }
+
+    fn trace(&mut self, node: NodeRef, b: usize, e: i64, out: &mut Vec<usize>) {
+        let row = self.node_row(node, e);
+        debug_assert_ne!(row.values[b], INFEASIBLE, "tracing infeasible state");
+        let s_mask = row.choice[b];
+        let coeffs = self.coeffs_of(node);
+        for (ci, c) in coeffs.iter().enumerate() {
+            if s_mask >> ci & 1 == 1 {
+                out.push(c.pos);
+            }
+        }
+        let cost = s_mask.count_ones() as usize;
+        let children = self.tree.children(node);
+        let e_children = child_errors_int(e, &coeffs, s_mask, &children);
+        let avail = b - cost;
+        let tables = self.alloc_suffix(&children, &e_children, avail);
+        if let NodeChildren::Nodes(nodes) = &children {
+            let child_rows: Vec<Rc<RowI>> = nodes
+                .iter()
+                .zip(&e_children)
+                .map(|(n, &ec)| self.node_row(*n, ec))
+                .collect();
+            let m = nodes.len();
+            let mut budget = avail;
+            for i in 0..m {
+                let bi = if i + 1 == m {
+                    budget
+                } else {
+                    best_split(
+                        &mut (),
+                        budget,
+                        SplitSearch::Binary,
+                        |_, bp| child_rows[i].values[bp],
+                        |_, bp| tables[i + 1][budget - bp],
+                    )
+                    .1
+                };
+                self.trace(nodes[i], bi, e_children[i], out);
+                budget -= bi;
+            }
+        }
+    }
+}
+
+/// Integer incoming error for each child quadrant.
+fn child_errors_int(
+    e: i64,
+    coeffs: &[CoeffI],
+    s_mask: u32,
+    children: &NodeChildren,
+) -> Vec<i64> {
+    let count = match children {
+        NodeChildren::Nodes(v) => v.len(),
+        NodeChildren::Cells(v) => v.len(),
+    };
+    (0..count)
+        .map(|delta| {
+            let mut ec = e;
+            for (ci, c) in coeffs.iter().enumerate() {
+                if s_mask >> ci & 1 == 0 {
+                    let signed = if ErrorTreeNd::child_sign(c.bmask, delta as u32) > 0.0 {
+                        c.value
+                    } else {
+                        -c.value
+                    };
+                    ec = ec
+                        .checked_add(signed)
+                        .expect("integer error accumulation overflow");
+                }
+            }
+            ec
+        })
+        .collect()
+}
+
+enum ChildValI {
+    Row(Rc<RowI>),
+    Const(i64),
+}
+
+impl ChildValI {
+    #[inline]
+    fn get(&self, b: usize) -> i64 {
+        match self {
+            ChildValI::Row(r) => r.values[b],
+            ChildValI::Const(v) => *v,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle;
+
+    fn cube_shape(side: usize, d: usize) -> NdShape {
+        NdShape::hypercube(side, d).unwrap()
+    }
+
+    #[test]
+    fn matches_oracle_2d() {
+        let shape = cube_shape(4, 2);
+        let data: Vec<i64> = (0..16).map(|i| ((i * 7 + 3) % 11) as i64).collect();
+        let solver = IntegerExact::new(&shape, &data).unwrap();
+        let data_f64: Vec<f64> = data.iter().map(|&v| v as f64).collect();
+        for b in 0..=8usize {
+            let r = solver.run(b);
+            let opt =
+                oracle::exhaustive_nd(solver.tree(), &data_f64, b, ErrorMetric::absolute())
+                    .objective;
+            assert!(
+                (r.true_objective - opt).abs() < 1e-9,
+                "b={b}: {} vs oracle {opt}",
+                r.true_objective
+            );
+            // The DP objective (exact integers) must equal the evaluated
+            // error of the traced synopsis.
+            assert!(
+                (r.dp_objective - r.true_objective).abs() < 1e-9,
+                "b={b}: dp {} vs true {}",
+                r.dp_objective,
+                r.true_objective
+            );
+            assert!(r.synopsis.len() <= b);
+        }
+    }
+
+    #[test]
+    fn matches_1d_minmaxerr() {
+        let shape = NdShape::new(vec![16]).unwrap();
+        let data: Vec<i64> = (0..16).map(|i| ((i * 13 + 5) % 17) as i64).collect();
+        let solver = IntegerExact::new(&shape, &data).unwrap();
+        let data_f64: Vec<f64> = data.iter().map(|&v| v as f64).collect();
+        let exact = crate::one_dim::MinMaxErr::new(&data_f64).unwrap();
+        for b in [0usize, 1, 3, 5, 8, 16] {
+            let r = solver.run(b);
+            let opt = exact.run(b, ErrorMetric::absolute()).objective;
+            assert!(
+                (r.true_objective - opt).abs() < 1e-9,
+                "b={b}: {} vs {opt}",
+                r.true_objective
+            );
+        }
+    }
+
+    #[test]
+    fn full_budget_zero_error_3d() {
+        let shape = cube_shape(2, 3);
+        let data: Vec<i64> = (0..8).map(|i| (i * 3 % 5) as i64).collect();
+        let solver = IntegerExact::new(&shape, &data).unwrap();
+        let r = solver.run(8);
+        assert_eq!(r.true_objective, 0.0);
+        assert_eq!(r.dp_objective, 0.0);
+    }
+
+    #[test]
+    fn zero_budget() {
+        let shape = cube_shape(4, 2);
+        let data: Vec<i64> = (0..16).map(|i| (i % 6) as i64).collect();
+        let solver = IntegerExact::new(&shape, &data).unwrap();
+        let r = solver.run(0);
+        assert_eq!(r.true_objective, 5.0);
+        assert!(r.synopsis.is_empty());
+    }
+
+    #[test]
+    fn forced_retention_respected() {
+        let shape = cube_shape(4, 2);
+        let data: Vec<i64> = (0..16).map(|i| ((i * 5 + 1) % 9) as i64).collect();
+        let solver = IntegerExact::new(&shape, &data).unwrap();
+        // Force the two largest coefficients.
+        let coeffs = &solver.scaled.coeffs;
+        let mut order: Vec<usize> = (0..16).collect();
+        order.sort_by_key(|&p| std::cmp::Reverse(coeffs[p].abs()));
+        let mut forced = vec![false; 16];
+        forced[order[0]] = true;
+        forced[order[1]] = true;
+        let out = run_int_dp(&solver.tree, coeffs, Some(&forced), 4);
+        let retained = out.retained;
+        assert!(retained.contains(&order[0]));
+        assert!(retained.contains(&order[1]));
+        assert!(retained.len() <= 4);
+        // Infeasible when the budget cannot hold the forced set.
+        let forced_all = vec![true; 16];
+        let out = run_int_dp(&solver.tree, coeffs, Some(&forced_all), 3);
+        assert!(out.value.is_none());
+    }
+
+    #[test]
+    fn single_cell() {
+        let shape = cube_shape(1, 2);
+        let solver = IntegerExact::new(&shape, &[9]).unwrap();
+        assert_eq!(solver.run(0).true_objective, 9.0);
+        assert_eq!(solver.run(1).true_objective, 0.0);
+    }
+
+    #[test]
+    fn prop33_lower_bound_holds() {
+        // The optimum's absolute error is at least the largest dropped
+        // |coefficient| (Proposition 3.3), in original (unscaled) units.
+        let shape = cube_shape(4, 2);
+        let data: Vec<i64> = (0..16).map(|i| ((i * 11 + 2) % 13) as i64).collect();
+        let solver = IntegerExact::new(&shape, &data).unwrap();
+        let scale = solver.scale() as f64;
+        for b in 0..6usize {
+            let r = solver.run(b);
+            let max_dropped = (0..16)
+                .filter(|&p| !r.synopsis.retains(p))
+                .map(|p| solver.scaled.coeffs[p].abs() as f64 / scale)
+                .fold(0.0f64, f64::max);
+            assert!(
+                r.true_objective >= max_dropped - 1e-9,
+                "b={b}: {} < {max_dropped}",
+                r.true_objective
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod rel_tests {
+    use super::*;
+    use crate::oracle;
+
+    #[test]
+    fn relative_dp_matches_oracle_2d() {
+        let shape = NdShape::hypercube(4, 2).unwrap();
+        let data: Vec<i64> = (0..16).map(|i| ((i * 7 + 3) % 11) as i64).collect();
+        let solver = IntegerExact::new(&shape, &data).unwrap();
+        let data_f64: Vec<f64> = data.iter().map(|&v| v as f64).collect();
+        for b in 0..=8usize {
+            let r = solver.run_relative(b, 1.0);
+            let opt = oracle::exhaustive_nd(
+                solver.tree(),
+                &data_f64,
+                b,
+                ErrorMetric::relative(1.0),
+            )
+            .objective;
+            assert!(
+                (r.true_objective - opt).abs() < 1e-9,
+                "b={b}: {} vs oracle {opt}",
+                r.true_objective
+            );
+            assert!(
+                (r.dp_objective - r.true_objective).abs() < 1e-9,
+                "b={b}: dp {} vs true {}",
+                r.dp_objective,
+                r.true_objective
+            );
+        }
+    }
+
+    #[test]
+    fn relative_dp_matches_1d_minmaxerr() {
+        let shape = NdShape::new(vec![16]).unwrap();
+        let data: Vec<i64> = (0..16).map(|i| ((i * 13 + 5) % 17) as i64).collect();
+        let solver = IntegerExact::new(&shape, &data).unwrap();
+        let data_f64: Vec<f64> = data.iter().map(|&v| v as f64).collect();
+        let exact = crate::one_dim::MinMaxErr::new(&data_f64).unwrap();
+        for b in [0usize, 2, 5, 9, 16] {
+            for s in [0.5, 1.0, 4.0] {
+                let r = solver.run_relative(b, s);
+                let opt = exact.run(b, ErrorMetric::relative(s)).objective;
+                assert!(
+                    (r.true_objective - opt).abs() < 1e-9,
+                    "b={b} s={s}: {} vs {opt}",
+                    r.true_objective
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn relative_dp_sanity_bound_monotone() {
+        let shape = NdShape::hypercube(4, 2).unwrap();
+        let data: Vec<i64> = (0..16).map(|i| ((i * 5 + 2) % 13) as i64).collect();
+        let solver = IntegerExact::new(&shape, &data).unwrap();
+        let lo = solver.run_relative(4, 0.5).true_objective;
+        let hi = solver.run_relative(4, 20.0).true_objective;
+        assert!(hi <= lo + 1e-9);
+    }
+
+    #[test]
+    fn relative_dp_single_cell() {
+        let shape = NdShape::hypercube(1, 2).unwrap();
+        let solver = IntegerExact::new(&shape, &[7]).unwrap();
+        assert_eq!(solver.run_relative(0, 1.0).true_objective, 1.0); // |7|/7
+        assert_eq!(solver.run_relative(1, 1.0).true_objective, 0.0);
+    }
+}

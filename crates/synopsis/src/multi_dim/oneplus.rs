@@ -1,0 +1,290 @@
+//! The `(1+ε)`-approximation scheme for maximum **absolute** error in
+//! multiple dimensions (§3.2.2, Theorem 3.4).
+//!
+//! The pseudo-polynomial exact DP ([`super::integer`]) is polynomial only
+//! when the coefficient magnitude `R_Z` is polynomially bounded. The
+//! truncated DP makes that so: for a threshold `τ` it
+//!
+//! 1. **force-retains** every coefficient with `|c| > τ` (the set `S_{>τ}`);
+//! 2. replaces every coefficient by `c^τ = ⌊c / K_τ⌋` with
+//!    `K_τ = ε·τ / (2^D·log N)` — dropped coefficients then satisfy
+//!    `|c^τ| ≤ 2^D·log N / ε`, so the incoming-error range is polynomial;
+//! 3. runs the exact integer DP on the truncated instance.
+//!
+//! Sweeping `τ ∈ {2^k : k = 0..⌈log R_Z⌉}` guarantees some `τ'` lies in
+//! `[C, 2C)` where `C` is the largest coefficient the optimum drops; for
+//! that `τ'` the truncated solution is within `2ετ' ≤ 4ε·OPT` of optimal
+//! (using Proposition 3.3's lower bound `OPT > τ'/2`). Running with
+//! `ε' = ε/4` therefore yields a `(1+ε)`-approximation.
+
+use wsyn_haar::int::{self, ScaledCoeffs};
+use wsyn_haar::nd::{NdArray, NdShape};
+use wsyn_haar::{ErrorTreeNd, HaarError};
+
+use super::integer::run_int_dp;
+use super::{NdThresholdResult, MAX_DIMS};
+use crate::metric::ErrorMetric;
+use crate::synopsis::SynopsisNd;
+
+/// The truncated-DP `(1+ε)`-approximation scheme for absolute error.
+pub struct OnePlusEps {
+    tree: ErrorTreeNd,
+    scaled: ScaledCoeffs,
+    data_f64: Vec<f64>,
+    d: usize,
+    m: u32,
+}
+
+/// Diagnostics from one threshold value of the τ-sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct TauReport {
+    /// The threshold tried.
+    pub tau: i64,
+    /// Number of force-retained coefficients (`|S_{>τ}|`).
+    pub forced: usize,
+    /// `None` when `|S_{>τ}| > B` (infeasible); otherwise the true
+    /// absolute error of the synopsis the truncated DP selected.
+    pub true_objective: Option<f64>,
+    /// DP states materialized for this τ.
+    pub states: usize,
+}
+
+impl OnePlusEps {
+    /// Builds the scheme from integer data over a hypercube shape.
+    ///
+    /// # Errors
+    /// Propagates [`HaarError`] (shape problems, scaling overflow).
+    ///
+    /// # Panics
+    /// Panics when the dimensionality exceeds [`MAX_DIMS`].
+    pub fn new(shape: &NdShape, data: &[i64]) -> Result<Self, HaarError> {
+        assert!(
+            shape.ndims() <= MAX_DIMS,
+            "(1+eps) scheme supports at most {MAX_DIMS} dimensions"
+        );
+        let scaled = int::forward_scaled_nd(shape, data)?;
+        let data_f64: Vec<f64> = data.iter().map(|&v| v as f64).collect();
+        let coeffs_f64 = NdArray::new(shape.clone(), scaled.to_f64())?;
+        let tree = ErrorTreeNd::from_coeffs(coeffs_f64)?;
+        let d = shape.ndims();
+        let m = tree.levels();
+        Ok(Self {
+            tree,
+            scaled,
+            data_f64,
+            d,
+            m,
+        })
+    }
+
+    /// The error tree.
+    pub fn tree(&self) -> &ErrorTreeNd {
+        &self.tree
+    }
+
+    /// The maximum absolute scaled coefficient `R_Z`.
+    pub fn rz(&self) -> i64 {
+        self.scaled.max_abs()
+    }
+
+    /// Runs the full τ-sweep, returning the best synopsis found. The
+    /// guarantee `true_objective ≤ (1+epsilon)·OPT` holds for the returned
+    /// result (the internal per-τ ε is `epsilon/4` per the paper).
+    ///
+    /// # Panics
+    /// Panics when `epsilon` is not strictly positive.
+    pub fn run(&self, b: usize, epsilon: f64) -> NdThresholdResult {
+        let (result, _) = self.run_with_reports(b, epsilon);
+        result
+    }
+
+    /// As [`Self::run`], additionally returning per-τ diagnostics.
+    ///
+    /// # Panics
+    /// Panics when `epsilon` is not strictly positive.
+    pub fn run_with_reports(&self, b: usize, epsilon: f64) -> (NdThresholdResult, Vec<TauReport>) {
+        assert!(epsilon > 0.0, "epsilon must be positive");
+        let eps_internal = epsilon / 4.0;
+        let rz = self.rz();
+        let mut reports = Vec::new();
+        if rz == 0 {
+            // All-zero data: the empty synopsis is exact.
+            let synopsis = SynopsisNd::from_positions(&self.tree, &[]);
+            return (
+                NdThresholdResult {
+                    synopsis,
+                    dp_objective: 0.0,
+                    true_objective: 0.0,
+                    states: 0,
+                },
+                reports,
+            );
+        }
+        // log N in K_τ: the depth of the error tree in coefficient hops is
+        // m levels of up to 2^D-1 coefficients plus the root; we use the
+        // path-length bound 2^D·m (+1 for the root) that also drives the
+        // additive scheme. A smaller K_τ only refines the truncation.
+        let hops = ((1u64 << self.d) as f64) * (self.m.max(1) as f64);
+        let mut best: Option<(f64, Vec<usize>, f64)> = None; // (true err, positions, dp units)
+        let mut total_states = 0usize;
+        let kmax = (64 - (rz as u64).leading_zeros()) as i64; // ceil(log2 rz) + 1 cover
+        for k in 0..=kmax {
+            let tau = 1i64 << k;
+            let k_tau = (eps_internal * tau as f64 / hops).max(f64::MIN_POSITIVE);
+            let forced: Vec<bool> = self.scaled.coeffs.iter().map(|&c| c.abs() > tau).collect();
+            let forced_count = forced.iter().filter(|&&f| f).count();
+            if forced_count > b {
+                reports.push(TauReport {
+                    tau,
+                    forced: forced_count,
+                    true_objective: None,
+                    states: 0,
+                });
+                continue;
+            }
+            let truncated: Vec<i64> = self
+                .scaled
+                .coeffs
+                .iter()
+                .map(|&c| (c as f64 / k_tau).floor() as i64)
+                .collect();
+            let outcome = run_int_dp(&self.tree, &truncated, Some(&forced), b);
+            total_states += outcome.states;
+            let Some(dp_val) = outcome.value else {
+                reports.push(TauReport {
+                    tau,
+                    forced: forced_count,
+                    true_objective: None,
+                    states: outcome.states,
+                });
+                continue;
+            };
+            let synopsis = SynopsisNd::from_positions(&self.tree, &outcome.retained);
+            let true_err = synopsis.max_error(&self.data_f64, ErrorMetric::absolute());
+            reports.push(TauReport {
+                tau,
+                forced: forced_count,
+                true_objective: Some(true_err),
+                states: outcome.states,
+            });
+            let dp_in_data_units = dp_val as f64 * k_tau / self.scaled.scale as f64;
+            if best.as_ref().map(|(e, _, _)| true_err < *e).unwrap_or(true) {
+                best = Some((true_err, outcome.retained, dp_in_data_units));
+            }
+        }
+        let (true_objective, positions, dp_objective) =
+            best.expect("tau = 2^ceil(log rz) forces nothing, so at least one tau is feasible");
+        let synopsis = SynopsisNd::from_positions(&self.tree, &positions);
+        (
+            NdThresholdResult {
+                synopsis,
+                dp_objective,
+                true_objective,
+                states: total_states,
+            },
+            reports,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::multi_dim::integer::IntegerExact;
+
+    fn cube_shape(side: usize, d: usize) -> NdShape {
+        NdShape::hypercube(side, d).unwrap()
+    }
+
+    #[test]
+    fn guarantee_vs_exact_2d() {
+        let shape = cube_shape(4, 2);
+        let data: Vec<i64> = (0..16).map(|i| ((i * 7 + 3) % 19) as i64 * 3).collect();
+        let scheme = OnePlusEps::new(&shape, &data).unwrap();
+        let exact = IntegerExact::new(&shape, &data).unwrap();
+        for b in [1usize, 2, 4, 6, 8] {
+            for eps in [1.0, 0.25, 0.05] {
+                let approx = scheme.run(b, eps);
+                let opt = exact.run(b).true_objective;
+                assert!(
+                    approx.true_objective <= (1.0 + eps) * opt + 1e-9,
+                    "b={b} eps={eps}: {} vs (1+eps)*{opt}",
+                    approx.true_objective
+                );
+                assert!(approx.true_objective >= opt - 1e-9);
+                assert!(approx.synopsis.len() <= b);
+            }
+        }
+    }
+
+    #[test]
+    fn guarantee_vs_exact_1d_and_minmaxerr() {
+        let shape = NdShape::new(vec![16]).unwrap();
+        let data: Vec<i64> = (0..16).map(|i| ((i * 11 + 5) % 23) as i64).collect();
+        let scheme = OnePlusEps::new(&shape, &data).unwrap();
+        let data_f64: Vec<f64> = data.iter().map(|&v| v as f64).collect();
+        let exact = crate::one_dim::MinMaxErr::new(&data_f64).unwrap();
+        for b in [1usize, 3, 6] {
+            let approx = scheme.run(b, 0.1);
+            let opt = exact.run(b, ErrorMetric::absolute()).objective;
+            assert!(
+                approx.true_objective <= 1.1 * opt + 1e-9,
+                "b={b}: {} vs {opt}",
+                approx.true_objective
+            );
+        }
+    }
+
+    #[test]
+    fn all_zero_data() {
+        let shape = cube_shape(4, 2);
+        let scheme = OnePlusEps::new(&shape, &[0i64; 16]).unwrap();
+        let r = scheme.run(4, 0.5);
+        assert_eq!(r.true_objective, 0.0);
+        assert!(r.synopsis.is_empty());
+    }
+
+    #[test]
+    fn full_budget_recovers_exactly() {
+        let shape = cube_shape(4, 2);
+        let data: Vec<i64> = (0..16).map(|i| (i % 7) as i64 - 3).collect();
+        let scheme = OnePlusEps::new(&shape, &data).unwrap();
+        let r = scheme.run(16, 0.5);
+        assert_eq!(r.true_objective, 0.0);
+    }
+
+    #[test]
+    fn reports_cover_tau_range() {
+        let shape = cube_shape(4, 2);
+        let data: Vec<i64> = (0..16).map(|i| (i * i % 13) as i64).collect();
+        let scheme = OnePlusEps::new(&shape, &data).unwrap();
+        let (r, reports) = scheme.run_with_reports(4, 0.25);
+        assert!(!reports.is_empty());
+        // Taus are the powers of two covering [1, 2^ceil(log RZ)].
+        for w in reports.windows(2) {
+            assert_eq!(w[1].tau, w[0].tau * 2);
+        }
+        // The largest tau forces nothing, hence is always feasible.
+        let last = reports.last().unwrap();
+        assert_eq!(last.forced, 0);
+        assert!(last.true_objective.is_some());
+        // The returned best matches the minimum over feasible taus.
+        let min_feasible = reports
+            .iter()
+            .filter_map(|t| t.true_objective)
+            .fold(f64::INFINITY, f64::min);
+        assert!((r.true_objective - min_feasible).abs() < 1e-9);
+    }
+
+    #[test]
+    fn small_budget_respects_forced_feasibility() {
+        // With b = 1 many taus are infeasible; the sweep must still find a
+        // feasible one and return a valid synopsis.
+        let shape = cube_shape(4, 2);
+        let data: Vec<i64> = (0..16).map(|i| ((i * 29 + 7) % 31) as i64).collect();
+        let scheme = OnePlusEps::new(&shape, &data).unwrap();
+        let r = scheme.run(1, 0.5);
+        assert!(r.synopsis.len() <= 1);
+        assert!(r.true_objective.is_finite());
+    }
+}

@@ -1,0 +1,231 @@
+//! Low-working-memory `MinMaxErr` engine (the paper's `O(NB)` working-set
+//! argument).
+//!
+//! The table for a node is computed from its children's *complete* tables
+//! in a post-order traversal; child tables are freed as soon as the parent
+//! is done, so at any moment only one table per tree level is live —
+//! `O(Σ_l 2^l B) = O(NB)` working space, versus the `O(N²B)` of keeping
+//! the full memo. Because decisions are not stored, the optimal synopsis is
+//! re-traced by *recomputing* subtree tables along the optimal path, a
+//! geometric series costing less than ~1.33× the original DP work.
+//!
+//! A node's table maps each possible incoming error `e` (a subset sum of
+//! the signed dropped-ancestor contributions, built in root-first order so
+//! bit patterns match the top-down engines) to the vector of optimal
+//! values for budgets `0..=B`.
+
+use std::collections::HashMap;
+
+use wsyn_haar::ErrorTree1d;
+
+use super::{best_split, DpStats, SplitSearch, ThresholdResult};
+use crate::synopsis::Synopsis1d;
+
+/// Per-node DP table: incoming-error bits → optimal value per budget.
+type Table = HashMap<u64, Vec<f64>>;
+
+struct Ctx<'a> {
+    tree: &'a ErrorTree1d,
+    denom: &'a [f64],
+    n: usize,
+    b_total: usize,
+    split: SplitSearch,
+    states: usize,
+    leaf_evals: usize,
+}
+
+/// Canonicalizes `-0.0` to `+0.0` so exact cancellations hash identically.
+#[inline]
+fn norm(e: f64) -> f64 {
+    if e == 0.0 {
+        0.0
+    } else {
+        e
+    }
+}
+
+pub(super) fn run(
+    tree: &ErrorTree1d,
+    denom: &[f64],
+    b: usize,
+    split: SplitSearch,
+) -> ThresholdResult {
+    let mut ctx = Ctx {
+        tree,
+        denom,
+        n: tree.n(),
+        b_total: b,
+        split,
+        states: 0,
+        leaf_evals: 0,
+    };
+    let root_table = ctx.table(0, &[]);
+    let objective = root_table[&norm(0.0).to_bits()][b];
+    drop(root_table);
+    let mut retained = Vec::new();
+    let mut anc: Vec<f64> = Vec::new();
+    ctx.trace(0, b, 0.0, &mut anc, &mut retained);
+    let stats = DpStats {
+        states: ctx.states,
+        leaf_evals: ctx.leaf_evals,
+    };
+    ThresholdResult {
+        synopsis: Synopsis1d::from_indices(tree, &retained),
+        objective,
+        stats,
+    }
+}
+
+/// All subset sums of `anc` (signed dropped-ancestor contributions),
+/// accumulated root-first so float bit patterns match the top-down
+/// engines'. Deduplicated by bit pattern.
+fn subset_sums(anc: &[f64]) -> Vec<f64> {
+    let mut sums = vec![0.0f64];
+    for &a in anc {
+        let len = sums.len();
+        for i in 0..len {
+            sums.push(norm(sums[i] + a));
+        }
+        // Dedup keeps table sizes at the number of *distinct* incoming
+        // errors (cannot exceed 2^depth).
+        let mut seen = std::collections::HashSet::with_capacity(sums.len());
+        sums.retain(|v| seen.insert(v.to_bits()));
+    }
+    sums
+}
+
+impl Ctx<'_> {
+    /// Computes the complete table for the subtree rooted at `id`, where
+    /// `anc` holds the signed contribution of each ancestor *if dropped*
+    /// (sign already resolved for this subtree), root-first.
+    fn table(&mut self, id: usize, anc: &[f64]) -> Table {
+        let sums = subset_sums(anc);
+        if id >= self.n {
+            let d = self.denom[id - self.n];
+            self.leaf_evals += sums.len();
+            return sums
+                .into_iter()
+                .map(|e| (e.to_bits(), vec![e.abs() / d; self.b_total + 1]))
+                .collect();
+        }
+        let c = self.tree.coeff(id);
+        if id == 0 {
+            // Root: single child with contribution sign +1.
+            let child = if self.n == 1 { self.n } else { 1 };
+            let mut child_anc = anc.to_vec();
+            child_anc.push(c);
+            let ct = self.table(child, &child_anc);
+            let mut out = Table::with_capacity(sums.len());
+            for e in sums {
+                let mut vals = Vec::with_capacity(self.b_total + 1);
+                for b in 0..=self.b_total {
+                    let drop_val = ct[&norm(e + c).to_bits()][b];
+                    let keep_val = if b >= 1 && c != 0.0 {
+                        ct[&norm(e).to_bits()][b - 1]
+                    } else {
+                        f64::INFINITY
+                    };
+                    vals.push(drop_val.min(keep_val));
+                }
+                self.states += vals.len();
+                out.insert(e.to_bits(), vals);
+            }
+            return out;
+        }
+        let (lc, rc) = (2 * id, 2 * id + 1);
+        let mut child_anc = anc.to_vec();
+        child_anc.push(c);
+        let tl = self.table(lc, &child_anc);
+        *child_anc.last_mut().expect("just pushed") = -c;
+        let tr = self.table(rc, &child_anc);
+        let mut out = Table::with_capacity(sums.len());
+        let split = self.split;
+        for e in sums {
+            let mut vals = Vec::with_capacity(self.b_total + 1);
+            for b in 0..=self.b_total {
+                let (drop_val, _) = {
+                    let fl = &tl[&norm(e + c).to_bits()];
+                    let fr = &tr[&norm(e - c).to_bits()];
+                    best_split(&mut (), b, split, |_, bp| fl[bp], |_, bp| fr[b - bp])
+                };
+                let keep_val = if b >= 1 && c != 0.0 {
+                    let fl = &tl[&norm(e).to_bits()];
+                    let fr = &tr[&norm(e).to_bits()];
+                    best_split(&mut (), b - 1, split, |_, bp| fl[bp], |_, bp| fr[b - 1 - bp]).0
+                } else {
+                    f64::INFINITY
+                };
+                vals.push(drop_val.min(keep_val));
+            }
+            self.states += vals.len();
+            out.insert(e.to_bits(), vals);
+        }
+        // tl/tr dropped here: one live table per level on the recursion
+        // spine.
+        out
+    }
+
+    /// Re-traces the optimal solution by recomputing child tables at each
+    /// node along the optimal path.
+    fn trace(&mut self, id: usize, b: usize, e: f64, anc: &mut Vec<f64>, out: &mut Vec<usize>) {
+        if id >= self.n {
+            return;
+        }
+        let c = self.tree.coeff(id);
+        if id == 0 {
+            let child = if self.n == 1 { self.n } else { 1 };
+            anc.push(c);
+            let ct = self.table(child, anc);
+            let drop_val = ct[&norm(e + c).to_bits()][b];
+            let keep_val = if b >= 1 && c != 0.0 {
+                ct[&norm(e).to_bits()][b - 1]
+            } else {
+                f64::INFINITY
+            };
+            drop(ct);
+            if keep_val <= drop_val {
+                out.push(0);
+                self.trace(child, b - 1, e, anc, out);
+            } else {
+                self.trace(child, b, norm(e + c), anc, out);
+            }
+            anc.pop();
+            return;
+        }
+        let (lc, rc) = (2 * id, 2 * id + 1);
+        let split = self.split;
+        anc.push(c);
+        let tl = self.table(lc, anc);
+        *anc.last_mut().expect("just pushed") = -c;
+        let tr = self.table(rc, anc);
+        let (drop_val, drop_b) = {
+            let fl = &tl[&norm(e + c).to_bits()];
+            let fr = &tr[&norm(e - c).to_bits()];
+            best_split(&mut (), b, split, |_, bp| fl[bp], |_, bp| fr[b - bp])
+        };
+        let (keep_val, keep_b) = if b >= 1 && c != 0.0 {
+            let fl = &tl[&norm(e).to_bits()];
+            let fr = &tr[&norm(e).to_bits()];
+            best_split(&mut (), b - 1, split, |_, bp| fl[bp], |_, bp| fr[b - 1 - bp])
+        } else {
+            (f64::INFINITY, 0)
+        };
+        drop(tl);
+        drop(tr);
+        if keep_val <= drop_val {
+            out.push(id);
+            *anc.last_mut().expect("pushed above") = 0.0; // kept: no dropped contribution
+            // Left child sees ancestors with c kept; its own chain entry for
+            // c is "kept", contributing nothing when dropped-summing. We
+            // model that by a 0.0 entry (subset sums unchanged).
+            self.trace(lc, keep_b, e, anc, out);
+            self.trace(rc, b - 1 - keep_b, e, anc, out);
+        } else {
+            *anc.last_mut().expect("pushed above") = c;
+            self.trace(lc, drop_b, norm(e + c), anc, out);
+            *anc.last_mut().expect("pushed above") = -c;
+            self.trace(rc, b - drop_b, norm(e - c), anc, out);
+        }
+        anc.pop();
+    }
+}

@@ -1,0 +1,185 @@
+//! Default `MinMaxErr` engine: memoization on the *incoming error* scalar.
+//!
+//! For a subtree `T_j`, an ancestor subset `S ⊆ path(c_j)` influences the
+//! subtree's attainable errors only through
+//! `e = Σ_{c_k ∈ path(c_j) \ S} sign_{jk}·c_k` — the signed sum of the
+//! *dropped* ancestors' contributions, which is constant over all of `T_j`
+//! because each ancestor's sign is fixed across a child subtree. States are
+//! therefore keyed `(node, budget, e)`; two subsets with the same `e`
+//! collapse into one subproblem. The search space is exactly the paper's;
+//! only duplicate states are merged, so the computed optimum is identical
+//! (asserted against the subset-mask engine in tests).
+//!
+//! `e` is accumulated top-down along the recursion (`e ± c_j` on drop), so
+//! equal subsets produce bitwise-equal `f64` values and hash-consing on the
+//! bit pattern is sound. Distinct-but-mathematically-equal float values
+//! would merely miss a merge — never produce a wrong value.
+
+use std::collections::HashMap;
+
+use wsyn_haar::ErrorTree1d;
+
+use super::{best_split, DpStats, SplitSearch, ThresholdResult};
+use crate::synopsis::Synopsis1d;
+
+#[derive(Clone, Copy)]
+struct Entry {
+    value: f64,
+    keep: bool,
+    left_allot: u32,
+}
+
+struct Solver<'a> {
+    tree: &'a ErrorTree1d,
+    /// Per-leaf error denominator (`max{|d_i|, s}` or 1).
+    denom: &'a [f64],
+    n: usize,
+    split: SplitSearch,
+    memo: HashMap<(u32, u32, u64), Entry>,
+    leaf_evals: usize,
+}
+
+pub(super) fn run(
+    tree: &ErrorTree1d,
+    denom: &[f64],
+    b: usize,
+    split: SplitSearch,
+) -> ThresholdResult {
+    let mut solver = Solver {
+        tree,
+        denom,
+        n: tree.n(),
+        split,
+        memo: HashMap::new(),
+        leaf_evals: 0,
+    };
+    let objective = solver.solve(0, b, 0.0);
+    let mut retained = Vec::new();
+    solver.trace(0, b, 0.0, &mut retained);
+    let stats = DpStats {
+        states: solver.memo.len(),
+        leaf_evals: solver.leaf_evals,
+    };
+    ThresholdResult {
+        synopsis: Synopsis1d::from_indices(tree, &retained),
+        objective,
+        stats,
+    }
+}
+
+impl Solver<'_> {
+    /// Minimum possible maximum error within the subtree rooted at `id`
+    /// (node ids `0..N` are coefficients, `N..2N` leaves), given budget `b`
+    /// for the subtree and incoming dropped-ancestor error `e`.
+    fn solve(&mut self, id: usize, b: usize, e: f64) -> f64 {
+        if id >= self.n {
+            // Leaf: spare budget is wasted, never harmful, so the value is
+            // independent of `b` (keeps the table monotone in the budget).
+            self.leaf_evals += 1;
+            return e.abs() / self.denom[id - self.n];
+        }
+        let key = (id as u32, b as u32, e.to_bits());
+        if let Some(entry) = self.memo.get(&key) {
+            return entry.value;
+        }
+        let c = self.tree.coeff(id);
+        let entry = if id == 0 {
+            // Root: single child (c_1, or the lone leaf when N = 1),
+            // contribution sign +1.
+            let child = if self.n == 1 { self.n } else { 1 };
+            let drop_val = self.solve(child, b, e + c);
+            let keep_val = if b >= 1 && c != 0.0 {
+                self.solve(child, b - 1, e)
+            } else {
+                f64::INFINITY
+            };
+            if keep_val <= drop_val {
+                Entry {
+                    value: keep_val,
+                    keep: true,
+                    left_allot: (b - 1) as u32,
+                }
+            } else {
+                Entry {
+                    value: drop_val,
+                    keep: false,
+                    left_allot: b as u32,
+                }
+            }
+        } else {
+            let (lc, rc) = (2 * id, 2 * id + 1);
+            let split = self.split;
+            // Drop c_j: the error e ± c_j propagates into the children.
+            let (drop_val, drop_b) = best_split(
+                self,
+                b,
+                split,
+                |s, bp| s.solve(lc, bp, e + c),
+                |s, bp| s.solve(rc, b - bp, e - c),
+            );
+            // Keep c_j (only if it is non-zero; retaining a zero
+            // coefficient wastes budget, matching the paper's path(u)
+            // containing non-zero ancestors only).
+            let (keep_val, keep_b) = if b >= 1 && c != 0.0 {
+                best_split(
+                    self,
+                    b - 1,
+                    split,
+                    |s, bp| s.solve(lc, bp, e),
+                    |s, bp| s.solve(rc, b - 1 - bp, e),
+                )
+            } else {
+                (f64::INFINITY, 0)
+            };
+            if keep_val <= drop_val {
+                Entry {
+                    value: keep_val,
+                    keep: true,
+                    left_allot: keep_b as u32,
+                }
+            } else {
+                Entry {
+                    value: drop_val,
+                    keep: false,
+                    left_allot: drop_b as u32,
+                }
+            }
+        };
+        self.memo.insert(key, entry);
+        entry.value
+    }
+
+    /// Re-walks the memoized decisions to emit the retained coefficient
+    /// indices of the optimal synopsis.
+    fn trace(&mut self, id: usize, b: usize, e: f64, out: &mut Vec<usize>) {
+        if id >= self.n {
+            return;
+        }
+        let key = (id as u32, b as u32, e.to_bits());
+        let entry = *self
+            .memo
+            .get(&key)
+            .expect("trace visits only states materialized by solve");
+        let c = self.tree.coeff(id);
+        if id == 0 {
+            let child = if self.n == 1 { self.n } else { 1 };
+            if entry.keep {
+                out.push(0);
+                self.trace(child, entry.left_allot as usize, e, out);
+            } else {
+                self.trace(child, entry.left_allot as usize, e + c, out);
+            }
+            return;
+        }
+        let (lc, rc) = (2 * id, 2 * id + 1);
+        let la = entry.left_allot as usize;
+        if entry.keep {
+            out.push(id);
+            self.trace(lc, la, e, out);
+            self.trace(rc, b - 1 - la, e, out);
+        } else {
+            self.trace(lc, la, e + c, out);
+            self.trace(rc, b - la, e - c, out);
+        }
+    }
+}

@@ -1,0 +1,472 @@
+//! Optimal deterministic one-dimensional thresholding — the `MinMaxErr`
+//! algorithm of §3.1 (Figure 3, Theorem 3.1).
+//!
+//! Given a space budget `B`, `MinMaxErr` selects at most `B` Haar
+//! coefficients minimizing the **maximum** relative (with sanity bound) or
+//! absolute error over all reconstructed data values. The paper's dynamic
+//! program conditions the optimal error of a subtree `T_j` on the subtree
+//! root `j`, the budget `b` allotted to the subtree, and the subset
+//! `S ⊆ path(c_j)` of ancestors retained in the synopsis; tabulating all
+//! `O(2^depth)` subsets per node yields `O(N² B log B)` time.
+//!
+//! Three interchangeable engines are provided (all provably return the same
+//! optimal objective; tests assert this):
+//!
+//! * [`Engine::Dedup`] *(default)* — memoizes on the **incoming error**
+//!   `e = Σ_{c_k ∈ path(c_j) \ S} sign_{jk}·c_k` instead of the subset `S`.
+//!   Every ancestor contributes with a fixed sign to the whole subtree, so
+//!   `S` influences `T_j` only through this scalar; distinct subsets with
+//!   equal `e` are *identical* subproblems and collapse into one state.
+//!   This is a pure deduplication of the paper's table (never more states,
+//!   often far fewer) and is also precisely the state the paper itself uses
+//!   for its multi-dimensional DPs in §3.2.
+//! * [`Engine::SubsetMask`] — the paper-faithful formulation, memoizing on
+//!   the ancestor-subset bitmask exactly as written in Figure 3. Quadratic
+//!   state blow-up; intended for validation and ablation.
+//! * [`Engine::BottomUp`] — post-order evaluation that keeps only one
+//!   "line" of the DP table per tree level (the paper's `O(NB)`
+//!   working-space argument) and re-traces the optimal solution by
+//!   recomputing subtree tables along the optimal path.
+//!
+//! The split of a node's budget between its two child subtrees is found
+//! either by the paper's `O(log B)` binary search (valid because the table
+//! is non-increasing in the budget) or by a linear scan
+//! ([`SplitSearch`]) — an ablation knob; both are exact.
+//!
+//! **Tie-breaking:** when keeping and dropping a coefficient yield the same
+//! optimal maximum error, every engine prefers **keep**. The max-error
+//! objective can saturate (e.g. relative error 1.0 on spiky data whose
+//! spikes the budget cannot cover), where drop-on-tie would return a
+//! degenerate near-empty synopsis; keep-on-tie spends the granted budget,
+//! which never worsens the guaranteed objective but greatly improves
+//! secondary quality (RMSE, individual query answers).
+
+mod bottom_up;
+mod dedup;
+mod subset;
+
+use wsyn_haar::{ErrorTree1d, HaarError};
+
+use crate::metric::ErrorMetric;
+use crate::synopsis::Synopsis1d;
+
+/// Which DP engine to run (see module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Engine {
+    /// Incoming-error memoization (default; fastest).
+    #[default]
+    Dedup,
+    /// Paper-faithful ancestor-subset bitmask tabulation.
+    SubsetMask,
+    /// Low-working-memory bottom-up tables with recompute traceback.
+    BottomUp,
+}
+
+/// How to locate the optimal budget split between two child subtrees.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SplitSearch {
+    /// The paper's `O(log B)` binary search over the crossover allotment.
+    #[default]
+    Binary,
+    /// Exhaustive `O(B)` scan (ablation baseline; identical results).
+    Linear,
+}
+
+/// Tuning knobs for [`MinMaxErr`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Config {
+    /// DP engine.
+    pub engine: Engine,
+    /// Budget-split search strategy.
+    pub split: SplitSearch,
+}
+
+/// Instrumentation counters from a DP run (ablation reporting).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DpStats {
+    /// Number of distinct internal-node DP states materialized.
+    pub states: usize,
+    /// Number of leaf evaluations performed.
+    pub leaf_evals: usize,
+}
+
+/// Result of a thresholding run.
+#[derive(Debug, Clone)]
+pub struct ThresholdResult {
+    /// The selected synopsis (at most `B` coefficients).
+    pub synopsis: Synopsis1d,
+    /// The optimal objective value (maximum error) computed by the DP.
+    ///
+    /// Always equals the true maximum error of `synopsis` (tests assert
+    /// this to 1e-9).
+    pub objective: f64,
+    /// Instrumentation counters.
+    pub stats: DpStats,
+}
+
+/// Optimal deterministic maximum-error thresholding for one-dimensional
+/// Haar wavelets (Theorem 3.1).
+///
+/// ```
+/// use wsyn_synopsis::{one_dim::MinMaxErr, ErrorMetric};
+/// let data = [2.0, 2.0, 0.0, 2.0, 3.0, 5.0, 4.0, 4.0];
+/// let r = MinMaxErr::new(&data).unwrap().run(3, ErrorMetric::absolute());
+/// assert!(r.synopsis.len() <= 3);
+/// assert!((r.synopsis.max_error(&data, wsyn_synopsis::ErrorMetric::absolute())
+///          - r.objective).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MinMaxErr {
+    tree: ErrorTree1d,
+    data: Vec<f64>,
+}
+
+impl MinMaxErr {
+    /// Builds the solver from raw data (computes the wavelet transform).
+    ///
+    /// # Errors
+    /// [`HaarError`] when `data` is empty or its length is not a power of
+    /// two.
+    pub fn new(data: &[f64]) -> Result<Self, HaarError> {
+        Ok(Self {
+            tree: ErrorTree1d::from_data(data)?,
+            data: data.to_vec(),
+        })
+    }
+
+    /// Builds the solver from an existing error tree (reconstructs the data
+    /// it encodes).
+    pub fn from_tree(tree: ErrorTree1d) -> Self {
+        let data = tree.reconstruct_all();
+        Self { tree, data }
+    }
+
+    /// The underlying error tree.
+    pub fn tree(&self) -> &ErrorTree1d {
+        &self.tree
+    }
+
+    /// The original data vector.
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Runs the DP with default configuration (dedup engine, binary-search
+    /// splits) for budget `b` and the given metric.
+    pub fn run(&self, b: usize, metric: ErrorMetric) -> ThresholdResult {
+        self.run_with(b, metric, Config::default())
+    }
+
+    /// Runs the DP with an explicit engine/split configuration.
+    pub fn run_with(&self, b: usize, metric: ErrorMetric, config: Config) -> ThresholdResult {
+        let denom: Vec<f64> = self.data.iter().map(|&d| metric.denom(d)).collect();
+        match config.engine {
+            Engine::Dedup => dedup::run(&self.tree, &denom, b, config.split),
+            Engine::SubsetMask => subset::run(&self.tree, &self.data, &denom, b, config.split),
+            Engine::BottomUp => bottom_up::run(&self.tree, &denom, b, config.split),
+        }
+    }
+}
+
+/// Locates the optimal split of `budget` between a left part evaluated by
+/// `f` (non-increasing in its argument) and a right part evaluated by `g`
+/// at `budget - b'` (so non-decreasing in `b'`), minimizing
+/// `max(f(b'), g(b'))`. Returns `(best value, best b')`.
+///
+/// Shared by all engines. `Binary` performs the paper's `O(log B)` search
+/// for the crossover allotment; `Linear` scans all `B + 1` splits. Both are
+/// exact under the monotonicity invariant (asserted in debug builds by the
+/// callers' tests).
+/// The closures receive a shared mutable context `ctx` (the DP solver), so
+/// recursive memoized lookups can run inside the search. Generic over the
+/// value type (`f64` for the float DPs, `i64` for the integer DPs of
+/// §3.2.2).
+pub(crate) fn best_split<C, V, F, G>(
+    ctx: &mut C,
+    budget: usize,
+    split: SplitSearch,
+    f: F,
+    g: G,
+) -> (V, usize)
+where
+    V: PartialOrd + Copy,
+    F: Fn(&mut C, usize) -> V,
+    G: Fn(&mut C, usize) -> V,
+{
+    #[inline]
+    fn vmax<V: PartialOrd + Copy>(a: V, b: V) -> V {
+        if a >= b {
+            a
+        } else {
+            b
+        }
+    }
+    match split {
+        SplitSearch::Linear => {
+            let mut best = vmax(f(ctx, 0), g(ctx, 0));
+            let mut best_b = 0usize;
+            for bp in 1..=budget {
+                let v = vmax(f(ctx, bp), g(ctx, bp));
+                if v < best {
+                    best = v;
+                    best_b = bp;
+                }
+            }
+            (best, best_b)
+        }
+        SplitSearch::Binary => {
+            // Smallest b' with f(b') <= g(b'); the optimum is at that
+            // crossover or immediately before it.
+            let mut lo = 0usize;
+            let mut hi = budget;
+            while lo < hi {
+                let mid = lo + (hi - lo) / 2;
+                if f(ctx, mid) <= g(ctx, mid) {
+                    hi = mid;
+                } else {
+                    lo = mid + 1;
+                }
+            }
+            let mut best = vmax(f(ctx, lo), g(ctx, lo));
+            let mut best_b = lo;
+            if lo > 0 {
+                let v = vmax(f(ctx, lo - 1), g(ctx, lo - 1));
+                if v < best {
+                    best = v;
+                    best_b = lo - 1;
+                }
+            }
+            (best, best_b)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metric::ErrorMetric;
+    use crate::oracle;
+
+    const EXAMPLE: [f64; 8] = [2.0, 2.0, 0.0, 2.0, 3.0, 5.0, 4.0, 4.0];
+
+    fn configs() -> Vec<Config> {
+        let mut out = Vec::new();
+        for engine in [Engine::Dedup, Engine::SubsetMask, Engine::BottomUp] {
+            for split in [SplitSearch::Binary, SplitSearch::Linear] {
+                out.push(Config { engine, split });
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn matches_oracle_on_example_all_budgets_all_engines() {
+        let solver = MinMaxErr::new(&EXAMPLE).unwrap();
+        for metric in [ErrorMetric::absolute(), ErrorMetric::relative(1.0)] {
+            for b in 0..=8usize {
+                let expect = oracle::exhaustive_1d(solver.tree(), &EXAMPLE, b, metric).objective;
+                for config in configs() {
+                    let r = solver.run_with(b, metric, config);
+                    assert!(
+                        (r.objective - expect).abs() < 1e-9,
+                        "b={b} {metric:?} {config:?}: got {} want {expect}",
+                        r.objective
+                    );
+                    // The reported objective must equal the true error of
+                    // the returned synopsis.
+                    let true_err = r.synopsis.max_error(&EXAMPLE, metric);
+                    assert!(
+                        (true_err - r.objective).abs() < 1e-9,
+                        "b={b} {metric:?} {config:?}: synopsis err {true_err} vs objective {}",
+                        r.objective
+                    );
+                    assert!(r.synopsis.len() <= b);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn full_budget_zero_error() {
+        let solver = MinMaxErr::new(&EXAMPLE).unwrap();
+        for config in configs() {
+            let r = solver.run_with(8, ErrorMetric::absolute(), config);
+            assert_eq!(r.objective, 0.0, "{config:?}");
+        }
+    }
+
+    #[test]
+    fn zero_budget_reconstructs_nothing() {
+        let solver = MinMaxErr::new(&EXAMPLE).unwrap();
+        for config in configs() {
+            let r = solver.run_with(0, ErrorMetric::absolute(), config);
+            assert!(r.synopsis.is_empty());
+            assert_eq!(r.objective, 5.0, "{config:?}"); // max |d_i|
+        }
+    }
+
+    #[test]
+    fn single_value_domain() {
+        let solver = MinMaxErr::new(&[7.0]).unwrap();
+        for config in configs() {
+            let r0 = solver.run_with(0, ErrorMetric::absolute(), config);
+            assert_eq!(r0.objective, 7.0);
+            let r1 = solver.run_with(1, ErrorMetric::absolute(), config);
+            assert_eq!(r1.objective, 0.0);
+            assert_eq!(r1.synopsis.indices(), vec![0]);
+        }
+    }
+
+    #[test]
+    fn budget_larger_than_nonzero_coefficients() {
+        let solver = MinMaxErr::new(&EXAMPLE).unwrap();
+        // Only 5 non-zero coefficients exist; asking for 100 is fine.
+        let r = solver.run(100, ErrorMetric::relative(0.5));
+        assert_eq!(r.objective, 0.0);
+        assert!(r.synopsis.len() <= 5);
+    }
+
+    #[test]
+    fn objective_monotone_in_budget() {
+        let data: Vec<f64> = (0..32)
+            .map(|i| ((i * 37 + 11) % 23) as f64 - 7.0)
+            .collect();
+        let solver = MinMaxErr::new(&data).unwrap();
+        for metric in [ErrorMetric::absolute(), ErrorMetric::relative(2.0)] {
+            let mut prev = f64::INFINITY;
+            for b in 0..=12 {
+                let r = solver.run(b, metric);
+                assert!(r.objective <= prev + 1e-12, "b={b}");
+                prev = r.objective;
+            }
+        }
+    }
+
+    #[test]
+    fn engines_agree_on_random_data() {
+        // Deterministic pseudo-random data; all engines and split modes
+        // must agree bit-for-bit on the objective.
+        let mut x = 0x9e3779b97f4a7c15u64;
+        let mut rnd = || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            (x % 1000) as f64 / 10.0 - 50.0
+        };
+        for n in [4usize, 8, 16, 32] {
+            let data: Vec<f64> = (0..n).map(|_| rnd()).collect();
+            let solver = MinMaxErr::new(&data).unwrap();
+            for metric in [ErrorMetric::absolute(), ErrorMetric::relative(5.0)] {
+                for b in [0usize, 1, 2, n / 4, n / 2] {
+                    let base = solver.run_with(
+                        b,
+                        metric,
+                        Config {
+                            engine: Engine::Dedup,
+                            split: SplitSearch::Binary,
+                        },
+                    );
+                    for config in configs() {
+                        let r = solver.run_with(b, metric, config);
+                        assert!(
+                            (r.objective - base.objective).abs() < 1e-9,
+                            "n={n} b={b} {metric:?} {config:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dedup_never_has_more_states_than_subset() {
+        let data: Vec<f64> = (0..16).map(|i| ((i * 7) % 5) as f64).collect();
+        let solver = MinMaxErr::new(&data).unwrap();
+        let metric = ErrorMetric::absolute();
+        let dedup = solver.run_with(
+            4,
+            metric,
+            Config {
+                engine: Engine::Dedup,
+                split: SplitSearch::Linear,
+            },
+        );
+        let subset = solver.run_with(
+            4,
+            metric,
+            Config {
+                engine: Engine::SubsetMask,
+                split: SplitSearch::Linear,
+            },
+        );
+        assert!(
+            dedup.stats.states <= subset.stats.states,
+            "dedup {} vs subset {}",
+            dedup.stats.states,
+            subset.stats.states
+        );
+    }
+
+    #[test]
+    fn max_relative_error_can_legitimately_prefer_the_empty_synopsis() {
+        // Isolated huge spikes in a sea of small values with a tight
+        // sanity bound: reconstructing 0 everywhere gives relErr exactly 1
+        // for every cell, while *any* retained coefficient overshoots the
+        // sea of 1.0-values (e.g. the overall average ≈ 94 gives relErr
+        // ≈ 93 there). The optimum really is the empty synopsis — the DP
+        // must find it and agree with the oracle. This is the phenomenon
+        // the sanity bound `s` exists to modulate (footnote 2).
+        let mut data = vec![1.0f64; 16];
+        for i in [3usize, 9] {
+            data[i] = 1000.0;
+        }
+        let solver = MinMaxErr::new(&data).unwrap();
+        let metric = ErrorMetric::relative(1.0);
+        let r = solver.run(2, metric);
+        let opt = oracle::exhaustive_1d(solver.tree(), &data, 2, metric).objective;
+        assert!((r.objective - opt).abs() < 1e-9);
+        assert!((r.objective - 1.0).abs() < 1e-9, "objective {}", r.objective);
+        assert!(r.synopsis.is_empty(), "empty synopsis is the unique optimum");
+        // A generous sanity bound changes the picture: overshooting small
+        // values is now cheap, so coefficients get retained.
+        let relaxed = solver.run(2, ErrorMetric::relative(1000.0));
+        assert!(!relaxed.synopsis.is_empty());
+        assert!(relaxed.objective < 1.0);
+        // And under absolute error, retention always helps here.
+        let abs = solver.run(2, ErrorMetric::absolute());
+        assert!(!abs.synopsis.is_empty());
+    }
+
+    #[test]
+    fn keep_preferred_on_genuine_ties() {
+        // Two equal-magnitude sibling coefficients and budget for one: both
+        // choices give the same optimal max absolute error; the engines
+        // must spend the budget rather than return an empty synopsis.
+        let data = vec![1.0, -1.0, 1.0, -1.0];
+        // W = [0, 0, 1, 1]: c_2 and c_3 are interchangeable for B = 1.
+        let solver = MinMaxErr::new(&data).unwrap();
+        let r = solver.run(1, ErrorMetric::absolute());
+        assert_eq!(r.synopsis.len(), 1, "tie must be broken towards keep");
+        assert!((r.objective - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn prop33_lower_bound_max_dropped_coefficient() {
+        // Proposition 3.3: any synopsis has max absolute error >= the
+        // largest dropped |coefficient|; the optimum must respect it too.
+        let data: Vec<f64> = (0..16).map(|i| ((i * 13 + 5) % 17) as f64).collect();
+        let solver = MinMaxErr::new(&data).unwrap();
+        for b in 0..8 {
+            let r = solver.run(b, ErrorMetric::absolute());
+            let max_dropped = (0..16)
+                .filter(|&j| !r.synopsis.retains(j))
+                .map(|j| solver.tree().coeff(j).abs())
+                .fold(0.0f64, f64::max);
+            assert!(
+                r.objective >= max_dropped - 1e-9,
+                "b={b}: objective {} < max dropped {max_dropped}",
+                r.objective
+            );
+        }
+    }
+}

@@ -126,9 +126,7 @@ mod tests {
 
     #[test]
     fn relative_interval_contains_truth() {
-        let data: Vec<f64> = (0..32)
-            .map(|i| ((i * 23 + 7) % 41) as f64 - 10.0)
-            .collect();
+        let data: Vec<f64> = (0..32).map(|i| ((i * 23 + 7) % 41) as f64 - 10.0).collect();
         let solver = MinMaxErr::new(&data).unwrap();
         let s = 2.0;
         for b in [3usize, 6, 12] {

@@ -25,7 +25,7 @@ pub mod bounds;
 use std::ops::Range;
 
 use wsyn_haar::{transform, HaarError};
-use wsyn_synopsis::{ErrorMetric, Synopsis1d, SynopsisNd};
+use wsyn_synopsis::{ErrorMetric, Synopsis1d, SynopsisNd, Thresholder};
 
 /// Query engine over a one-dimensional wavelet synopsis.
 #[derive(Debug, Clone)]
@@ -70,7 +70,11 @@ impl QueryEngine1d {
             let m = wsyn_haar::log2_exact(n);
             for l in 0..m {
                 let j = (1usize << l) + (i >> (m - l));
-                let sign = if (i >> (m - l - 1)) & 1 == 0 { 1.0 } else { -1.0 };
+                let sign = if (i >> (m - l - 1)) & 1 == 0 {
+                    1.0
+                } else {
+                    -1.0
+                };
                 lookup(j, sign);
             }
         }
@@ -245,7 +249,12 @@ impl SelectivityEstimator {
     /// # Errors
     /// [`HaarError::NotPowerOfTwo`] when `domain` is not a power of two;
     /// panics if a value falls outside the domain.
-    pub fn build<F>(values: &[u64], domain: usize, b: usize, threshold: F) -> Result<Self, HaarError>
+    pub fn build<F>(
+        values: &[u64],
+        domain: usize,
+        b: usize,
+        threshold: F,
+    ) -> Result<Self, HaarError>
     where
         F: FnOnce(&[f64], usize) -> Synopsis1d,
     {
@@ -289,6 +298,23 @@ pub fn synopsis_max_error(synopsis: &Synopsis1d, data: &[f64], metric: ErrorMetr
     synopsis.max_error(data, metric)
 }
 
+/// Builds a [`QueryEngine1d`] from any [`Thresholder`], returning the
+/// engine together with the run's objective (a guaranteed bound when
+/// `thresholder.has_guarantee()`, a measured error otherwise — feed it to
+/// [`bounds`] only in the former case).
+///
+/// # Errors
+/// Propagates the thresholder's refusal, or reports a non-1-D synopsis.
+pub fn engine_from_thresholder(
+    thresholder: &dyn Thresholder,
+    b: usize,
+    metric: ErrorMetric,
+) -> Result<(QueryEngine1d, f64), String> {
+    let run = thresholder.threshold(b, metric)?;
+    let synopsis = run.synopsis.into_one("a 1-D query engine")?;
+    Ok((QueryEngine1d::new(synopsis), run.objective))
+}
+
 #[cfg(test)]
 mod tests {
     #![allow(clippy::needless_range_loop)] // index loops read clearer in assertions
@@ -297,6 +323,16 @@ mod tests {
     use wsyn_synopsis::one_dim::MinMaxErr;
 
     const EXAMPLE: [f64; 8] = [2.0, 2.0, 0.0, 2.0, 3.0, 5.0, 4.0, 4.0];
+
+    #[test]
+    fn engine_from_any_thresholder() {
+        let t = MinMaxErr::new(&EXAMPLE).unwrap();
+        let (engine, obj) = engine_from_thresholder(&t, 3, ErrorMetric::absolute()).unwrap();
+        // The guaranteed bound holds for every point answer.
+        for (i, &d) in EXAMPLE.iter().enumerate() {
+            assert!((engine.point(i) - d).abs() <= obj + 1e-9);
+        }
+    }
 
     fn full_synopsis(data: &[f64]) -> Synopsis1d {
         let tree = Tree::from_data(data).unwrap();
@@ -321,7 +357,10 @@ mod tests {
             for hi in lo..=8 {
                 let expect: f64 = EXAMPLE[lo..hi].iter().sum();
                 let got = engine.range_sum(lo..hi);
-                assert!((got - expect).abs() < 1e-9, "[{lo},{hi}): {got} vs {expect}");
+                assert!(
+                    (got - expect).abs() < 1e-9,
+                    "[{lo},{hi}): {got} vs {expect}"
+                );
             }
         }
     }
@@ -355,8 +394,8 @@ mod tests {
         use wsyn_haar::ErrorTreeNd;
         let shape = NdShape::hypercube(4, 2).unwrap();
         let vals: Vec<f64> = (0..16).map(|i| ((i * 7 + 2) % 9) as f64).collect();
-        let tree = ErrorTreeNd::from_data(&NdArray::new(shape.clone(), vals.clone()).unwrap())
-            .unwrap();
+        let tree =
+            ErrorTreeNd::from_data(&NdArray::new(shape.clone(), vals.clone()).unwrap()).unwrap();
         let syn = SynopsisNd::from_positions(&tree, &(0..16).collect::<Vec<_>>());
         let engine = QueryEngineNd::new(syn);
         for r0s in 0..4 {
@@ -419,8 +458,10 @@ mod tests {
         let total = values.len() as f64;
         // Exact counts for a few ranges.
         for (lo, hi) in [(0usize, 4usize), (0, 32), (10, 50), (32, 64)] {
-            let exact = values.iter().filter(|&&v| (v as usize) >= lo && (v as usize) < hi).count()
-                as f64;
+            let exact = values
+                .iter()
+                .filter(|&&v| (v as usize) >= lo && (v as usize) < hi)
+                .count() as f64;
             let approx = est.count(lo..hi);
             assert!(
                 (approx - exact).abs() <= 0.25 * total,

@@ -1,0 +1,337 @@
+//! DP-substrate benchmark: quantifies what the shared `StateTable` memo
+//! buys over the seed's `std::collections::HashMap` (SipHash, tuple keys)
+//! on the E5 scaling workload, and what the parallel τ-sweep buys over the
+//! sequential one on a 2-D cube. Results land in `BENCH_dp_core.json` at
+//! the repo root so the perf trajectory accumulates across PRs.
+//!
+//! Run with `cargo bench --bench dp_substrate`. Numbers are medians of
+//! several full runs; the JSON records `host_cpus` because the τ-sweep
+//! speedup is bounded by the cores actually available (on a single-core
+//! host the parallel sweep can only match the sequential one, minus
+//! spawn overhead).
+
+use std::collections::HashMap;
+
+use wsyn_core::json::{object, Value};
+use wsyn_core::StateTable;
+use wsyn_datagen::{zipf, ZipfPlacement};
+use wsyn_haar::nd::NdShape;
+use wsyn_haar::ErrorTree1d;
+use wsyn_synopsis::multi_dim::oneplus::OnePlusEps;
+use wsyn_synopsis::one_dim::MinMaxErr;
+use wsyn_synopsis::ErrorMetric;
+
+/// A verbatim private copy of the *seed* dedup engine, generic over its
+/// memo so the benchmark compares the old memo layout (SipHash `HashMap`,
+/// tuple keys) against the current `StateTable` with everything else —
+/// recursion, entries, budget splits — held identical. Only the memo
+/// differs between the two timed paths.
+mod seed_dedup {
+    use super::HashMap;
+    use wsyn_core::{pack_state_1d, StateTable};
+    use wsyn_haar::ErrorTree1d;
+
+    #[derive(Clone, Copy)]
+    pub struct Entry {
+        value: f64,
+        #[allow(dead_code)] // the seed stores its traceback decisions too
+        left_allot: u32,
+        #[allow(dead_code)]
+        keep: bool,
+    }
+
+    /// The memo interface the seed solver needs: keyed lookup + insert.
+    pub trait Memo {
+        fn get(&self, key: (u32, u32, u64)) -> Option<Entry>;
+        fn insert(&mut self, key: (u32, u32, u64), entry: Entry);
+        fn len(&self) -> usize;
+    }
+
+    impl Memo for HashMap<(u32, u32, u64), Entry> {
+        fn get(&self, key: (u32, u32, u64)) -> Option<Entry> {
+            HashMap::get(self, &key).copied()
+        }
+        fn insert(&mut self, key: (u32, u32, u64), entry: Entry) {
+            HashMap::insert(self, key, entry);
+        }
+        fn len(&self) -> usize {
+            HashMap::len(self)
+        }
+    }
+
+    impl Memo for StateTable<Entry> {
+        fn get(&self, key: (u32, u32, u64)) -> Option<Entry> {
+            StateTable::get(self, pack_state_1d(key.0, key.1, key.2)).copied()
+        }
+        fn insert(&mut self, key: (u32, u32, u64), entry: Entry) {
+            StateTable::insert(self, pack_state_1d(key.0, key.1, key.2), entry);
+        }
+        fn len(&self) -> usize {
+            StateTable::len(self)
+        }
+    }
+
+    pub struct Solver<'a, M: Memo> {
+        tree: &'a ErrorTree1d,
+        denom: Vec<f64>,
+        n: usize,
+        memo: M,
+    }
+
+    impl<'a, M: Memo> Solver<'a, M> {
+        pub fn new(tree: &'a ErrorTree1d, data: &[f64], sanity: f64, memo: M) -> Self {
+            Self {
+                tree,
+                denom: data.iter().map(|&v| v.abs().max(sanity)).collect(),
+                n: tree.n(),
+                memo,
+            }
+        }
+
+        pub fn states(&self) -> usize {
+            self.memo.len()
+        }
+
+        pub fn solve(&mut self, id: usize, b: usize, e: f64) -> f64 {
+            if id >= self.n {
+                return e.abs() / self.denom[id - self.n];
+            }
+            let key = (id as u32, b as u32, e.to_bits());
+            if let Some(entry) = self.memo.get(key) {
+                return entry.value;
+            }
+            let c = self.tree.coeff(id);
+            let entry = if id == 0 {
+                let child = if self.n == 1 { self.n } else { 1 };
+                let drop_val = self.solve(child, b, e + c);
+                let keep_val = if b >= 1 && c != 0.0 {
+                    self.solve(child, b - 1, e)
+                } else {
+                    f64::INFINITY
+                };
+                if keep_val <= drop_val {
+                    Entry {
+                        value: keep_val,
+                        keep: true,
+                        left_allot: (b - 1) as u32,
+                    }
+                } else {
+                    Entry {
+                        value: drop_val,
+                        keep: false,
+                        left_allot: b as u32,
+                    }
+                }
+            } else {
+                let (lc, rc) = (2 * id, 2 * id + 1);
+                let (drop_val, drop_b) = self.best_split(
+                    b,
+                    |s, bp| s.solve(lc, bp, e + c),
+                    |s, bp| s.solve(rc, b - bp, e - c),
+                );
+                let (keep_val, keep_b) = if b >= 1 && c != 0.0 {
+                    self.best_split(
+                        b - 1,
+                        |s, bp| s.solve(lc, bp, e),
+                        |s, bp| s.solve(rc, b - 1 - bp, e),
+                    )
+                } else {
+                    (f64::INFINITY, 0)
+                };
+                if keep_val <= drop_val {
+                    Entry {
+                        value: keep_val,
+                        keep: true,
+                        left_allot: keep_b as u32,
+                    }
+                } else {
+                    Entry {
+                        value: drop_val,
+                        keep: false,
+                        left_allot: drop_b as u32,
+                    }
+                }
+            };
+            self.memo.insert(key, entry);
+            entry.value
+        }
+
+        /// Binary-search budget split over the monotone child curves (the
+        /// seed's default strategy).
+        fn best_split(
+            &mut self,
+            budget: usize,
+            f: impl Fn(&mut Self, usize) -> f64 + Copy,
+            g: impl Fn(&mut Self, usize) -> f64 + Copy,
+        ) -> (f64, usize) {
+            let (mut lo, mut hi) = (0usize, budget);
+            while lo < hi {
+                let mid = lo + (hi - lo) / 2;
+                if f(self, mid) <= g(self, mid) {
+                    hi = mid;
+                } else {
+                    lo = mid + 1;
+                }
+            }
+            let mut best = (f64::INFINITY, 0usize);
+            for bp in [lo, lo.saturating_sub(1)] {
+                let v = f(self, bp).max(g(self, bp));
+                if v < best.0 {
+                    best = (v, bp);
+                }
+            }
+            best
+        }
+    }
+}
+
+/// Wall-clock milliseconds of one run of `f`.
+fn time_ms(mut f: impl FnMut()) -> f64 {
+    let t0 = std::time::Instant::now();
+    f();
+    t0.elapsed().as_secs_f64() * 1e3
+}
+
+fn median(times: &mut [f64]) -> f64 {
+    times.sort_by(f64::total_cmp);
+    times[times.len() / 2]
+}
+
+/// Times two alternatives interleaved — A, B, A, B, … — so slow drift in
+/// background load hits both paths equally, and reports
+/// `(median A ms, median B ms, median per-rep A/B ratio)`. The ratio is
+/// taken per rep (adjacent runs share machine conditions) rather than
+/// from the two medians.
+fn compare_ms(reps: usize, mut a: impl FnMut(), mut b: impl FnMut()) -> (f64, f64, f64) {
+    let mut a_times = Vec::with_capacity(reps);
+    let mut b_times = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        a_times.push(time_ms(&mut a));
+        b_times.push(time_ms(&mut b));
+    }
+    let mut ratios: Vec<f64> = a_times.iter().zip(&b_times).map(|(&x, &y)| x / y).collect();
+    (
+        median(&mut a_times),
+        median(&mut b_times),
+        median(&mut ratios),
+    )
+}
+
+fn main() {
+    let host_cpus = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    let reps = 5usize;
+
+    // ── Memo layout: seed HashMap vs StateTable, E5 workload ──────────
+    let (n, b) = (1024usize, 64usize);
+    let data = zipf(n, 1.0, 100_000.0, ZipfPlacement::Shuffled, 5);
+    let metric = ErrorMetric::relative(1.0);
+    let tree = ErrorTree1d::from_data(&data).unwrap();
+    let solver = MinMaxErr::new(&data).unwrap();
+
+    // Same optimum from all three paths — the library solver and both
+    // memo layouts of the seed copy — or the comparison is meaningless.
+    let library_objective = solver.run(b, metric).objective;
+    let mut seed = seed_dedup::Solver::new(&tree, &data, 1.0, HashMap::new());
+    let seed_objective = seed.solve(0, b, 0.0);
+    let mut table = seed_dedup::Solver::new(&tree, &data, 1.0, StateTable::new());
+    let table_objective = table.solve(0, b, 0.0);
+    assert!(
+        (library_objective - seed_objective).abs() < 1e-12
+            && (table_objective - seed_objective).abs() < 1e-12,
+        "memo layouts diverged: {seed_objective} vs {table_objective} vs {library_objective}"
+    );
+    let seed_states = seed.states();
+    assert_eq!(seed_states, table.states(), "state counts diverged");
+
+    let (hashmap_ms, statetable_ms, memo_speedup) = compare_ms(
+        reps,
+        || {
+            let mut s = seed_dedup::Solver::new(&tree, &data, 1.0, HashMap::new());
+            std::hint::black_box(s.solve(0, b, 0.0));
+        },
+        || {
+            let mut s = seed_dedup::Solver::new(&tree, &data, 1.0, StateTable::new());
+            std::hint::black_box(s.solve(0, b, 0.0));
+        },
+    );
+    println!("memo layout (E5, N = {n}, B = {b}, {seed_states} states):");
+    println!("  seed HashMap : {hashmap_ms:.2} ms");
+    println!("  StateTable   : {statetable_ms:.2} ms  ({memo_speedup:.2}x)");
+
+    // ── τ-sweep: sequential vs parallel, 2-D cube, ≥ 8 τ values ───────
+    let side = 16usize;
+    let shape = NdShape::hypercube(side, 2).unwrap();
+    let ints: Vec<i64> = (0..side * side)
+        .map(|i| ((i * 13 + 7) % 257) as i64 * 12 - 1500)
+        .collect();
+    let scheme = OnePlusEps::new(&shape, &ints).unwrap();
+    let taus = 64 - scheme.rz().leading_zeros() as usize;
+    assert!(taus >= 8, "need >= 8 tau values, got {taus}");
+    let (tb, teps) = (16usize, 0.1f64);
+    let (par_run, _) = scheme.run_with_reports(tb, teps);
+    let (seq_run, _) = scheme.run_with_reports_sequential(tb, teps);
+    assert_eq!(
+        par_run.true_objective.to_bits(),
+        seq_run.true_objective.to_bits(),
+        "parallel sweep must be bit-identical"
+    );
+    let (seq_ms, par_ms, tau_speedup) = compare_ms(
+        reps,
+        || {
+            std::hint::black_box(
+                scheme
+                    .run_with_reports_sequential(tb, teps)
+                    .0
+                    .true_objective,
+            );
+        },
+        || {
+            std::hint::black_box(scheme.run_with_reports(tb, teps).0.true_objective);
+        },
+    );
+    println!("tau-sweep ({side}x{side} 2-D cube, {taus} tau values, B = {tb}, eps = {teps}):");
+    println!("  sequential   : {seq_ms:.2} ms");
+    println!("  parallel     : {par_ms:.2} ms  ({tau_speedup:.2}x on {host_cpus} cpu(s))");
+
+    let doc = object(vec![
+        ("bench", Value::String("dp_core".into())),
+        ("host_cpus", Value::Number(host_cpus as f64)),
+        ("reps", Value::Number(reps as f64)),
+        (
+            "memo_layout",
+            object(vec![
+                ("workload", Value::String("E5 zipf(1.0)-shuffled".into())),
+                ("n", Value::Number(n as f64)),
+                ("b", Value::Number(b as f64)),
+                ("dp_states", Value::Number(seed_states as f64)),
+                ("hashmap_ms", Value::Number(hashmap_ms)),
+                ("statetable_ms", Value::Number(statetable_ms)),
+                ("speedup", Value::Number(memo_speedup)),
+            ]),
+        ),
+        (
+            "tau_sweep",
+            object(vec![
+                ("shape", Value::String(format!("{side}x{side} 2-D cube"))),
+                ("tau_values", Value::Number(taus as f64)),
+                ("b", Value::Number(tb as f64)),
+                ("epsilon", Value::Number(teps)),
+                ("sequential_ms", Value::Number(seq_ms)),
+                ("parallel_ms", Value::Number(par_ms)),
+                ("speedup", Value::Number(tau_speedup)),
+            ]),
+        ),
+    ]);
+    // The bench usually runs from the workspace root under `cargo bench`;
+    // resolve the root from the manifest dir so any cwd works.
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/bench has two ancestors")
+        .to_path_buf();
+    let out = root.join("BENCH_dp_core.json");
+    std::fs::write(&out, doc.pretty() + "\n").expect("write BENCH_dp_core.json");
+    println!("wrote {}", out.display());
+}

@@ -30,7 +30,11 @@ fn main() {
         let opt = exact.run(b).true_objective;
         for eps in [1.0, 0.5, 0.25, 0.1] {
             let (r, ms) = timed(|| scheme.run(b, eps));
-            let ratio = if opt > 0.0 { r.true_objective / opt } else { 1.0 };
+            let ratio = if opt > 0.0 {
+                r.true_objective / opt
+            } else {
+                1.0
+            };
             assert!(
                 r.true_objective <= (1.0 + eps) * opt + 1e-9,
                 "guarantee violated: b={b} eps={eps}"
@@ -47,7 +51,15 @@ fn main() {
         }
     }
     md_table(
-        &["B", "ε", "exact OPT", "(1+ε) scheme", "measured ratio", "guaranteed ratio", "time (ms)"],
+        &[
+            "B",
+            "ε",
+            "exact OPT",
+            "(1+ε) scheme",
+            "measured ratio",
+            "guaranteed ratio",
+            "time (ms)",
+        ],
         &rows,
     );
 
@@ -59,11 +71,16 @@ fn main() {
             vec![
                 t.tau.to_string(),
                 t.forced.to_string(),
-                t.true_objective.map(f).unwrap_or_else(|| "infeasible".into()),
+                t.true_objective
+                    .map(f)
+                    .unwrap_or_else(|| "infeasible".into()),
                 t.states.to_string(),
             ]
         })
         .collect();
-    md_table(&["τ", "|S_>τ| (forced)", "true abs err", "DP states"], &rows);
+    md_table(
+        &["τ", "|S_>τ| (forced)", "true abs err", "DP states"],
+        &rows,
+    );
     println!("\nmeasured ratio ≤ 1+ε at every (B, ε) (asserted)  ✓");
 }

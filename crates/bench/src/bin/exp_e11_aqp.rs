@@ -31,7 +31,9 @@ fn main() {
     // docs of wsyn_synopsis::one_dim); the *absolute*-metric synopsis is
     // the natural deterministic choice for range aggregates, so both are
     // reported.
-    let det_abs = MinMaxErr::new(&data).unwrap().run(b, ErrorMetric::absolute());
+    let det_abs = MinMaxErr::new(&data)
+        .unwrap()
+        .run(b, ErrorMetric::absolute());
     let l2 = greedy_l2_1d(&tree, b);
     let prob = {
         let a = MinRelVar::new(&data).unwrap().assign(b, 6, sanity);
@@ -74,10 +76,7 @@ fn main() {
             f(errs.iter().cloned().fold(0.0f64, f64::max)),
         ]);
     }
-    md_table(
-        &["synopsis", "median rel err", "p90", "p99", "max"],
-        &rows,
-    );
+    md_table(&["synopsis", "median rel err", "p90", "p99", "max"], &rows);
 
     // Deterministic guarantees: every point interval contains the truth.
     let engine = QueryEngine1d::new(det.synopsis.clone());
@@ -97,11 +96,15 @@ fn main() {
     let mut violations = 0usize;
     for &(lo, hi) in &queries {
         let exact: f64 = data[lo..hi].iter().sum();
-        let iv = bounds::range_sum_absolute(engine_abs.range_sum(lo..hi), det_abs.objective, hi - lo);
+        let iv =
+            bounds::range_sum_absolute(engine_abs.range_sum(lo..hi), det_abs.objective, hi - lo);
         if !iv.contains(exact) {
             violations += 1;
         }
     }
-    println!("range-sum interval check (absolute synopsis): {violations} violations out of {} queries", queries.len());
+    println!(
+        "range-sum interval check (absolute synopsis): {violations} violations out of {} queries",
+        queries.len()
+    );
     assert_eq!(violations, 0);
 }

@@ -61,7 +61,12 @@ fn main() {
         ]);
     }
     md_table(
-        &["trial", "MinMaxErr max relErr", "greedy-L2 max relErr", "gap"],
+        &[
+            "trial",
+            "MinMaxErr max relErr",
+            "greedy-L2 max relErr",
+            "gap",
+        ],
         &rows,
     );
 }

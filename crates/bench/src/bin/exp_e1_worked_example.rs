@@ -24,8 +24,12 @@ fn main() {
     let mut details_by_level = Vec::new();
     while cur.len() > 1 {
         let half = cur.len() / 2;
-        let avg: Vec<f64> = (0..half).map(|i| (cur[2 * i] + cur[2 * i + 1]) / 2.0).collect();
-        let det: Vec<f64> = (0..half).map(|i| (cur[2 * i] - cur[2 * i + 1]) / 2.0).collect();
+        let avg: Vec<f64> = (0..half)
+            .map(|i| (cur[2 * i] + cur[2 * i + 1]) / 2.0)
+            .collect();
+        let det: Vec<f64> = (0..half)
+            .map(|i| (cur[2 * i] - cur[2 * i + 1]) / 2.0)
+            .collect();
         resolution -= 1;
         rows.push(vec![
             resolution.to_string(),
@@ -56,7 +60,9 @@ fn main() {
     println!("\n## E2 — Equation (1) on the Figure 1(a) tree\n");
     println!(
         "path(d_4) = {:?} (signs {:?})",
-        path.iter().map(|&(j, _)| format!("c_{j}")).collect::<Vec<_>>(),
+        path.iter()
+            .map(|&(j, _)| format!("c_{j}"))
+            .collect::<Vec<_>>(),
         path.iter().map(|&(_, s)| s).collect::<Vec<_>>()
     );
     let d4 = tree.reconstruct(4);

@@ -8,9 +8,9 @@
 //! offset dimension an even number of flips away, blank outside the
 //! support).
 
+use wsyn_haar::nd::NodeChildren;
 use wsyn_haar::nd::{nonstandard, NdArray, NdShape};
 use wsyn_haar::{ErrorTreeNd, NodeRef};
-use wsyn_haar::nd::NodeChildren;
 
 fn main() {
     let shape = NdShape::hypercube(4, 2).unwrap();
@@ -69,7 +69,11 @@ fn main() {
         NodeChildren::Nodes(children) => {
             assert_eq!(children.len(), 4);
             for child in children {
-                println!("  level-1 node {:?}: {{{}}}", tree.node_pos(child), describe(child));
+                println!(
+                    "  level-1 node {:?}: {{{}}}",
+                    tree.node_pos(child),
+                    describe(child)
+                );
                 assert_eq!(tree.node_coeffs(child).len(), 3);
                 match tree.children(child) {
                     NodeChildren::Cells(cells) => assert_eq!(cells.len(), 4),
@@ -79,5 +83,7 @@ fn main() {
         }
         _ => unreachable!("4x4 has two levels"),
     }
-    println!("\nstructure matches Figure 2 (1 root + 1 + 4 nodes, 3 coefficients each, 2^D children)  ✓");
+    println!(
+        "\nstructure matches Figure 2 (1 root + 1 + 4 nodes, 3 coefficients each, 2^D children)  ✓"
+    );
 }

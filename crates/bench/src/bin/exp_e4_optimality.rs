@@ -52,7 +52,12 @@ fn main() {
     }
     println!("## E4 — Theorem 3.1: optimality of MinMaxErr vs exhaustive oracle\n");
     md_table(
-        &["N", "metric", "engine×split×budget×instance checks", "violations"],
+        &[
+            "N",
+            "metric",
+            "engine×split×budget×instance checks",
+            "violations",
+        ],
         &rows,
     );
     println!("\nall engines, all splits, all budgets: exact agreement with the oracle  ✓");

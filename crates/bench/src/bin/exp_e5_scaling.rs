@@ -28,7 +28,11 @@ fn main() {
         rows.push(vec![
             n.to_string(),
             f(ms),
-            if ratio.is_nan() { "—".into() } else { format!("{ratio:.2}x") },
+            if ratio.is_nan() {
+                "—".into()
+            } else {
+                format!("{ratio:.2}x")
+            },
             r.stats.states.to_string(),
         ]);
         prev = Some(ms);
@@ -46,7 +50,11 @@ fn main() {
         rows.push(vec![
             b.to_string(),
             f(ms),
-            if ratio.is_nan() { "—".into() } else { format!("{ratio:.2}x") },
+            if ratio.is_nan() {
+                "—".into()
+            } else {
+                format!("{ratio:.2}x")
+            },
             r.stats.states.to_string(),
         ]);
         prev = Some(ms);
@@ -77,6 +85,9 @@ fn main() {
             ]);
         }
     }
-    md_table(&["engine", "split", "time (ms)", "DP states", "objective"], &rows);
+    md_table(
+        &["engine", "split", "time (ms)", "DP states", "objective"],
+        &rows,
+    );
     println!("\nall six configurations return the identical optimal objective  ✓");
 }

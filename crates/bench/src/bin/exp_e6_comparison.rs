@@ -7,6 +7,11 @@
 //! every budget; greedy L2 suffers most on skewed/spiky workloads (small
 //! data values under-served); probabilistic draws land between, with
 //! per-draw spread (E8 quantifies the spread).
+//!
+//! The budgets of a sweep are independent DP runs over shared immutable
+//! solvers, so each budget row is computed on its own thread
+//! (`std::thread::scope`); rows are joined in budget order, keeping the
+//! output deterministic.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -23,6 +28,7 @@ fn main() {
     let metric = ErrorMetric::relative(sanity);
     let q = 6usize; // fractional-storage quantization for the GG baselines
     let draws = 20u64;
+    let budgets = [8usize, 16, 24, 32];
 
     println!("## E6 — max relative error vs budget (N = {n}, sanity s = {sanity})\n");
     for (name, data) in workloads_1d(n) {
@@ -31,23 +37,36 @@ fn main() {
         let det = MinMaxErr::new(&data).unwrap();
         let mrv = MinRelVar::new(&data).unwrap();
         let mrb = MinRelBias::new(&data).unwrap();
-        let mut rows = Vec::new();
-        for b in [8usize, 16, 24, 32] {
-            let opt = det.run(b, metric).objective;
-            let l2 = greedy_l2_1d(&tree, b).max_error(&data, metric);
-            let (rv_mean, rv_worst) = draw_stats(&mrv.assign(b, q, sanity), &data, metric, draws);
-            let (rb_mean, rb_worst) = draw_stats(&mrb.assign(b, q, sanity), &data, metric, draws);
-            assert!(opt <= l2 + 1e-9, "optimality violated vs greedy");
-            assert!(opt <= rv_worst + 1e-9, "optimality violated vs MinRelVar");
-            rows.push(vec![
-                b.to_string(),
-                f(opt),
-                f(l2),
-                format!("{} / {}", f(rv_mean), f(rv_worst)),
-                format!("{} / {}", f(rb_mean), f(rb_worst)),
-                format!("{:.1}x", l2 / opt.max(1e-12)),
-            ]);
-        }
+        let rows: Vec<Vec<String>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = budgets
+                .iter()
+                .map(|&b| {
+                    let (tree, det, mrv, mrb, data) = (&tree, &det, &mrv, &mrb, &data);
+                    scope.spawn(move || {
+                        let opt = det.run(b, metric).objective;
+                        let l2 = greedy_l2_1d(tree, b).max_error(data, metric);
+                        let (rv_mean, rv_worst) =
+                            draw_stats(&mrv.assign(b, q, sanity), data, metric, draws);
+                        let (rb_mean, rb_worst) =
+                            draw_stats(&mrb.assign(b, q, sanity), data, metric, draws);
+                        assert!(opt <= l2 + 1e-9, "optimality violated vs greedy");
+                        assert!(opt <= rv_worst + 1e-9, "optimality violated vs MinRelVar");
+                        vec![
+                            b.to_string(),
+                            f(opt),
+                            f(l2),
+                            format!("{} / {}", f(rv_mean), f(rv_worst)),
+                            format!("{} / {}", f(rb_mean), f(rb_worst)),
+                            format!("{:.1}x", l2 / opt.max(1e-12)),
+                        ]
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("budget worker panicked"))
+                .collect()
+        });
         md_table(
             &[
                 "B",

@@ -23,7 +23,9 @@ fn main() {
     let metric = ErrorMetric::relative(sanity);
     let draws = 1000u64;
 
-    println!("## E8 — coin-flip variance of probabilistic synopses (N = {n}, B = {b}, {draws} draws)\n");
+    println!(
+        "## E8 — coin-flip variance of probabilistic synopses (N = {n}, B = {b}, {draws} draws)\n"
+    );
     let mut rows = Vec::new();
     for (name, data) in workloads_1d(n) {
         let det = MinMaxErr::new(&data).unwrap().run(b, metric).objective;

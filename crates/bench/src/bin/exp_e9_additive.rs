@@ -40,7 +40,8 @@ fn main() {
             let deviation = r.true_objective - opt;
             let guarantee = eps * r_max;
             assert!(
-                deviation <= guarantee + (1u64 << d) as f64 * side.trailing_zeros() as f64 + 1.0 + 1e-9,
+                deviation
+                    <= guarantee + (1u64 << d) as f64 * side.trailing_zeros() as f64 + 1.0 + 1e-9,
                 "guarantee violated at eps={eps}: deviation {deviation} > {guarantee}"
             );
             rows.push(vec![
@@ -53,7 +54,14 @@ fn main() {
             ]);
         }
         md_table(
-            &["ε", "true objective", "deviation from OPT", "guarantee ε·R", "DP states", "time (ms)"],
+            &[
+                "ε",
+                "true objective",
+                "deviation from OPT",
+                "guarantee ε·R",
+                "DP states",
+                "time (ms)",
+            ],
             &rows,
         );
         println!();

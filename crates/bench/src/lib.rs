@@ -20,7 +20,10 @@ use wsyn_datagen::{gaussian_bumps, piecewise_constant, zipf, ZipfPlacement};
 /// Prints a GitHub-markdown table.
 pub fn md_table(headers: &[&str], rows: &[Vec<String>]) {
     println!("| {} |", headers.join(" | "));
-    println!("|{}|", headers.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+    println!(
+        "|{}|",
+        headers.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+    );
     for row in rows {
         println!("| {} |", row.join(" | "));
     }

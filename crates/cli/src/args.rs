@@ -85,7 +85,9 @@ pub fn parse_metric(spec: &str) -> Result<wsyn_synopsis::ErrorMetric, String> {
         }
         return Ok(wsyn_synopsis::ErrorMetric::relative(sanity));
     }
-    Err(format!("unknown metric '{spec}' (expected 'abs' or 'rel:<sanity>')"))
+    Err(format!(
+        "unknown metric '{spec}' (expected 'abs' or 'rel:<sanity>')"
+    ))
 }
 
 #[cfg(test)]
@@ -120,7 +122,10 @@ mod tests {
 
     #[test]
     fn metric_specs() {
-        assert_eq!(parse_metric("abs").unwrap(), wsyn_synopsis::ErrorMetric::absolute());
+        assert_eq!(
+            parse_metric("abs").unwrap(),
+            wsyn_synopsis::ErrorMetric::absolute()
+        );
         assert_eq!(
             parse_metric("rel:2.5").unwrap(),
             wsyn_synopsis::ErrorMetric::Relative { sanity: 2.5 }

@@ -2,10 +2,11 @@
 
 use wsyn_aqp::{bounds, QueryEngine1d};
 use wsyn_datagen as datagen;
-use wsyn_haar::{transform, ErrorTree1d};
-use wsyn_synopsis::greedy::greedy_l2_1d;
+use wsyn_haar::transform;
+use wsyn_prob::{MinRelBias, MinRelVar};
 use wsyn_synopsis::one_dim::MinMaxErr;
-use wsyn_synopsis::{rmse, ErrorMetric};
+use wsyn_synopsis::thresholder::GreedyL2;
+use wsyn_synopsis::{rmse, ErrorMetric, Thresholder};
 
 use crate::args::{parse_metric, Args};
 use crate::io::{self, SynopsisDoc};
@@ -17,7 +18,8 @@ usage: wsyn <command> [flags]
 commands:
   generate   --kind zipf|bumps|piecewise --n <N> [--seed S] [--skew Z] [--total T] --out FILE
   transform  --input FILE
-  build      --input FILE --budget B [--metric abs|rel:S] [--algo minmax|greedy] --out FILE
+  build      --input FILE --budget B [--metric abs|rel:S]
+             [--algo minmax|greedy|minrelvar|minrelbias] --out FILE
   eval       --synopsis FILE --input FILE [--metric abs|rel:S]
   query      --synopsis FILE  point <i> | range <lo> <hi> | avg <lo> <hi>
 
@@ -95,49 +97,46 @@ fn build(a: &Args) -> Result<(), String> {
     let metric = parse_metric(&metric_spec)?;
     let algo = a.opt("algo").unwrap_or("minmax");
     let out = a.req("out")?;
-    let doc = match algo {
-        "minmax" => {
-            let result = MinMaxErr::new(&data)
-                .map_err(|e| e.to_string())?
-                .run(budget, metric);
-            println!(
-                "MinMaxErr: retained {} coefficients, guaranteed max error {:.6}",
-                result.synopsis.len(),
-                result.objective
-            );
-            if let (ErrorMetric::Relative { sanity }, true) =
-                (metric, result.objective >= 1.0 - 1e-12)
-            {
-                eprintln!(
-                    "note: the max relative error saturates at {:.3} — the budget cannot \
-                     cover every spike (the optimum may retain few or no coefficients). \
-                     Consider a larger --budget, a larger sanity bound than {sanity}, or \
-                     --metric abs.",
-                    result.objective
-                );
-            }
-            SynopsisDoc {
-                algorithm: "minmax".into(),
-                metric: Some(metric_spec),
-                objective: Some(result.objective),
-                synopsis: result.synopsis,
-            }
-        }
-        "greedy" => {
-            let tree = ErrorTree1d::from_data(&data).map_err(|e| e.to_string())?;
-            let synopsis = greedy_l2_1d(&tree, budget);
-            println!(
-                "greedy L2: retained {} coefficients (no max-error guarantee)",
-                synopsis.len()
-            );
-            SynopsisDoc {
-                algorithm: "greedy".into(),
-                metric: None,
-                objective: None,
-                synopsis,
-            }
-        }
+    // Every algorithm answers the same (budget, metric) question; build the
+    // right solver and drive it through the uniform trait.
+    let thresholder: Box<dyn Thresholder> = match algo {
+        "minmax" => Box::new(MinMaxErr::new(&data).map_err(|e| e.to_string())?),
+        "greedy" => Box::new(GreedyL2::new(&data).map_err(|e| e.to_string())?),
+        "minrelvar" => Box::new(MinRelVar::new(&data).map_err(|e| e.to_string())?),
+        "minrelbias" => Box::new(MinRelBias::new(&data).map_err(|e| e.to_string())?),
         other => return Err(format!("unknown --algo '{other}'")),
+    };
+    let run = thresholder.threshold(budget, metric)?;
+    let synopsis = run.synopsis.into_one("the CLI")?;
+    if thresholder.has_guarantee() {
+        println!(
+            "{}: retained {} coefficients, guaranteed max error {:.6}",
+            thresholder.name(),
+            synopsis.len(),
+            run.objective
+        );
+        if let (ErrorMetric::Relative { sanity }, true) = (metric, run.objective >= 1.0 - 1e-12) {
+            eprintln!(
+                "note: the max relative error saturates at {:.3} — the budget cannot \
+                 cover every spike (the optimum may retain few or no coefficients). \
+                 Consider a larger --budget, a larger sanity bound than {sanity}, or \
+                 --metric abs.",
+                run.objective
+            );
+        }
+    } else {
+        println!(
+            "{}: retained {} coefficients, measured max error {:.6} (no guarantee)",
+            thresholder.name(),
+            synopsis.len(),
+            run.objective
+        );
+    }
+    let doc = SynopsisDoc {
+        algorithm: thresholder.name().into(),
+        metric: thresholder.has_guarantee().then(|| metric_spec.clone()),
+        objective: thresholder.has_guarantee().then_some(run.objective),
+        synopsis,
     };
     io::ensure_parent(out)?;
     io::write_synopsis(out, &doc)?;
@@ -166,8 +165,14 @@ fn eval(a: &Args) -> Result<(), String> {
     println!("algorithm          : {}", doc.algorithm);
     println!("coefficients       : {}", doc.synopsis.len());
     println!("metric             : {metric_spec}");
-    println!("max error          : {:.6}", metric.max_error(&data, &recon));
-    println!("mean error         : {:.6}", metric.mean_error(&data, &recon));
+    println!(
+        "max error          : {:.6}",
+        metric.max_error(&data, &recon)
+    );
+    println!(
+        "mean error         : {:.6}",
+        metric.mean_error(&data, &recon)
+    );
     println!("rmse               : {:.6}", rmse(&data, &recon));
     if let Some(obj) = doc.objective {
         println!("built-in guarantee : {obj:.6}");
@@ -263,7 +268,14 @@ mod tests {
             "minmax", "--out", &syn_path,
         ]))
         .unwrap();
-        dispatch(&v(&["eval", "--synopsis", &syn_path, "--input", &data_path])).unwrap();
+        dispatch(&v(&[
+            "eval",
+            "--synopsis",
+            &syn_path,
+            "--input",
+            &data_path,
+        ]))
+        .unwrap();
         dispatch(&v(&["query", "--synopsis", &syn_path, "point", "5"])).unwrap();
         dispatch(&v(&["query", "--synopsis", &syn_path, "range", "0", "32"])).unwrap();
         dispatch(&v(&["query", "--synopsis", &syn_path, "avg", "0", "64"])).unwrap();
@@ -276,8 +288,7 @@ mod tests {
         let syn_path = format!("{dir}/syn.json");
         crate::io::write_data(&data_path, &[2.0, 2.0, 0.0, 2.0, 3.0, 5.0, 4.0, 4.0]).unwrap();
         dispatch(&v(&[
-            "build", "--input", &data_path, "--budget", "3", "--algo", "greedy", "--out",
-            &syn_path,
+            "build", "--input", &data_path, "--budget", "3", "--algo", "greedy", "--out", &syn_path,
         ]))
         .unwrap();
         let doc = crate::io::read_synopsis(&syn_path).unwrap();
@@ -286,13 +297,58 @@ mod tests {
     }
 
     #[test]
+    fn build_probabilistic_baselines() {
+        let dir = tmpdir("probbuild");
+        let data_path = format!("{dir}/data.txt");
+        crate::io::write_data(&data_path, &[2.0, 2.0, 0.0, 2.0, 3.0, 5.0, 4.0, 4.0]).unwrap();
+        for algo in ["minrelvar", "minrelbias"] {
+            let syn_path = format!("{dir}/{algo}.json");
+            dispatch(&v(&[
+                "build", "--input", &data_path, "--budget", "3", "--metric", "rel:1.0", "--algo",
+                algo, "--out", &syn_path,
+            ]))
+            .unwrap();
+            let doc = crate::io::read_synopsis(&syn_path).unwrap();
+            assert_eq!(doc.algorithm, algo);
+            // Baselines carry no guarantee, so none is persisted.
+            assert!(doc.objective.is_none());
+        }
+        // The GG baselines are relative-error algorithms; absolute is
+        // rejected through the uniform interface rather than mis-served.
+        assert!(dispatch(&v(&[
+            "build",
+            "--input",
+            &data_path,
+            "--budget",
+            "3",
+            "--metric",
+            "abs",
+            "--algo",
+            "minrelvar",
+            "--out",
+            &format!("{dir}/abs.json"),
+        ]))
+        .is_err());
+    }
+
+    #[test]
     fn errors_are_reported() {
         assert!(dispatch(&v(&["nope"])).is_err());
         assert!(dispatch(&v(&[])).is_err());
-        assert!(dispatch(&v(&["generate", "--kind", "zipf", "--n", "63", "--out", "/tmp/x"]))
-            .is_err()); // not a power of two
-        assert!(dispatch(&v(&["build", "--input", "/nonexistent", "--budget", "4", "--out", "/tmp/x"]))
-            .is_err());
+        assert!(dispatch(&v(&[
+            "generate", "--kind", "zipf", "--n", "63", "--out", "/tmp/x"
+        ]))
+        .is_err()); // not a power of two
+        assert!(dispatch(&v(&[
+            "build",
+            "--input",
+            "/nonexistent",
+            "--budget",
+            "4",
+            "--out",
+            "/tmp/x"
+        ]))
+        .is_err());
     }
 
     #[test]

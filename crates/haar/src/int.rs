@@ -56,9 +56,7 @@ pub fn forward_scaled_1d(data: &[i64]) -> Result<ScaledCoeffs, HaarError> {
         return Err(HaarError::NotPowerOfTwo { len: data.len() });
     }
     let n = data.len();
-    let scale = 1i64
-        .checked_shl(log2_exact(n))
-        .ok_or(HaarError::Overflow)?;
+    let scale = 1i64.checked_shl(log2_exact(n)).ok_or(HaarError::Overflow)?;
     let mut buf = checked_scale(data, scale)?;
     // Buffer the whole level in scratch so detail writes never alias reads.
     let mut scratch = vec![0i64; n];
@@ -207,7 +205,10 @@ mod tests {
     fn max_abs_reports_rz() {
         let data = [100i64, -100, 0, 0];
         let sc = forward_scaled_1d(&data).unwrap();
-        assert_eq!(sc.max_abs(), sc.coeffs.iter().map(|c| c.abs()).max().unwrap());
+        assert_eq!(
+            sc.max_abs(),
+            sc.coeffs.iter().map(|c| c.abs()).max().unwrap()
+        );
         assert!(sc.max_abs() >= 400); // (100 - (-100))/2 * 4 = 400
     }
 

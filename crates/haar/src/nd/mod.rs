@@ -27,7 +27,6 @@ use crate::{is_pow2, HaarError};
 
 /// Shape of a `D`-dimensional data array; every side must be a power of two.
 #[derive(Debug, Clone, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct NdShape {
     sides: Vec<usize>,
 }
@@ -116,7 +115,6 @@ impl NdShape {
 
 /// A dense `D`-dimensional array of `f64` cells in row-major layout.
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct NdArray {
     shape: NdShape,
     data: Vec<f64>,
@@ -189,7 +187,10 @@ mod tests {
 
     #[test]
     fn shape_validation() {
-        assert_eq!(NdShape::new(vec![]).unwrap_err(), HaarError::ZeroDimensional);
+        assert_eq!(
+            NdShape::new(vec![]).unwrap_err(),
+            HaarError::ZeroDimensional
+        );
         assert_eq!(
             NdShape::new(vec![4, 3]).unwrap_err(),
             HaarError::NotPowerOfTwo { len: 3 }

@@ -15,7 +15,7 @@
 //! exactly the quadrant-sign structure of Figure 1(b).
 
 use super::{NdArray, NdShape};
-use crate::{HaarError, log2_exact};
+use crate::{log2_exact, HaarError};
 
 /// Computes the nonstandard Haar decomposition of `data`, returning the
 /// coefficient array (same shape).
@@ -193,7 +193,9 @@ mod tests {
     #[test]
     fn roundtrip_3d() {
         let shape = NdShape::hypercube(4, 3).unwrap();
-        let vals: Vec<f64> = (0..shape.len()).map(|i| ((i * 31 + 7) % 13) as f64).collect();
+        let vals: Vec<f64> = (0..shape.len())
+            .map(|i| ((i * 31 + 7) % 13) as f64)
+            .collect();
         let original = NdArray::new(shape, vals).unwrap();
         let w = forward(&original).unwrap();
         let back = inverse(&w).unwrap();

@@ -38,6 +38,15 @@ impl NodeRef {
     pub fn key(self) -> u64 {
         ((self.level as u64) << 56) | self.index as u64
     }
+
+    /// Packs the node reference together with a 64-bit incoming-error
+    /// payload (float bits or a sign-extended integer) into the `u128`
+    /// state key the DP memo tables use: node key in the high half,
+    /// error bits in the low half.
+    #[inline]
+    pub fn state_key(self, error_bits: u64) -> u128 {
+        ((self.key() as u128) << 64) | error_bits as u128
+    }
 }
 
 /// Children of an error-tree node.

@@ -174,8 +174,12 @@ mod tests {
         let mut cur = data.clone();
         while cur.len() > 1 {
             let half = cur.len() / 2;
-            let avg: Vec<f64> = (0..half).map(|i| (cur[2 * i] + cur[2 * i + 1]) / 2.0).collect();
-            let det: Vec<f64> = (0..half).map(|i| (cur[2 * i] - cur[2 * i + 1]) / 2.0).collect();
+            let avg: Vec<f64> = (0..half)
+                .map(|i| (cur[2 * i] + cur[2 * i + 1]) / 2.0)
+                .collect();
+            let det: Vec<f64> = (0..half)
+                .map(|i| (cur[2 * i] - cur[2 * i + 1]) / 2.0)
+                .collect();
             averages.push(avg.clone());
             details.push(det);
             cur = avg;
@@ -299,9 +303,7 @@ mod proptests {
     use proptest::prelude::*;
 
     fn pow2_vec() -> impl Strategy<Value = Vec<f64>> {
-        (0u32..=7).prop_flat_map(|m| {
-            proptest::collection::vec(-1e6f64..1e6, 1usize << m)
-        })
+        (0u32..=7).prop_flat_map(|m| proptest::collection::vec(-1e6f64..1e6, 1usize << m))
     }
 
     proptest! {

@@ -36,7 +36,6 @@ pub enum Children {
 /// Stores the unnormalized coefficient array; all structural queries
 /// (children, paths, signs, supports) are `O(1)` or `O(log N)`.
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ErrorTree1d {
     coeffs: Vec<f64>,
 }
@@ -188,7 +187,11 @@ impl ErrorTree1d {
         let m = self.levels();
         for l in 0..m {
             let j = (1usize << l) + (i >> (m - l));
-            let sign = if (i >> (m - l - 1)) & 1 == 0 { 1.0 } else { -1.0 };
+            let sign = if (i >> (m - l - 1)) & 1 == 0 {
+                1.0
+            } else {
+                -1.0
+            };
             out.push((j, sign));
         }
         out
@@ -196,10 +199,7 @@ impl ErrorTree1d {
 
     /// Reconstructs data value `d_i` via Equation (1) (`O(log N)`).
     pub fn reconstruct(&self, i: usize) -> f64 {
-        self.path(i)
-            .iter()
-            .map(|&(j, s)| s * self.coeffs[j])
-            .sum()
+        self.path(i).iter().map(|&(j, s)| s * self.coeffs[j]).sum()
     }
 
     /// Reconstructs the full data vector (`O(N)` via the inverse transform).

@@ -37,11 +37,17 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use std::collections::HashMap;
+use wsyn_core::{pack_state_1d, DpStats, StateTable};
 
-use rand::Rng;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use wsyn_haar::{ErrorTree1d, HaarError};
-use wsyn_synopsis::Synopsis1d;
+use wsyn_synopsis::thresholder::{AnySynopsis, ThresholdRun, Thresholder};
+use wsyn_synopsis::{ErrorMetric, Synopsis1d};
+
+/// Fractional-storage quantization used when a baseline is driven through
+/// the parameterless [`Thresholder`] interface (E6's setting).
+pub const DEFAULT_Q: usize = 6;
 
 /// A fractional-storage assignment over the coefficients of a
 /// one-dimensional error tree: the output of [`MinRelVar`] / [`MinRelBias`]
@@ -52,6 +58,8 @@ pub struct ProbAssignment {
     /// `(coefficient index, y ∈ (0,1], coefficient value)` for every
     /// coefficient with positive fractional storage.
     entries: Vec<(usize, f64, f64)>,
+    /// Counters of the DP that produced this assignment.
+    stats: DpStats,
 }
 
 impl ProbAssignment {
@@ -68,6 +76,12 @@ impl ProbAssignment {
     /// Expected synopsis size `Σ y_i` (≤ the budget `B` by construction).
     pub fn expected_space(&self) -> f64 {
         self.entries.iter().map(|&(_, y, _)| y).sum()
+    }
+
+    /// Instrumentation counters of the DP run that produced this
+    /// assignment (same [`DpStats`] block as the deterministic solvers).
+    pub fn dp_stats(&self) -> DpStats {
+        self.stats
     }
 
     /// Draws one synopsis by independent biased coin flips: coefficient `i`
@@ -107,12 +121,7 @@ impl ProbAssignment {
 /// `max_k f(Σ_{j ∈ path(k)} contrib_j) / max{|d_k|, s}` over all leaves;
 /// NaN contributions are filled from the freshly computed tree (dropped
 /// coefficients contribute `c²` / `|c|` depending on the caller).
-fn max_normalized_path_sum(
-    data: &[f64],
-    sanity: f64,
-    contrib: &[f64],
-    f: fn(f64) -> f64,
-) -> f64 {
+fn max_normalized_path_sum(data: &[f64], sanity: f64, contrib: &[f64], f: fn(f64) -> f64) -> f64 {
     let tree = ErrorTree1d::from_data(data).expect("data validated upstream");
     let mut worst = 0.0f64;
     for (i, &d) in data.iter().enumerate() {
@@ -164,7 +173,8 @@ struct ProbDp<'a> {
     /// `c²(1/y - 1)` of low-probability retention, mirroring GG's
     /// constraint on admissible rounding values.
     min_units: usize,
-    memo: HashMap<(u32, u32, u64), (f64, u32, u32)>, // value, units here, left units
+    memo: StateTable<(f64, u32, u32)>, // value, units here, left units
+    leaf_evals: usize,
 }
 
 impl ProbDp<'_> {
@@ -173,10 +183,11 @@ impl ProbDp<'_> {
     fn solve(&mut self, id: usize, t: usize, v: f64) -> f64 {
         let n = self.tree.n();
         if id >= n {
+            self.leaf_evals += 1;
             return (self.combine)(v) / self.denom[id - n];
         }
-        let key = (id as u32, t as u32, v.to_bits());
-        if let Some(&(val, _, _)) = self.memo.get(&key) {
+        let key = pack_state_1d(id as u32, t as u32, v.to_bits());
+        if let Some(&(val, _, _)) = self.memo.get(key) {
             return val;
         }
         let c = self.tree.coeff(id);
@@ -225,11 +236,8 @@ impl ProbDp<'_> {
         if id >= n {
             return;
         }
-        let key = (id as u32, t as u32, v.to_bits());
-        let &(_, u, tl) = self
-            .memo
-            .get(&key)
-            .expect("trace visits only solved states");
+        let key = pack_state_1d(id as u32, t as u32, v.to_bits());
+        let &(_, u, tl) = self.memo.get(key).expect("trace visits only solved states");
         let (u, tl) = (u as usize, tl as usize);
         let c = self.tree.coeff(id);
         if u > 0 {
@@ -270,19 +278,25 @@ fn run_prob_dp(
         contribution,
         combine,
         min_units,
-        memo: HashMap::new(),
+        memo: StateTable::new(),
+        leaf_evals: 0,
     };
     let total_units = b * q;
     let _ = dp.solve(0, total_units, 0.0);
     let mut ys = Vec::new();
     dp.trace(0, total_units, 0.0, &mut ys);
-    let entries = ys
-        .into_iter()
-        .map(|(j, y)| (j, y, tree.coeff(j)))
-        .collect();
+    let entries = ys.into_iter().map(|(j, y)| (j, y, tree.coeff(j))).collect();
+    let stats = DpStats {
+        states: dp.memo.len(),
+        leaf_evals: dp.leaf_evals,
+        probes: dp.memo.probes(),
+        // Insert-only memo: final size == peak resident entries.
+        peak_live: dp.memo.len(),
+    };
     ProbAssignment {
         n: tree.n(),
         entries,
+        stats,
     }
 }
 
@@ -394,15 +408,12 @@ impl MinRelBias {
             .map(|&(j, y, c)| (j, (y * q as f64).round() as usize, c))
             .collect();
         while used < total_units {
-            let best = units
-                .iter_mut()
-                .filter(|(_, u, _)| *u < q)
-                .max_by(|x, y2| {
-                    let gain = |e: &(usize, usize, f64)| {
-                        e.2 * e.2 * q as f64 * (1.0 / e.1 as f64 - 1.0 / (e.1 + 1) as f64)
-                    };
-                    gain(x).total_cmp(&gain(y2))
-                });
+            let best = units.iter_mut().filter(|(_, u, _)| *u < q).max_by(|x, y2| {
+                let gain = |e: &(usize, usize, f64)| {
+                    e.2 * e.2 * q as f64 * (1.0 / e.1 as f64 - 1.0 / (e.1 + 1) as f64)
+                };
+                gain(x).total_cmp(&gain(y2))
+            });
             match best {
                 Some(e) => e.1 += 1,
                 None => break,
@@ -415,7 +426,69 @@ impl MinRelBias {
                 .into_iter()
                 .map(|(j, u, c)| (j, u as f64 / q as f64, c))
                 .collect(),
+            stats: a.stats,
         }
+    }
+}
+
+/// Drives a probabilistic baseline through the uniform [`Thresholder`]
+/// interface: computes the fractional-storage assignment with the default
+/// quantization [`DEFAULT_Q`] and draws **one** synopsis with a fixed seed,
+/// so repeated calls are deterministic. The reported objective is the
+/// measured maximum error of that draw (these baselines guarantee nothing
+/// about the maximum error — the point of the comparison).
+fn threshold_via_assignment(
+    data: &[f64],
+    assign: impl Fn(usize, usize, f64) -> ProbAssignment,
+    b: usize,
+    metric: ErrorMetric,
+    name: &str,
+) -> Result<ThresholdRun, String> {
+    let ErrorMetric::Relative { sanity } = metric else {
+        return Err(format!(
+            "{name} minimizes relative-error objectives only (use --metric rel:S)"
+        ));
+    };
+    let a = assign(b, DEFAULT_Q, sanity);
+    let mut rng = StdRng::seed_from_u64(0);
+    let synopsis = a.draw(&mut rng);
+    let objective = synopsis.max_error(data, metric);
+    Ok(ThresholdRun {
+        synopsis: AnySynopsis::One(synopsis),
+        objective,
+        stats: a.dp_stats(),
+    })
+}
+
+impl Thresholder for MinRelVar {
+    fn name(&self) -> &'static str {
+        "minrelvar"
+    }
+
+    fn threshold(&self, b: usize, metric: ErrorMetric) -> Result<ThresholdRun, String> {
+        threshold_via_assignment(
+            &self.data,
+            |b, q, s| self.assign(b, q, s),
+            b,
+            metric,
+            "MinRelVar",
+        )
+    }
+}
+
+impl Thresholder for MinRelBias {
+    fn name(&self) -> &'static str {
+        "minrelbias"
+    }
+
+    fn threshold(&self, b: usize, metric: ErrorMetric) -> Result<ThresholdRun, String> {
+        threshold_via_assignment(
+            &self.data,
+            |b, q, s| self.assign(b, q, s),
+            b,
+            metric,
+            "MinRelBias",
+        )
     }
 }
 
@@ -466,6 +539,7 @@ mod tests {
         let a = ProbAssignment {
             n: 8,
             entries: vec![(0, 0.5, 4.0), (1, 0.25, -2.0), (3, 1.0, 1.5)],
+            stats: DpStats::default(),
         };
         let mut rng = StdRng::seed_from_u64(42);
         let trials = 20000usize;
@@ -529,7 +603,11 @@ mod tests {
             .filter(|&j| tree.coeff(j) != 0.0)
             .map(|j| (j, 0.5, tree.coeff(j)))
             .collect();
-        let a = ProbAssignment { n: 8, entries };
+        let a = ProbAssignment {
+            n: 8,
+            entries,
+            stats: DpStats::default(),
+        };
         let mut errors = std::collections::HashSet::new();
         for seed in 0..32u64 {
             let mut rng = StdRng::seed_from_u64(seed);

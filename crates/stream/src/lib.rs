@@ -31,7 +31,19 @@
 use wsyn_haar::{is_pow2, log2_exact, transform, ErrorTree1d, HaarError};
 use wsyn_synopsis::greedy::greedy_l2_1d;
 use wsyn_synopsis::one_dim::MinMaxErr;
-use wsyn_synopsis::{ErrorMetric, Synopsis1d};
+use wsyn_synopsis::{ErrorMetric, Synopsis1d, Thresholder};
+
+/// Builds the thresholding algorithm [`AdaptiveMaxErrSynopsis`] re-runs on
+/// rebuild, from the *current* maintained data. A plain function pointer so
+/// the policy stays `Debug` and trivially copyable; the produced algorithm
+/// should provide a max-error guarantee for the drift bound to be
+/// meaningful.
+pub type ThresholderFactory = fn(&[f64]) -> Result<Box<dyn Thresholder>, String>;
+
+/// The default rebuild factory: the optimal 1-D `MinMaxErr` DP.
+fn minmax_factory(data: &[f64]) -> Result<Box<dyn Thresholder>, String> {
+    Ok(Box::new(MinMaxErr::new(data).map_err(|e| e.to_string())?))
+}
 
 /// Exact dynamic maintenance of a 1-D Haar coefficient array under point
 /// updates.
@@ -123,7 +135,11 @@ impl DynamicErrorTree {
         for l in 0..m {
             let j = (1usize << l) + (i >> (m - l));
             let support = n >> l;
-            let sign = if (i >> (m - l - 1)) & 1 == 0 { 1.0 } else { -1.0 };
+            let sign = if (i >> (m - l - 1)) & 1 == 0 {
+                1.0
+            } else {
+                -1.0
+            };
             self.coeffs[j] += sign * delta / support as f64;
         }
     }
@@ -238,6 +254,7 @@ pub struct AdaptiveMaxErrSynopsis {
     drift_abs: f64,
     rebuilds: u64,
     current: Synopsis1d,
+    factory: ThresholderFactory,
 }
 
 impl AdaptiveMaxErrSynopsis {
@@ -258,18 +275,42 @@ impl AdaptiveMaxErrSynopsis {
         metric: ErrorMetric,
         tolerance: f64,
     ) -> Result<Self, HaarError> {
+        let tree = DynamicErrorTree::new(data)?; // validates the domain
+        Ok(
+            Self::with_factory(tree, b, metric, tolerance, minmax_factory)
+                .expect("minmax accepts every validated domain"),
+        )
+    }
+
+    /// Like [`Self::new`], but rebuilding with an arbitrary
+    /// [`Thresholder`] produced by `factory` (e.g. a cheaper approximate
+    /// scheme when rebuild latency matters more than tightness).
+    ///
+    /// # Errors
+    /// Propagates the factory's or the thresholder's refusal.
+    ///
+    /// # Panics
+    /// Panics when `tolerance < 1`.
+    pub fn with_factory(
+        tree: DynamicErrorTree,
+        b: usize,
+        metric: ErrorMetric,
+        tolerance: f64,
+        factory: ThresholderFactory,
+    ) -> Result<Self, String> {
         assert!(tolerance >= 1.0, "tolerance must be >= 1");
-        let tree = DynamicErrorTree::new(data)?;
-        let result = MinMaxErr::new(data)?.run(b, metric);
+        let run = factory(tree.data())?.threshold(b, metric)?;
+        let current = run.synopsis.into_one("the rebuild policy")?;
         Ok(Self {
             tree,
             b,
             metric,
             tolerance,
-            built_objective: result.objective,
+            built_objective: run.objective,
             drift_abs: 0.0,
             rebuilds: 0,
-            current: result.synopsis,
+            current,
+            factory,
         })
     }
 
@@ -305,13 +346,17 @@ impl AdaptiveMaxErrSynopsis {
         self.built_objective + self.drift_abs
     }
 
-    /// Forces a rebuild of the optimal synopsis from the current data.
+    /// Forces a rebuild of the synopsis from the current data, via the
+    /// configured [`ThresholderFactory`].
     pub fn rebuild(&mut self) {
-        let result = MinMaxErr::new(self.tree.data())
-            .expect("validated domain")
-            .run(self.b, self.metric);
-        self.built_objective = result.objective;
-        self.current = result.synopsis;
+        let run = (self.factory)(self.tree.data())
+            .and_then(|t| t.threshold(self.b, self.metric))
+            .expect("factory accepted this (budget, metric) at construction");
+        self.built_objective = run.objective;
+        self.current = run
+            .synopsis
+            .into_one("the rebuild policy")
+            .expect("factory produced a 1-D synopsis at construction");
         self.drift_abs = 0.0;
         self.rebuilds += 1;
     }
@@ -342,6 +387,27 @@ mod tests {
     use super::*;
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn custom_factory_drives_rebuilds() {
+        let data = [2.0, 2.0, 0.0, 2.0, 3.0, 5.0, 4.0, 4.0];
+        let metric = ErrorMetric::absolute();
+        // A factory is any fn producing a Thresholder; this one is the
+        // default algorithm, so the policy must behave identically to
+        // `new` while exercising the factory path end to end.
+        let factory: ThresholderFactory =
+            |d| Ok(Box::new(MinMaxErr::new(d).map_err(|e| e.to_string())?));
+        let tree = DynamicErrorTree::new(&data).unwrap();
+        let mut via_factory =
+            AdaptiveMaxErrSynopsis::with_factory(tree, 3, metric, 2.0, factory).unwrap();
+        let mut via_default = AdaptiveMaxErrSynopsis::new(&data, 3, metric, 2.0).unwrap();
+        assert_eq!(via_factory.built_objective(), via_default.built_objective());
+        for (i, delta) in [(3usize, 4.0), (0, -6.0), (5, 9.0), (6, -3.0)] {
+            assert_eq!(via_factory.update(i, delta), via_default.update(i, delta));
+            assert_eq!(via_factory.synopsis(), via_default.synopsis());
+        }
+        assert_eq!(via_factory.rebuilds(), via_default.rebuilds());
+    }
 
     #[test]
     fn update_matches_recompute() {
@@ -403,8 +469,7 @@ mod tests {
             reference[i] += delta;
         }
         m.refresh();
-        let from_scratch =
-            greedy_l2_1d(&ErrorTree1d::from_data(&reference).unwrap(), 6);
+        let from_scratch = greedy_l2_1d(&ErrorTree1d::from_data(&reference).unwrap(), 6);
         // Same indices; values equal up to update round-off.
         assert_eq!(m.synopsis().indices(), from_scratch.indices());
         for (a, b) in m.synopsis().entries().iter().zip(from_scratch.entries()) {
@@ -415,8 +480,7 @@ mod tests {
     #[test]
     fn adaptive_guarantee_is_conservative() {
         let data: Vec<f64> = (0..64).map(|i| ((i * 11 + 5) % 23) as f64).collect();
-        let mut a =
-            AdaptiveMaxErrSynopsis::new(&data, 8, ErrorMetric::absolute(), 1e18).unwrap();
+        let mut a = AdaptiveMaxErrSynopsis::new(&data, 8, ErrorMetric::absolute(), 1e18).unwrap();
         // With an enormous tolerance no rebuild happens; the conservative
         // guarantee must still upper-bound the true error after updates.
         let mut rng = StdRng::seed_from_u64(5);
@@ -439,8 +503,7 @@ mod tests {
     #[test]
     fn adaptive_rebuilds_restore_optimality() {
         let data: Vec<f64> = (0..32).map(|i| (i % 7) as f64 + 1.0).collect();
-        let mut a =
-            AdaptiveMaxErrSynopsis::new(&data, 6, ErrorMetric::absolute(), 1.5).unwrap();
+        let mut a = AdaptiveMaxErrSynopsis::new(&data, 6, ErrorMetric::absolute(), 1.5).unwrap();
         let mut rng = StdRng::seed_from_u64(6);
         let mut rebuild_seen = false;
         for _ in 0..300 {

@@ -23,6 +23,10 @@
 //!   log-domain Haar synopses whose absolute-error machinery yields
 //!   multiplicative (relative-error) guarantees.
 //! * [`metric`] / [`synopsis`] — shared error metrics and synopsis types.
+//! * [`thresholder`] — the [`thresholder::Thresholder`] trait giving every
+//!   algorithm (including the `wsyn-prob` baselines) one `(budget, metric)
+//!   → synopsis` interface for uniform dispatch in the CLI, AQP, streaming
+//!   and experiment layers.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -36,6 +40,8 @@ pub mod oracle;
 pub mod prop33;
 #[allow(clippy::module_inception)]
 pub mod synopsis;
+pub mod thresholder;
 
 pub use metric::{rmse, ErrorMetric};
 pub use synopsis::{Synopsis1d, SynopsisNd};
+pub use thresholder::{AnySynopsis, ThresholdRun, Thresholder};

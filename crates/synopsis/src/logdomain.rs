@@ -138,7 +138,9 @@ mod tests {
     use super::*;
 
     fn positive_data() -> Vec<f64> {
-        (0..32).map(|i| (((i * 13 + 7) % 29) as f64) * 4.0 + 1.0).collect()
+        (0..32)
+            .map(|i| (((i * 13 + 7) % 29) as f64) * 4.0 + 1.0)
+            .collect()
     }
 
     #[test]

@@ -11,7 +11,6 @@
 
 /// Target maximum-error metric for synopsis construction.
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum ErrorMetric {
     /// Maximum relative error with sanity bound `s > 0`.
     Relative {

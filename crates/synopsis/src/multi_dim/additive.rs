@@ -18,9 +18,7 @@
 //! errors are ≥ 1 — integer-valued data (frequency counts, OLAP measures)
 //! already is.
 
-use std::collections::HashMap;
-use std::rc::Rc;
-
+use wsyn_core::{DpStats, RowArena, RowId, StateTable};
 use wsyn_haar::nd::{NdArray, NodeChildren, NodeCoeff};
 use wsyn_haar::{ErrorTreeNd, HaarError, NodeRef};
 
@@ -43,14 +41,6 @@ pub fn round_eps(v: f64, eps: f64) -> f64 {
     } else {
         -(1.0 + eps).powi(l.ceil() as i32)
     }
-}
-
-/// One memoized DP row: for a `(node, incoming error)` pair, the optimal
-/// approximate objective per budget `0..=B`, plus the winning retained
-/// coefficient subset mask for traceback.
-struct NodeRow {
-    values: Vec<f64>,
-    choice: Vec<u32>,
 }
 
 /// The ε-additive multi-dimensional thresholding scheme.
@@ -113,8 +103,10 @@ impl AdditiveScheme {
             denom,
             b,
             eps: eps_step,
-            memo: HashMap::new(),
+            memo: StateTable::new(),
+            arena: RowArena::new(),
             states: 0,
+            leaf_evals: 0,
         };
         let mut retained = Vec::new();
         // Root: single average coefficient, contribution sign +1 to its one
@@ -134,9 +126,10 @@ impl AdditiveScheme {
             NodeChildren::Nodes(nodes) => {
                 let top = nodes[0];
                 let drop_row = solver.node_row(top, round_eps(avg, eps_step));
-                let drop_val = drop_row.values[b];
+                let drop_val = solver.arena.values(drop_row)[b];
                 let keep_val = if b >= 1 && avg != 0.0 {
-                    solver.node_row(top, 0.0).values[b - 1]
+                    let keep_row = solver.node_row(top, 0.0);
+                    solver.arena.values(keep_row)[b - 1]
                 } else {
                     f64::INFINITY
                 };
@@ -165,6 +158,7 @@ impl AdditiveScheme {
             dp_objective,
             true_objective,
             states: solver.states,
+            stats: solver.stats(),
         }
     }
 }
@@ -174,16 +168,29 @@ struct Solver<'a> {
     denom: Vec<f64>,
     b: usize,
     eps: f64,
-    memo: HashMap<(u64, u64), Rc<NodeRow>>,
+    memo: StateTable<RowId>,
+    arena: RowArena<f64>,
     states: usize,
+    leaf_evals: usize,
 }
 
 impl Solver<'_> {
+    fn stats(&self) -> DpStats {
+        DpStats {
+            states: self.states,
+            leaf_evals: self.leaf_evals,
+            probes: self.memo.probes(),
+            // Arena rows live for the whole solve, so the peak is the
+            // total number of budget cells materialized.
+            peak_live: self.arena.elements(),
+        }
+    }
+
     /// Computes (or fetches) the complete budget row for `(node, e)`.
-    fn node_row(&mut self, node: NodeRef, e: f64) -> Rc<NodeRow> {
-        let key = (node.key(), e.to_bits());
-        if let Some(row) = self.memo.get(&key) {
-            return Rc::clone(row);
+    fn node_row(&mut self, node: NodeRef, e: f64) -> RowId {
+        let key = node.state_key(e.to_bits());
+        if let Some(&row) = self.memo.get(key) {
+            return row;
         }
         let coeffs: Vec<_> = self
             .tree
@@ -211,8 +218,8 @@ impl Solver<'_> {
             }
         }
         self.states += values.len();
-        let row = Rc::new(NodeRow { values, choice });
-        self.memo.insert(key, Rc::clone(&row));
+        let row = self.arena.alloc(values, choice);
+        self.memo.insert(key, row);
         row
     }
 
@@ -260,14 +267,20 @@ impl Solver<'_> {
                 .zip(e_children)
                 .map(|(n, &ec)| ChildVal::Row(self.node_row(*n, ec)))
                 .collect(),
-            NodeChildren::Cells(cells) => cells
-                .iter()
-                .zip(e_children)
-                .map(|(&cell, &ec)| ChildVal::Const(ec.abs() / self.denom[cell]))
-                .collect(),
+            NodeChildren::Cells(cells) => {
+                self.leaf_evals += cells.len();
+                cells
+                    .iter()
+                    .zip(e_children)
+                    .map(|(&cell, &ec)| ChildVal::Const(ec.abs() / self.denom[cell]))
+                    .collect()
+            }
         };
+        let arena = &self.arena;
         let mut tables: Vec<Vec<f64>> = vec![Vec::new(); m];
-        tables[m - 1] = (0..=avail).map(|b| child_vals[m - 1].get(b)).collect();
+        tables[m - 1] = (0..=avail)
+            .map(|b| child_vals[m - 1].get(arena, b))
+            .collect();
         for i in (0..m - 1).rev() {
             let mut row = vec![f64::INFINITY; avail + 1];
             for (b, slot) in row.iter_mut().enumerate() {
@@ -275,7 +288,7 @@ impl Solver<'_> {
                     &mut (),
                     b,
                     SplitSearch::Binary,
-                    |_, bp| child_vals[i].get(bp),
+                    |_, bp| child_vals[i].get(arena, bp),
                     |_, bp| tables[i + 1][b - bp],
                 );
                 *slot = v;
@@ -289,7 +302,7 @@ impl Solver<'_> {
     /// `(node, b, e)` and recurses into children with their allotments.
     fn trace(&mut self, node: NodeRef, b: usize, e: f64, out: &mut Vec<usize>) {
         let row = self.node_row(node, e);
-        let s_mask = row.choice[b];
+        let s_mask = self.arena.choices(row)[b];
         let coeffs: Vec<_> = self
             .tree
             .node_coeffs(node)
@@ -308,7 +321,7 @@ impl Solver<'_> {
         let tables = self.alloc_suffix(&children, &e_children, avail);
         if let NodeChildren::Nodes(nodes) = &children {
             // Walk the suffix tables extracting each child's allotment.
-            let child_rows: Vec<Rc<NodeRow>> = nodes
+            let child_rows: Vec<RowId> = nodes
                 .iter()
                 .zip(&e_children)
                 .map(|(n, &ec)| self.node_row(*n, ec))
@@ -319,11 +332,12 @@ impl Solver<'_> {
                 let bi = if i + 1 == m {
                     budget
                 } else {
+                    let arena = &self.arena;
                     let (_, bi) = best_split(
                         &mut (),
                         budget,
                         SplitSearch::Binary,
-                        |_, bp| child_rows[i].values[bp],
+                        |_, bp| arena.values(child_rows[i])[bp],
                         |_, bp| tables[i + 1][budget - bp],
                     );
                     bi
@@ -337,15 +351,15 @@ impl Solver<'_> {
 }
 
 enum ChildVal {
-    Row(Rc<NodeRow>),
+    Row(RowId),
     Const(f64),
 }
 
 impl ChildVal {
     #[inline]
-    fn get(&self, b: usize) -> f64 {
+    fn get(&self, arena: &RowArena<f64>, b: usize) -> f64 {
         match self {
-            ChildVal::Row(r) => r.values[b],
+            ChildVal::Row(r) => arena.values(*r)[b],
             ChildVal::Const(v) => *v,
         }
     }
@@ -374,6 +388,59 @@ mod tests {
         // Negative: rounds value down (magnitude up).
         let r = round_eps(-2.0, eps);
         assert!((-2.0 * 1.5..=-2.0).contains(&r), "{r}");
+    }
+
+    /// `true` iff `r` lies on the rounding grid `{0} ∪ {±(1+eps)^k, k ≥ 0}`
+    /// (bitwise, since `powi` is deterministic).
+    fn on_grid(r: f64, eps: f64) -> bool {
+        if r == 0.0 {
+            return true;
+        }
+        let k = (r.abs().ln() / (1.0 + eps).ln()).round() as i32;
+        k >= 0 && (1.0 + eps).powi(k) == r.abs()
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(256))]
+
+        /// At exact breakpoints `±(1+ε)^k` the result must stay on the
+        /// grid, never overshoot `v` towards `+∞`, and stay within one
+        /// grid step — even when `ln`-noise makes `l` land a hair off `k`.
+        #[test]
+        fn round_eps_at_exact_breakpoints(
+            k in 0i32..60,
+            eps_tenths in 1u32..=20,
+            negative in 0u32..2,
+        ) {
+            let eps = eps_tenths as f64 / 10.0;
+            let mag = (1.0 + eps).powi(k);
+            let v = if negative == 1 { -mag } else { mag };
+            let r = round_eps(v, eps);
+            proptest::prop_assert!(on_grid(r, eps), "v={v} r={r} off-grid");
+            let slack = if v > 0.0 { 1.0 + 1e-12 } else { 1.0 - 1e-12 };
+            proptest::prop_assert!(r <= v * slack, "rounded up: v={v} r={r}");
+            proptest::prop_assert!(
+                r.abs() >= mag / (1.0 + eps) * (1.0 - 1e-12)
+                    && r.abs() <= mag * (1.0 + eps) * (1.0 + 1e-12),
+                "more than one grid step: v={v} r={r}"
+            );
+            proptest::prop_assert!(r.signum() == v.signum());
+        }
+
+        /// Magnitudes strictly below 1 round to exactly 0 — all the way up
+        /// to the last representable `f64` below 1.
+        #[test]
+        fn round_eps_just_below_one_is_zero(
+            ulps_below in 1u64..1_000_000,
+            eps_tenths in 1u32..=20,
+            negative in 0u32..2,
+        ) {
+            let eps = eps_tenths as f64 / 10.0;
+            let mag = f64::from_bits(1.0f64.to_bits() - ulps_below);
+            proptest::prop_assert!(mag < 1.0);
+            let v = if negative == 1 { -mag } else { mag };
+            proptest::prop_assert_eq!(round_eps(v, eps), 0.0);
+        }
     }
 
     #[test]
@@ -416,7 +483,9 @@ mod tests {
     fn within_additive_guarantee_of_oracle_2d() {
         // Theorem 3.2: true objective ≤ OPT + ε·R (plus the sub-1 rounding
         // truncation slack, bounded by one unit per hop).
-        let vals: Vec<f64> = (0..16).map(|i| (((i * 11 + 5) % 23) as f64) * 8.0).collect();
+        let vals: Vec<f64> = (0..16)
+            .map(|i| (((i * 11 + 5) % 23) as f64) * 8.0)
+            .collect();
         let arr = cube(4, 2, vals.clone());
         let s = AdditiveScheme::new(&arr).unwrap();
         let tree = s.tree();
@@ -429,8 +498,7 @@ mod tests {
         for b in [1usize, 2, 4, 6] {
             for eps in [0.5, 0.1] {
                 let r = s.run(b, ErrorMetric::absolute(), eps);
-                let opt =
-                    oracle::exhaustive_nd(tree, &vals, b, ErrorMetric::absolute()).objective;
+                let opt = oracle::exhaustive_nd(tree, &vals, b, ErrorMetric::absolute()).objective;
                 assert!(
                     r.true_objective <= opt + eps * r_max + hops + 1e-9,
                     "b={b} eps={eps}: got {} vs opt {opt} (R={r_max})",

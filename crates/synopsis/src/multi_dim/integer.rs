@@ -18,9 +18,7 @@
 //! extension: integer incoming errors, float values normalized at the
 //! leaves by `max{|d_i|, s}`.
 
-use std::collections::HashMap;
-use std::rc::Rc;
-
+use wsyn_core::{DpStats, RowArena, RowId, StateTable};
 use wsyn_haar::int::{self, ScaledCoeffs};
 use wsyn_haar::nd::{NdArray, NdShape, NodeChildren};
 use wsyn_haar::{ErrorTreeNd, HaarError, NodeRef};
@@ -43,6 +41,8 @@ pub(crate) struct IntDpOutcome {
     pub retained: Vec<usize>,
     /// DP states materialized.
     pub states: usize,
+    /// Unified DP statistics.
+    pub stats: DpStats,
 }
 
 /// Exact optimal absolute-error thresholding via the pseudo-polynomial
@@ -106,6 +106,7 @@ impl IntegerExact {
             dp_objective: value as f64 / self.scaled.scale as f64,
             true_objective,
             states: outcome.states,
+            stats: outcome.stats,
         }
     }
 
@@ -124,14 +125,20 @@ impl IntegerExact {
         // Leaf denominators in *scaled* units: the DP errors carry the
         // 2^{D·m} scale, so denominators must too.
         let scale = self.scaled.scale as f64;
-        let denom: Vec<f64> = self.data_f64.iter().map(|&d| metric.denom(d) * scale).collect();
+        let denom: Vec<f64> = self
+            .data_f64
+            .iter()
+            .map(|&d| metric.denom(d) * scale)
+            .collect();
         let mut solver = RelSolver {
             tree: &self.tree,
             coeff: &self.scaled.coeffs,
             denom: &denom,
             b,
-            memo: HashMap::new(),
+            memo: StateTable::new(),
+            arena: RowArena::new(),
             states: 0,
+            leaf_evals: 0,
         };
         let avg = self.scaled.coeffs[0];
         let mut retained = Vec::new();
@@ -146,9 +153,11 @@ impl IntegerExact {
             }
             NodeChildren::Nodes(nodes) => {
                 let top = nodes[0];
-                let drop_val = solver.node_row(top, avg).values[b];
+                let drop_row = solver.node_row(top, avg);
+                let drop_val = solver.arena.values(drop_row)[b];
                 let keep_val = if b >= 1 && avg != 0 {
-                    solver.node_row(top, 0).values[b - 1]
+                    let keep_row = solver.node_row(top, 0);
+                    solver.arena.values(keep_row)[b - 1]
                 } else {
                     f64::INFINITY
                 };
@@ -173,28 +182,35 @@ impl IntegerExact {
             dp_objective: value,
             true_objective,
             states: solver.states,
+            stats: solver.stats(),
         }
     }
 }
 
 /// Relative-error variant of the integer DP: exact integer incoming
 /// errors, float DP values (normalized at the leaves).
-struct RelRow {
-    values: Vec<f64>,
-    choice: Vec<u32>,
-}
-
 struct RelSolver<'a> {
     tree: &'a ErrorTreeNd,
     coeff: &'a [i64],
     /// Per-cell denominator in scaled units.
     denom: &'a [f64],
     b: usize,
-    memo: HashMap<(u64, i64), Rc<RelRow>>,
+    memo: StateTable<RowId>,
+    arena: RowArena<f64>,
     states: usize,
+    leaf_evals: usize,
 }
 
 impl RelSolver<'_> {
+    fn stats(&self) -> DpStats {
+        DpStats {
+            states: self.states,
+            leaf_evals: self.leaf_evals,
+            probes: self.memo.probes(),
+            peak_live: self.arena.elements(),
+        }
+    }
+
     fn coeffs_of(&self, node: NodeRef) -> Vec<CoeffI> {
         self.tree
             .node_coeffs(node)
@@ -211,10 +227,10 @@ impl RelSolver<'_> {
             .collect()
     }
 
-    fn node_row(&mut self, node: NodeRef, e: i64) -> Rc<RelRow> {
-        let key = (node.key(), e);
-        if let Some(row) = self.memo.get(&key) {
-            return Rc::clone(row);
+    fn node_row(&mut self, node: NodeRef, e: i64) -> RowId {
+        let key = node.state_key(e as u64);
+        if let Some(&row) = self.memo.get(key) {
+            return row;
         }
         let coeffs = self.coeffs_of(node);
         let children = self.tree.children(node);
@@ -237,8 +253,8 @@ impl RelSolver<'_> {
             }
         }
         self.states += values.len();
-        let row = Rc::new(RelRow { values, choice });
-        self.memo.insert(key, Rc::clone(&row));
+        let row = self.arena.alloc(values, choice);
+        self.memo.insert(key, row);
         row
     }
 
@@ -255,14 +271,20 @@ impl RelSolver<'_> {
                 .zip(e_children)
                 .map(|(n, &ec)| ChildValRel::Row(self.node_row(*n, ec)))
                 .collect(),
-            NodeChildren::Cells(cells) => cells
-                .iter()
-                .zip(e_children)
-                .map(|(&cell, &ec)| ChildValRel::Const(ec.abs() as f64 / self.denom[cell]))
-                .collect(),
+            NodeChildren::Cells(cells) => {
+                self.leaf_evals += cells.len();
+                cells
+                    .iter()
+                    .zip(e_children)
+                    .map(|(&cell, &ec)| ChildValRel::Const(ec.abs() as f64 / self.denom[cell]))
+                    .collect()
+            }
         };
+        let arena = &self.arena;
         let mut tables: Vec<Vec<f64>> = vec![Vec::new(); m];
-        tables[m - 1] = (0..=avail).map(|b| child_vals[m - 1].get(b)).collect();
+        tables[m - 1] = (0..=avail)
+            .map(|b| child_vals[m - 1].get(arena, b))
+            .collect();
         for i in (0..m - 1).rev() {
             let mut row = vec![f64::INFINITY; avail + 1];
             for (b, slot) in row.iter_mut().enumerate() {
@@ -270,7 +292,7 @@ impl RelSolver<'_> {
                     &mut (),
                     b,
                     SplitSearch::Binary,
-                    |_, bp| child_vals[i].get(bp),
+                    |_, bp| child_vals[i].get(arena, bp),
                     |_, bp| tables[i + 1][b - bp],
                 );
                 *slot = v;
@@ -282,7 +304,7 @@ impl RelSolver<'_> {
 
     fn trace(&mut self, node: NodeRef, b: usize, e: i64, out: &mut Vec<usize>) {
         let row = self.node_row(node, e);
-        let s_mask = row.choice[b];
+        let s_mask = self.arena.choices(row)[b];
         let coeffs = self.coeffs_of(node);
         for (ci, c) in coeffs.iter().enumerate() {
             if s_mask >> ci & 1 == 1 {
@@ -295,7 +317,7 @@ impl RelSolver<'_> {
         let avail = b - cost;
         let tables = self.alloc_suffix(&children, &e_children, avail);
         if let NodeChildren::Nodes(nodes) = &children {
-            let child_rows: Vec<Rc<RelRow>> = nodes
+            let child_rows: Vec<RowId> = nodes
                 .iter()
                 .zip(&e_children)
                 .map(|(n, &ec)| self.node_row(*n, ec))
@@ -306,11 +328,12 @@ impl RelSolver<'_> {
                 let bi = if i + 1 == m {
                     budget
                 } else {
+                    let arena = &self.arena;
                     best_split(
                         &mut (),
                         budget,
                         SplitSearch::Binary,
-                        |_, bp| child_rows[i].values[bp],
+                        |_, bp| arena.values(child_rows[i])[bp],
                         |_, bp| tables[i + 1][budget - bp],
                     )
                     .1
@@ -323,15 +346,15 @@ impl RelSolver<'_> {
 }
 
 enum ChildValRel {
-    Row(Rc<RelRow>),
+    Row(RowId),
     Const(f64),
 }
 
 impl ChildValRel {
     #[inline]
-    fn get(&self, b: usize) -> f64 {
+    fn get(&self, arena: &RowArena<f64>, b: usize) -> f64 {
         match self {
-            ChildValRel::Row(r) => r.values[b],
+            ChildValRel::Row(r) => arena.values(*r)[b],
             ChildValRel::Const(v) => *v,
         }
     }
@@ -353,8 +376,10 @@ pub(crate) fn run_int_dp(
         coeff,
         forced,
         b,
-        memo: HashMap::new(),
+        memo: StateTable::new(),
+        arena: RowArena::new(),
         states: 0,
+        leaf_evals: 0,
     };
     let avg = coeff[0];
     let forced0 = forced.map(|f| f[0]).unwrap_or(false);
@@ -375,10 +400,12 @@ pub(crate) fn run_int_dp(
             let drop_val = if forced0 {
                 INFEASIBLE
             } else {
-                solver.node_row(top, avg).values[b]
+                let row = solver.node_row(top, avg);
+                solver.arena.values(row)[b]
             };
             let keep_val = if b >= 1 && avg != 0 {
-                solver.node_row(top, 0).values[b - 1]
+                let row = solver.node_row(top, 0);
+                solver.arena.values(row)[b - 1]
             } else {
                 INFEASIBLE
             };
@@ -394,6 +421,7 @@ pub(crate) fn run_int_dp(
             value: None,
             retained: Vec::new(),
             states: solver.states,
+            stats: solver.stats(),
         };
     }
     if keep_avg {
@@ -407,12 +435,8 @@ pub(crate) fn run_int_dp(
         value: Some(value),
         retained,
         states: solver.states,
+        stats: solver.stats(),
     }
-}
-
-struct RowI {
-    values: Vec<i64>,
-    choice: Vec<u32>,
 }
 
 /// A node coefficient in integer form.
@@ -429,11 +453,22 @@ struct IntSolver<'a> {
     coeff: &'a [i64],
     forced: Option<&'a [bool]>,
     b: usize,
-    memo: HashMap<(u64, i64), Rc<RowI>>,
+    memo: StateTable<RowId>,
+    arena: RowArena<i64>,
     states: usize,
+    leaf_evals: usize,
 }
 
 impl IntSolver<'_> {
+    fn stats(&self) -> DpStats {
+        DpStats {
+            states: self.states,
+            leaf_evals: self.leaf_evals,
+            probes: self.memo.probes(),
+            peak_live: self.arena.elements(),
+        }
+    }
+
     /// Non-zero integer coefficients of a node (zero coefficients are never
     /// retained and contribute nothing when dropped).
     fn coeffs_of(&self, node: NodeRef) -> Vec<CoeffI> {
@@ -460,10 +495,10 @@ impl IntSolver<'_> {
             .collect()
     }
 
-    fn node_row(&mut self, node: NodeRef, e: i64) -> Rc<RowI> {
-        let key = (node.key(), e);
-        if let Some(row) = self.memo.get(&key) {
-            return Rc::clone(row);
+    fn node_row(&mut self, node: NodeRef, e: i64) -> RowId {
+        let key = node.state_key(e as u64);
+        if let Some(&row) = self.memo.get(key) {
+            return row;
         }
         let coeffs = self.coeffs_of(node);
         let children = self.tree.children(node);
@@ -495,8 +530,8 @@ impl IntSolver<'_> {
             }
         }
         self.states += values.len();
-        let row = Rc::new(RowI { values, choice });
-        self.memo.insert(key, Rc::clone(&row));
+        let row = self.arena.alloc(values, choice);
+        self.memo.insert(key, row);
         row
     }
 
@@ -513,13 +548,19 @@ impl IntSolver<'_> {
                 .zip(e_children)
                 .map(|(n, &ec)| ChildValI::Row(self.node_row(*n, ec)))
                 .collect(),
-            NodeChildren::Cells(_) => e_children
-                .iter()
-                .map(|&ec| ChildValI::Const(ec.abs()))
-                .collect(),
+            NodeChildren::Cells(_) => {
+                self.leaf_evals += e_children.len();
+                e_children
+                    .iter()
+                    .map(|&ec| ChildValI::Const(ec.abs()))
+                    .collect()
+            }
         };
+        let arena = &self.arena;
         let mut tables: Vec<Vec<i64>> = vec![Vec::new(); m];
-        tables[m - 1] = (0..=avail).map(|b| child_vals[m - 1].get(b)).collect();
+        tables[m - 1] = (0..=avail)
+            .map(|b| child_vals[m - 1].get(arena, b))
+            .collect();
         for i in (0..m - 1).rev() {
             let mut row = vec![INFEASIBLE; avail + 1];
             for (b, slot) in row.iter_mut().enumerate() {
@@ -527,7 +568,7 @@ impl IntSolver<'_> {
                     &mut (),
                     b,
                     SplitSearch::Binary,
-                    |_, bp| child_vals[i].get(bp),
+                    |_, bp| child_vals[i].get(arena, bp),
                     |_, bp| tables[i + 1][b - bp],
                 );
                 *slot = v;
@@ -539,8 +580,12 @@ impl IntSolver<'_> {
 
     fn trace(&mut self, node: NodeRef, b: usize, e: i64, out: &mut Vec<usize>) {
         let row = self.node_row(node, e);
-        debug_assert_ne!(row.values[b], INFEASIBLE, "tracing infeasible state");
-        let s_mask = row.choice[b];
+        debug_assert_ne!(
+            self.arena.values(row)[b],
+            INFEASIBLE,
+            "tracing infeasible state"
+        );
+        let s_mask = self.arena.choices(row)[b];
         let coeffs = self.coeffs_of(node);
         for (ci, c) in coeffs.iter().enumerate() {
             if s_mask >> ci & 1 == 1 {
@@ -553,7 +598,7 @@ impl IntSolver<'_> {
         let avail = b - cost;
         let tables = self.alloc_suffix(&children, &e_children, avail);
         if let NodeChildren::Nodes(nodes) = &children {
-            let child_rows: Vec<Rc<RowI>> = nodes
+            let child_rows: Vec<RowId> = nodes
                 .iter()
                 .zip(&e_children)
                 .map(|(n, &ec)| self.node_row(*n, ec))
@@ -564,11 +609,12 @@ impl IntSolver<'_> {
                 let bi = if i + 1 == m {
                     budget
                 } else {
+                    let arena = &self.arena;
                     best_split(
                         &mut (),
                         budget,
                         SplitSearch::Binary,
-                        |_, bp| child_rows[i].values[bp],
+                        |_, bp| arena.values(child_rows[i])[bp],
                         |_, bp| tables[i + 1][budget - bp],
                     )
                     .1
@@ -581,12 +627,7 @@ impl IntSolver<'_> {
 }
 
 /// Integer incoming error for each child quadrant.
-fn child_errors_int(
-    e: i64,
-    coeffs: &[CoeffI],
-    s_mask: u32,
-    children: &NodeChildren,
-) -> Vec<i64> {
+fn child_errors_int(e: i64, coeffs: &[CoeffI], s_mask: u32, children: &NodeChildren) -> Vec<i64> {
     let count = match children {
         NodeChildren::Nodes(v) => v.len(),
         NodeChildren::Cells(v) => v.len(),
@@ -612,15 +653,15 @@ fn child_errors_int(
 }
 
 enum ChildValI {
-    Row(Rc<RowI>),
+    Row(RowId),
     Const(i64),
 }
 
 impl ChildValI {
     #[inline]
-    fn get(&self, b: usize) -> i64 {
+    fn get(&self, arena: &RowArena<i64>, b: usize) -> i64 {
         match self {
-            ChildValI::Row(r) => r.values[b],
+            ChildValI::Row(r) => arena.values(*r)[b],
             ChildValI::Const(v) => *v,
         }
     }
@@ -643,9 +684,8 @@ mod tests {
         let data_f64: Vec<f64> = data.iter().map(|&v| v as f64).collect();
         for b in 0..=8usize {
             let r = solver.run(b);
-            let opt =
-                oracle::exhaustive_nd(solver.tree(), &data_f64, b, ErrorMetric::absolute())
-                    .objective;
+            let opt = oracle::exhaustive_nd(solver.tree(), &data_f64, b, ErrorMetric::absolute())
+                .objective;
             assert!(
                 (r.true_objective - opt).abs() < 1e-9,
                 "b={b}: {} vs oracle {opt}",
@@ -768,13 +808,9 @@ mod rel_tests {
         let data_f64: Vec<f64> = data.iter().map(|&v| v as f64).collect();
         for b in 0..=8usize {
             let r = solver.run_relative(b, 1.0);
-            let opt = oracle::exhaustive_nd(
-                solver.tree(),
-                &data_f64,
-                b,
-                ErrorMetric::relative(1.0),
-            )
-            .objective;
+            let opt =
+                oracle::exhaustive_nd(solver.tree(), &data_f64, b, ErrorMetric::relative(1.0))
+                    .objective;
             assert!(
                 (r.true_objective - opt).abs() < 1e-9,
                 "b={b}: {} vs oracle {opt}",

@@ -29,6 +29,8 @@ pub mod additive;
 pub mod integer;
 pub mod oneplus;
 
+use wsyn_core::DpStats;
+
 use crate::synopsis::SynopsisNd;
 
 /// Result of an approximate multi-dimensional thresholding run.
@@ -45,8 +47,11 @@ pub struct NdThresholdResult {
     /// and 3.4 bound.
     pub true_objective: f64,
     /// Number of `(node, budget-row, incoming-error)` DP states
-    /// materialized.
+    /// materialized (kept alongside `stats.states` for backwards
+    /// compatibility; always equal to it).
     pub states: usize,
+    /// The unified workspace-wide DP statistics block.
+    pub stats: DpStats,
 }
 
 /// Practical cap on dimensionality: the per-node subset enumeration is

@@ -17,6 +17,7 @@
 //! (using Proposition 3.3's lower bound `OPT > τ'/2`). Running with
 //! `ε' = ε/4` therefore yields a `(1+ε)`-approximation.
 
+use wsyn_core::DpStats;
 use wsyn_haar::int::{self, ScaledCoeffs};
 use wsyn_haar::nd::{NdArray, NdShape};
 use wsyn_haar::{ErrorTreeNd, HaarError};
@@ -36,7 +37,7 @@ pub struct OnePlusEps {
 }
 
 /// Diagnostics from one threshold value of the τ-sweep.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TauReport {
     /// The threshold tried.
     pub tau: i64,
@@ -47,6 +48,16 @@ pub struct TauReport {
     pub true_objective: Option<f64>,
     /// DP states materialized for this τ.
     pub states: usize,
+}
+
+/// Everything one τ value of the sweep produces: the public diagnostics,
+/// the candidate solution (when feasible), and the DP statistics. Workers
+/// return these so the parallel and sequential sweeps share one merge.
+struct TauOutcome {
+    report: TauReport,
+    /// `(true error, retained positions, dp objective in data units)`.
+    selected: Option<(f64, Vec<usize>, f64)>,
+    stats: DpStats,
 }
 
 impl OnePlusEps {
@@ -100,13 +111,36 @@ impl OnePlusEps {
 
     /// As [`Self::run`], additionally returning per-τ diagnostics.
     ///
+    /// The τ values are independent subproblems, so they run on one scoped
+    /// thread each ([`std::thread::scope`]); the merge is performed in
+    /// ascending-τ order with a strict `<` comparison, which makes the
+    /// result bit-identical to [`Self::run_with_reports_sequential`]
+    /// (ties go to the smallest τ in both).
+    ///
     /// # Panics
     /// Panics when `epsilon` is not strictly positive.
     pub fn run_with_reports(&self, b: usize, epsilon: f64) -> (NdThresholdResult, Vec<TauReport>) {
+        self.sweep(b, epsilon, true)
+    }
+
+    /// Sequential reference sweep: same results as
+    /// [`Self::run_with_reports`], one τ at a time. Kept for determinism
+    /// tests and single-thread baselines in benchmarks.
+    ///
+    /// # Panics
+    /// Panics when `epsilon` is not strictly positive.
+    pub fn run_with_reports_sequential(
+        &self,
+        b: usize,
+        epsilon: f64,
+    ) -> (NdThresholdResult, Vec<TauReport>) {
+        self.sweep(b, epsilon, false)
+    }
+
+    fn sweep(&self, b: usize, epsilon: f64, parallel: bool) -> (NdThresholdResult, Vec<TauReport>) {
         assert!(epsilon > 0.0, "epsilon must be positive");
         let eps_internal = epsilon / 4.0;
         let rz = self.rz();
-        let mut reports = Vec::new();
         if rz == 0 {
             // All-zero data: the empty synopsis is exact.
             let synopsis = SynopsisNd::from_positions(&self.tree, &[]);
@@ -116,8 +150,9 @@ impl OnePlusEps {
                     dp_objective: 0.0,
                     true_objective: 0.0,
                     states: 0,
+                    stats: DpStats::default(),
                 },
-                reports,
+                Vec::new(),
             );
         }
         // log N in K_τ: the depth of the error tree in coefficient hops is
@@ -125,51 +160,34 @@ impl OnePlusEps {
         // path-length bound 2^D·m (+1 for the root) that also drives the
         // additive scheme. A smaller K_τ only refines the truncation.
         let hops = ((1u64 << self.d) as f64) * (self.m.max(1) as f64);
-        let mut best: Option<(f64, Vec<usize>, f64)> = None; // (true err, positions, dp units)
-        let mut total_states = 0usize;
         let kmax = (64 - (rz as u64).leading_zeros()) as i64; // ceil(log2 rz) + 1 cover
-        for k in 0..=kmax {
-            let tau = 1i64 << k;
-            let k_tau = (eps_internal * tau as f64 / hops).max(f64::MIN_POSITIVE);
-            let forced: Vec<bool> = self.scaled.coeffs.iter().map(|&c| c.abs() > tau).collect();
-            let forced_count = forced.iter().filter(|&&f| f).count();
-            if forced_count > b {
-                reports.push(TauReport {
-                    tau,
-                    forced: forced_count,
-                    true_objective: None,
-                    states: 0,
-                });
-                continue;
-            }
-            let truncated: Vec<i64> = self
-                .scaled
-                .coeffs
-                .iter()
-                .map(|&c| (c as f64 / k_tau).floor() as i64)
-                .collect();
-            let outcome = run_int_dp(&self.tree, &truncated, Some(&forced), b);
-            total_states += outcome.states;
-            let Some(dp_val) = outcome.value else {
-                reports.push(TauReport {
-                    tau,
-                    forced: forced_count,
-                    true_objective: None,
-                    states: outcome.states,
-                });
-                continue;
-            };
-            let synopsis = SynopsisNd::from_positions(&self.tree, &outcome.retained);
-            let true_err = synopsis.max_error(&self.data_f64, ErrorMetric::absolute());
-            reports.push(TauReport {
-                tau,
-                forced: forced_count,
-                true_objective: Some(true_err),
-                states: outcome.states,
-            });
-            let dp_in_data_units = dp_val as f64 * k_tau / self.scaled.scale as f64;
-            if best.as_ref().map(|(e, _, _)| true_err < *e).unwrap_or(true) {
-                best = Some((true_err, outcome.retained, dp_in_data_units));
+        let outcomes: Vec<TauOutcome> = if parallel {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..=kmax)
+                    .map(|k| scope.spawn(move || self.solve_tau(b, eps_internal, hops, k)))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("tau worker panicked"))
+                    .collect()
+            })
+        } else {
+            (0..=kmax)
+                .map(|k| self.solve_tau(b, eps_internal, hops, k))
+                .collect()
+        };
+        // Deterministic merge in ascending-τ order; strict `<` keeps the
+        // smallest τ on ties, matching the sequential loop bit-for-bit.
+        let mut reports = Vec::with_capacity(outcomes.len());
+        let mut stats = DpStats::default();
+        let mut best: Option<(f64, Vec<usize>, f64)> = None;
+        for outcome in outcomes {
+            reports.push(outcome.report);
+            stats = stats.merged(outcome.stats);
+            if let Some((true_err, positions, dp_units)) = outcome.selected {
+                if best.as_ref().map(|(e, _, _)| true_err < *e).unwrap_or(true) {
+                    best = Some((true_err, positions, dp_units));
+                }
             }
         }
         let (true_objective, positions, dp_objective) =
@@ -180,10 +198,63 @@ impl OnePlusEps {
                 synopsis,
                 dp_objective,
                 true_objective,
-                states: total_states,
+                states: stats.states,
+                stats,
             },
             reports,
         )
+    }
+
+    /// Solves the truncated DP for one τ = 2^k.
+    fn solve_tau(&self, b: usize, eps_internal: f64, hops: f64, k: i64) -> TauOutcome {
+        let tau = 1i64 << k;
+        let k_tau = (eps_internal * tau as f64 / hops).max(f64::MIN_POSITIVE);
+        let forced: Vec<bool> = self.scaled.coeffs.iter().map(|&c| c.abs() > tau).collect();
+        let forced_count = forced.iter().filter(|&&f| f).count();
+        if forced_count > b {
+            return TauOutcome {
+                report: TauReport {
+                    tau,
+                    forced: forced_count,
+                    true_objective: None,
+                    states: 0,
+                },
+                selected: None,
+                stats: DpStats::default(),
+            };
+        }
+        let truncated: Vec<i64> = self
+            .scaled
+            .coeffs
+            .iter()
+            .map(|&c| (c as f64 / k_tau).floor() as i64)
+            .collect();
+        let outcome = run_int_dp(&self.tree, &truncated, Some(&forced), b);
+        let Some(dp_val) = outcome.value else {
+            return TauOutcome {
+                report: TauReport {
+                    tau,
+                    forced: forced_count,
+                    true_objective: None,
+                    states: outcome.states,
+                },
+                selected: None,
+                stats: outcome.stats,
+            };
+        };
+        let synopsis = SynopsisNd::from_positions(&self.tree, &outcome.retained);
+        let true_err = synopsis.max_error(&self.data_f64, ErrorMetric::absolute());
+        let dp_in_data_units = dp_val as f64 * k_tau / self.scaled.scale as f64;
+        TauOutcome {
+            report: TauReport {
+                tau,
+                forced: forced_count,
+                true_objective: Some(true_err),
+                states: outcome.states,
+            },
+            selected: Some((true_err, outcome.retained, dp_in_data_units)),
+            stats: outcome.stats,
+        }
     }
 }
 
@@ -251,6 +322,35 @@ mod tests {
         let scheme = OnePlusEps::new(&shape, &data).unwrap();
         let r = scheme.run(16, 0.5);
         assert_eq!(r.true_objective, 0.0);
+    }
+
+    #[test]
+    fn parallel_sweep_is_bit_identical_to_sequential() {
+        // Values spread to ±1500 so RZ spans ≥ 8 τ values — every τ worker
+        // does real work and ties between τ values are plausible.
+        let shape = cube_shape(4, 2);
+        let data: Vec<i64> = (0..16)
+            .map(|i| ((i * 13 + 7) % 257) as i64 * 12 - 1500)
+            .collect();
+        let scheme = OnePlusEps::new(&shape, &data).unwrap();
+        assert!(
+            64 - scheme.rz().leading_zeros() >= 8,
+            "workload too small for an 8-τ sweep (RZ = {})",
+            scheme.rz()
+        );
+        for (b, eps) in [(2usize, 0.5), (4, 0.25), (8, 0.1)] {
+            let (par, par_reports) = scheme.run_with_reports(b, eps);
+            let (seq, seq_reports) = scheme.run_with_reports_sequential(b, eps);
+            assert_eq!(
+                par.true_objective.to_bits(),
+                seq.true_objective.to_bits(),
+                "b={b} eps={eps}: objectives differ"
+            );
+            assert_eq!(par.dp_objective.to_bits(), seq.dp_objective.to_bits());
+            assert_eq!(par.synopsis, seq.synopsis, "b={b} eps={eps}");
+            assert_eq!(par.stats, seq.stats);
+            assert_eq!(par_reports, seq_reports);
+        }
     }
 
     #[test]

@@ -14,15 +14,23 @@
 //! bit patterns match the top-down engines) to the vector of optimal
 //! values for budgets `0..=B`.
 
-use std::collections::HashMap;
-
+use wsyn_core::StateTable;
 use wsyn_haar::ErrorTree1d;
 
 use super::{best_split, DpStats, SplitSearch, ThresholdResult};
 use crate::synopsis::Synopsis1d;
 
 /// Per-node DP table: incoming-error bits → optimal value per budget.
-type Table = HashMap<u64, Vec<f64>>;
+type Table = StateTable<Vec<f64>>;
+
+/// Looks up the budget-row for incoming error `e` (always materialized by
+/// construction: every queried error is a subset sum of the child's
+/// ancestor chain).
+#[inline]
+fn row(t: &Table, e: f64) -> &[f64] {
+    t.get(norm(e).to_bits() as u128)
+        .expect("incoming error is a subset sum of the ancestor chain")
+}
 
 struct Ctx<'a> {
     tree: &'a ErrorTree1d,
@@ -32,6 +40,11 @@ struct Ctx<'a> {
     split: SplitSearch,
     states: usize,
     leaf_evals: usize,
+    probes: usize,
+    /// Table entries currently resident (this engine's whole point is a
+    /// small working set; `peak_live` makes the claim measurable).
+    live: usize,
+    peak_live: usize,
 }
 
 /// Canonicalizes `-0.0` to `+0.0` so exact cancellations hash identically.
@@ -58,16 +71,21 @@ pub(super) fn run(
         split,
         states: 0,
         leaf_evals: 0,
+        probes: 0,
+        live: 0,
+        peak_live: 0,
     };
     let root_table = ctx.table(0, &[]);
-    let objective = root_table[&norm(0.0).to_bits()][b];
-    drop(root_table);
+    let objective = row(&root_table, 0.0)[b];
+    ctx.retire(root_table);
     let mut retained = Vec::new();
     let mut anc: Vec<f64> = Vec::new();
     ctx.trace(0, b, 0.0, &mut anc, &mut retained);
     let stats = DpStats {
         states: ctx.states,
         leaf_evals: ctx.leaf_evals,
+        probes: ctx.probes,
+        peak_live: ctx.peak_live,
     };
     ThresholdResult {
         synopsis: Synopsis1d::from_indices(tree, &retained),
@@ -95,6 +113,19 @@ fn subset_sums(anc: &[f64]) -> Vec<f64> {
 }
 
 impl Ctx<'_> {
+    /// Records a freshly built table as live.
+    fn register(&mut self, t: &Table) {
+        self.live += t.len();
+        self.peak_live = self.peak_live.max(self.live);
+    }
+
+    /// Accounts for a table about to be dropped (probe counts fold into
+    /// the run totals; the entries leave the live set).
+    fn retire(&mut self, t: Table) {
+        self.live -= t.len();
+        self.probes += t.probes();
+    }
+
     /// Computes the complete table for the subtree rooted at `id`, where
     /// `anc` holds the signed contribution of each ancestor *if dropped*
     /// (sign already resolved for this subtree), root-first.
@@ -103,10 +134,12 @@ impl Ctx<'_> {
         if id >= self.n {
             let d = self.denom[id - self.n];
             self.leaf_evals += sums.len();
-            return sums
-                .into_iter()
-                .map(|e| (e.to_bits(), vec![e.abs() / d; self.b_total + 1]))
-                .collect();
+            let mut out = Table::with_capacity(sums.len());
+            for e in sums {
+                out.insert(e.to_bits() as u128, vec![e.abs() / d; self.b_total + 1]);
+            }
+            self.register(&out);
+            return out;
         }
         let c = self.tree.coeff(id);
         if id == 0 {
@@ -119,17 +152,19 @@ impl Ctx<'_> {
             for e in sums {
                 let mut vals = Vec::with_capacity(self.b_total + 1);
                 for b in 0..=self.b_total {
-                    let drop_val = ct[&norm(e + c).to_bits()][b];
+                    let drop_val = row(&ct, e + c)[b];
                     let keep_val = if b >= 1 && c != 0.0 {
-                        ct[&norm(e).to_bits()][b - 1]
+                        row(&ct, e)[b - 1]
                     } else {
                         f64::INFINITY
                     };
                     vals.push(drop_val.min(keep_val));
                 }
                 self.states += vals.len();
-                out.insert(e.to_bits(), vals);
+                out.insert(e.to_bits() as u128, vals);
             }
+            self.register(&out);
+            self.retire(ct);
             return out;
         }
         let (lc, rc) = (2 * id, 2 * id + 1);
@@ -144,24 +179,34 @@ impl Ctx<'_> {
             let mut vals = Vec::with_capacity(self.b_total + 1);
             for b in 0..=self.b_total {
                 let (drop_val, _) = {
-                    let fl = &tl[&norm(e + c).to_bits()];
-                    let fr = &tr[&norm(e - c).to_bits()];
+                    let fl = row(&tl, e + c);
+                    let fr = row(&tr, e - c);
                     best_split(&mut (), b, split, |_, bp| fl[bp], |_, bp| fr[b - bp])
                 };
                 let keep_val = if b >= 1 && c != 0.0 {
-                    let fl = &tl[&norm(e).to_bits()];
-                    let fr = &tr[&norm(e).to_bits()];
-                    best_split(&mut (), b - 1, split, |_, bp| fl[bp], |_, bp| fr[b - 1 - bp]).0
+                    let fl = row(&tl, e);
+                    let fr = row(&tr, e);
+                    best_split(
+                        &mut (),
+                        b - 1,
+                        split,
+                        |_, bp| fl[bp],
+                        |_, bp| fr[b - 1 - bp],
+                    )
+                    .0
                 } else {
                     f64::INFINITY
                 };
                 vals.push(drop_val.min(keep_val));
             }
             self.states += vals.len();
-            out.insert(e.to_bits(), vals);
+            out.insert(e.to_bits() as u128, vals);
         }
-        // tl/tr dropped here: one live table per level on the recursion
+        // tl/tr retired here: one live table per level on the recursion
         // spine.
+        self.register(&out);
+        self.retire(tl);
+        self.retire(tr);
         out
     }
 
@@ -176,13 +221,13 @@ impl Ctx<'_> {
             let child = if self.n == 1 { self.n } else { 1 };
             anc.push(c);
             let ct = self.table(child, anc);
-            let drop_val = ct[&norm(e + c).to_bits()][b];
+            let drop_val = row(&ct, e + c)[b];
             let keep_val = if b >= 1 && c != 0.0 {
-                ct[&norm(e).to_bits()][b - 1]
+                row(&ct, e)[b - 1]
             } else {
                 f64::INFINITY
             };
-            drop(ct);
+            self.retire(ct);
             if keep_val <= drop_val {
                 out.push(0);
                 self.trace(child, b - 1, e, anc, out);
@@ -199,25 +244,31 @@ impl Ctx<'_> {
         *anc.last_mut().expect("just pushed") = -c;
         let tr = self.table(rc, anc);
         let (drop_val, drop_b) = {
-            let fl = &tl[&norm(e + c).to_bits()];
-            let fr = &tr[&norm(e - c).to_bits()];
+            let fl = row(&tl, e + c);
+            let fr = row(&tr, e - c);
             best_split(&mut (), b, split, |_, bp| fl[bp], |_, bp| fr[b - bp])
         };
         let (keep_val, keep_b) = if b >= 1 && c != 0.0 {
-            let fl = &tl[&norm(e).to_bits()];
-            let fr = &tr[&norm(e).to_bits()];
-            best_split(&mut (), b - 1, split, |_, bp| fl[bp], |_, bp| fr[b - 1 - bp])
+            let fl = row(&tl, e);
+            let fr = row(&tr, e);
+            best_split(
+                &mut (),
+                b - 1,
+                split,
+                |_, bp| fl[bp],
+                |_, bp| fr[b - 1 - bp],
+            )
         } else {
             (f64::INFINITY, 0)
         };
-        drop(tl);
-        drop(tr);
+        self.retire(tl);
+        self.retire(tr);
         if keep_val <= drop_val {
             out.push(id);
             *anc.last_mut().expect("pushed above") = 0.0; // kept: no dropped contribution
-            // Left child sees ancestors with c kept; its own chain entry for
-            // c is "kept", contributing nothing when dropped-summing. We
-            // model that by a 0.0 entry (subset sums unchanged).
+                                                          // Left child sees ancestors with c kept; its own chain entry for
+                                                          // c is "kept", contributing nothing when dropped-summing. We
+                                                          // model that by a 0.0 entry (subset sums unchanged).
             self.trace(lc, keep_b, e, anc, out);
             self.trace(rc, b - 1 - keep_b, e, anc, out);
         } else {

@@ -15,8 +15,7 @@
 //! bit pattern is sound. Distinct-but-mathematically-equal float values
 //! would merely miss a merge — never produce a wrong value.
 
-use std::collections::HashMap;
-
+use wsyn_core::{pack_state_1d, StateTable};
 use wsyn_haar::ErrorTree1d;
 
 use super::{best_split, DpStats, SplitSearch, ThresholdResult};
@@ -35,7 +34,7 @@ struct Solver<'a> {
     denom: &'a [f64],
     n: usize,
     split: SplitSearch,
-    memo: HashMap<(u32, u32, u64), Entry>,
+    memo: StateTable<Entry>,
     leaf_evals: usize,
 }
 
@@ -50,7 +49,7 @@ pub(super) fn run(
         denom,
         n: tree.n(),
         split,
-        memo: HashMap::new(),
+        memo: StateTable::new(),
         leaf_evals: 0,
     };
     let objective = solver.solve(0, b, 0.0);
@@ -59,6 +58,9 @@ pub(super) fn run(
     let stats = DpStats {
         states: solver.memo.len(),
         leaf_evals: solver.leaf_evals,
+        probes: solver.memo.probes(),
+        // The memo is insert-only, so its final size is its peak.
+        peak_live: solver.memo.len(),
     };
     ThresholdResult {
         synopsis: Synopsis1d::from_indices(tree, &retained),
@@ -78,8 +80,8 @@ impl Solver<'_> {
             self.leaf_evals += 1;
             return e.abs() / self.denom[id - self.n];
         }
-        let key = (id as u32, b as u32, e.to_bits());
-        if let Some(entry) = self.memo.get(&key) {
+        let key = pack_state_1d(id as u32, b as u32, e.to_bits());
+        if let Some(entry) = self.memo.get(key) {
             return entry.value;
         }
         let c = self.tree.coeff(id);
@@ -155,10 +157,10 @@ impl Solver<'_> {
         if id >= self.n {
             return;
         }
-        let key = (id as u32, b as u32, e.to_bits());
+        let key = pack_state_1d(id as u32, b as u32, e.to_bits());
         let entry = *self
             .memo
-            .get(&key)
+            .get(key)
             .expect("trace visits only states materialized by solve");
         let c = self.tree.coeff(id);
         if id == 0 {

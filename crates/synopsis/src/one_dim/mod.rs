@@ -45,6 +45,8 @@ mod bottom_up;
 mod dedup;
 mod subset;
 
+use std::sync::{Arc, Mutex};
+
 use wsyn_haar::{ErrorTree1d, HaarError};
 
 use crate::metric::ErrorMetric;
@@ -81,14 +83,9 @@ pub struct Config {
     pub split: SplitSearch,
 }
 
-/// Instrumentation counters from a DP run (ablation reporting).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct DpStats {
-    /// Number of distinct internal-node DP states materialized.
-    pub states: usize,
-    /// Number of leaf evaluations performed.
-    pub leaf_evals: usize,
-}
+/// Instrumentation counters from a DP run (ablation reporting) — the
+/// workspace-wide statistics block from [`wsyn_core`].
+pub use wsyn_core::DpStats;
 
 /// Result of a thresholding run.
 #[derive(Debug, Clone)]
@@ -115,10 +112,23 @@ pub struct ThresholdResult {
 /// assert!((r.synopsis.max_error(&data, wsyn_synopsis::ErrorMetric::absolute())
 ///          - r.objective).abs() < 1e-9);
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct MinMaxErr {
     tree: ErrorTree1d,
     data: Vec<f64>,
+    /// Per-metric leaf-denominator vectors, computed once per metric and
+    /// shared across runs (B-sweeps re-run the same solver many times).
+    denom_cache: Mutex<Vec<(ErrorMetric, Arc<Vec<f64>>)>>,
+}
+
+impl Clone for MinMaxErr {
+    fn clone(&self) -> Self {
+        Self {
+            tree: self.tree.clone(),
+            data: self.data.clone(),
+            denom_cache: Mutex::new(self.denom_cache.lock().expect("cache poisoned").clone()),
+        }
+    }
 }
 
 impl MinMaxErr {
@@ -131,6 +141,7 @@ impl MinMaxErr {
         Ok(Self {
             tree: ErrorTree1d::from_data(data)?,
             data: data.to_vec(),
+            denom_cache: Mutex::new(Vec::new()),
         })
     }
 
@@ -138,7 +149,11 @@ impl MinMaxErr {
     /// it encodes).
     pub fn from_tree(tree: ErrorTree1d) -> Self {
         let data = tree.reconstruct_all();
-        Self { tree, data }
+        Self {
+            tree,
+            data,
+            denom_cache: Mutex::new(Vec::new()),
+        }
     }
 
     /// The underlying error tree.
@@ -159,12 +174,24 @@ impl MinMaxErr {
 
     /// Runs the DP with an explicit engine/split configuration.
     pub fn run_with(&self, b: usize, metric: ErrorMetric, config: Config) -> ThresholdResult {
-        let denom: Vec<f64> = self.data.iter().map(|&d| metric.denom(d)).collect();
+        let denom = self.denom(metric);
         match config.engine {
             Engine::Dedup => dedup::run(&self.tree, &denom, b, config.split),
             Engine::SubsetMask => subset::run(&self.tree, &self.data, &denom, b, config.split),
             Engine::BottomUp => bottom_up::run(&self.tree, &denom, b, config.split),
         }
+    }
+
+    /// The per-leaf denominator vector for `metric`, computed once and
+    /// cached (metrics are few: a linear scan beats hashing here).
+    fn denom(&self, metric: ErrorMetric) -> Arc<Vec<f64>> {
+        let mut cache = self.denom_cache.lock().expect("cache poisoned");
+        if let Some((_, d)) = cache.iter().find(|(m, _)| *m == metric) {
+            return Arc::clone(d);
+        }
+        let d: Arc<Vec<f64>> = Arc::new(self.data.iter().map(|&v| metric.denom(v)).collect());
+        cache.push((metric, Arc::clone(&d)));
+        d
     }
 }
 
@@ -328,9 +355,7 @@ mod tests {
 
     #[test]
     fn objective_monotone_in_budget() {
-        let data: Vec<f64> = (0..32)
-            .map(|i| ((i * 37 + 11) % 23) as f64 - 7.0)
-            .collect();
+        let data: Vec<f64> = (0..32).map(|i| ((i * 37 + 11) % 23) as f64 - 7.0).collect();
         let solver = MinMaxErr::new(&data).unwrap();
         for metric in [ErrorMetric::absolute(), ErrorMetric::relative(2.0)] {
             let mut prev = f64::INFINITY;
@@ -425,8 +450,15 @@ mod tests {
         let r = solver.run(2, metric);
         let opt = oracle::exhaustive_1d(solver.tree(), &data, 2, metric).objective;
         assert!((r.objective - opt).abs() < 1e-9);
-        assert!((r.objective - 1.0).abs() < 1e-9, "objective {}", r.objective);
-        assert!(r.synopsis.is_empty(), "empty synopsis is the unique optimum");
+        assert!(
+            (r.objective - 1.0).abs() < 1e-9,
+            "objective {}",
+            r.objective
+        );
+        assert!(
+            r.synopsis.is_empty(),
+            "empty synopsis is the unique optimum"
+        );
         // A generous sanity bound changes the picture: overshooting small
         // values is now cheap, so coefficients get retained.
         let relaxed = solver.run(2, ErrorMetric::relative(1000.0));

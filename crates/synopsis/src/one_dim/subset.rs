@@ -12,8 +12,7 @@
 //! quantify (in benches) how much state deduplication saves; it enumerates
 //! `O(2^depth)` subsets per node, i.e. the full `O(N² B)` table.
 
-use std::collections::HashMap;
-
+use wsyn_core::{pack_state_1d, StateTable};
 use wsyn_haar::ErrorTree1d;
 
 use super::{best_split, DpStats, SplitSearch, ThresholdResult};
@@ -32,7 +31,7 @@ struct Solver<'a> {
     denom: &'a [f64],
     n: usize,
     split: SplitSearch,
-    memo: HashMap<(u32, u32, u32), Entry>,
+    memo: StateTable<Entry>,
     /// Root-first chain of ancestors of the node currently being solved.
     anc: Vec<usize>,
     leaf_evals: usize,
@@ -55,7 +54,7 @@ pub(super) fn run(
         denom,
         n: tree.n(),
         split,
-        memo: HashMap::new(),
+        memo: StateTable::new(),
         anc: Vec::new(),
         leaf_evals: 0,
     };
@@ -65,6 +64,9 @@ pub(super) fn run(
     let stats = DpStats {
         states: solver.memo.len(),
         leaf_evals: solver.leaf_evals,
+        probes: solver.memo.probes(),
+        // Insert-only memo: final size == peak resident entries.
+        peak_live: solver.memo.len(),
     };
     ThresholdResult {
         synopsis: Synopsis1d::from_indices(tree, &retained),
@@ -80,8 +82,8 @@ impl Solver<'_> {
         if id >= self.n {
             return self.leaf_value(id - self.n, mask);
         }
-        let key = (id as u32, b as u32, mask);
-        if let Some(entry) = self.memo.get(&key) {
+        let key = pack_state_1d(id as u32, b as u32, mask as u64);
+        if let Some(entry) = self.memo.get(key) {
             return entry.value;
         }
         let c = self.tree.coeff(id);
@@ -168,10 +170,10 @@ impl Solver<'_> {
         if id >= self.n {
             return;
         }
-        let key = (id as u32, b as u32, mask);
+        let key = pack_state_1d(id as u32, b as u32, mask as u64);
         let entry = *self
             .memo
-            .get(&key)
+            .get(key)
             .expect("trace visits only states materialized by solve");
         let bit = 1u32 << self.anc.len();
         self.anc.push(id);

@@ -98,7 +98,11 @@ pub fn navigate_witness_1d<F: Fn(usize) -> bool>(
         if next >= n {
             return next - n; // leaf index
         }
-        let cv = if retained(next) { 0.0 } else { tree.coeff(next) };
+        let cv = if retained(next) {
+            0.0
+        } else {
+            tree.coeff(next)
+        };
         // +cv goes to the left child of `next`, -cv to the right.
         side_left = if acc >= 0.0 { cv >= 0.0 } else { cv < 0.0 };
         acc += if side_left { cv } else { -cv };

@@ -13,7 +13,6 @@ use crate::metric::ErrorMetric;
 /// A one-dimensional wavelet synopsis: retained `(index, coefficient)`
 /// pairs over a domain of `n` values, sorted by index.
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Synopsis1d {
     n: usize,
     entries: Vec<(usize, f64)>,
@@ -61,10 +60,19 @@ impl Synopsis1d {
         Ok(Self { n, entries })
     }
 
+    /// Builds a synopsis from raw parts **without checking invariants**.
+    /// For deserializers only: the caller must run [`Self::validate`]
+    /// before using the synopsis — the other methods assume a
+    /// power-of-two domain and strictly sorted, in-range entries.
+    #[must_use]
+    pub fn from_raw_parts(n: usize, entries: Vec<(usize, f64)>) -> Self {
+        Self { n, entries }
+    }
+
     /// Validates the structural invariants the constructors enforce:
     /// power-of-two domain, entries strictly sorted by index, indices in
     /// range. Call this after deserializing a synopsis from an untrusted
-    /// source (serde derives bypass the constructors); without it,
+    /// source (deserializers bypass the constructors); without it,
     /// out-of-range indices panic in [`Self::reconstruct`] and unsorted
     /// entries silently break the binary searches.
     ///
@@ -220,7 +228,8 @@ impl SynopsisNd {
         for &(p, v) in &self.entries {
             coeffs.data_mut()[p] = v;
         }
-        nonstandard::inverse_in_place(&mut coeffs).expect("synopsis shape is a validated hypercube");
+        nonstandard::inverse_in_place(&mut coeffs)
+            .expect("synopsis shape is a validated hypercube");
         coeffs
     }
 
@@ -289,7 +298,10 @@ mod tests {
             n: 8,
             entries: vec![(99, 5.0)],
         };
-        assert!(out_of_range.validate().unwrap_err().contains("out of range"));
+        assert!(out_of_range
+            .validate()
+            .unwrap_err()
+            .contains("out of range"));
         let unsorted = Synopsis1d {
             n: 8,
             entries: vec![(5, 1.0), (2, 3.0)],

@@ -1,0 +1,285 @@
+//! Uniform dispatch over every thresholding algorithm in the workspace.
+//!
+//! All solvers — the optimal 1-D DP, the greedy L2 baseline, the three
+//! multi-dimensional schemes, and the probabilistic baselines in
+//! `wsyn-prob` — answer the same question: *given a budget `B` and an
+//! error metric, which coefficients go into the synopsis and what error
+//! does that achieve?* [`Thresholder`] captures exactly that contract so
+//! the CLI, the AQP layer, the streaming rebuild policy, and the
+//! experiment binaries can hold a `Box<dyn Thresholder>` instead of
+//! dispatching with bespoke match arms per algorithm.
+//!
+//! Solvers that need extra parameters (approximation ε, quantization `q`)
+//! expose them through their inherent constructors/methods; the trait
+//! impls use the documented defaults. A combination a solver cannot serve
+//! (e.g. `OnePlusEps` under a relative metric) returns `Err` rather than
+//! silently substituting a different computation.
+
+use wsyn_core::DpStats;
+use wsyn_haar::{ErrorTree1d, HaarError};
+
+use crate::greedy::greedy_l2_1d;
+use crate::metric::ErrorMetric;
+use crate::multi_dim::additive::AdditiveScheme;
+use crate::multi_dim::integer::IntegerExact;
+use crate::multi_dim::oneplus::OnePlusEps;
+use crate::one_dim::MinMaxErr;
+use crate::synopsis::{Synopsis1d, SynopsisNd};
+
+/// Default approximation parameter used when an ε-parameterized scheme is
+/// driven through the parameterless [`Thresholder`] interface.
+pub const DEFAULT_EPS: f64 = 0.1;
+
+/// A synopsis of either dimensionality, as produced by a [`Thresholder`].
+#[derive(Debug, Clone)]
+pub enum AnySynopsis {
+    /// A one-dimensional synopsis.
+    One(Synopsis1d),
+    /// A multi-dimensional synopsis.
+    Nd(SynopsisNd),
+}
+
+impl AnySynopsis {
+    /// Number of retained coefficients.
+    pub fn len(&self) -> usize {
+        match self {
+            AnySynopsis::One(s) => s.len(),
+            AnySynopsis::Nd(s) => s.len(),
+        }
+    }
+
+    /// Whether no coefficient is retained.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The one-dimensional synopsis, or an error naming `what` when the
+    /// run produced a multi-dimensional one.
+    pub fn into_one(self, what: &str) -> Result<Synopsis1d, String> {
+        match self {
+            AnySynopsis::One(s) => Ok(s),
+            AnySynopsis::Nd(_) => Err(format!("{what} requires a one-dimensional synopsis")),
+        }
+    }
+}
+
+/// Result of driving any [`Thresholder`]: the synopsis, the maximum error
+/// it achieves under the requested metric, and the unified DP counters
+/// (zeroed for algorithms that run no DP, like greedy L2).
+#[derive(Debug, Clone)]
+pub struct ThresholdRun {
+    /// The selected synopsis.
+    pub synopsis: AnySynopsis,
+    /// Maximum error of `synopsis` under the requested metric. For
+    /// guarantee-providing algorithms this is the guaranteed bound; for
+    /// baselines it is the measured error of the returned synopsis.
+    pub objective: f64,
+    /// Unified DP instrumentation (see [`DpStats`]).
+    pub stats: DpStats,
+}
+
+/// A thresholding algorithm: built once over a dataset, then run for any
+/// `(budget, metric)` pair.
+pub trait Thresholder {
+    /// Stable algorithm identifier (used in CLI output and JSON docs).
+    fn name(&self) -> &'static str;
+
+    /// Whether [`Thresholder::threshold`]'s objective is a *guarantee*
+    /// (a bound the algorithm proves) rather than a measured value.
+    fn has_guarantee(&self) -> bool {
+        false
+    }
+
+    /// Selects at most `b` coefficients for the given metric.
+    ///
+    /// # Errors
+    /// A human-readable message when this algorithm cannot serve the
+    /// requested `(budget, metric)` combination.
+    fn threshold(&self, b: usize, metric: ErrorMetric) -> Result<ThresholdRun, String>;
+}
+
+impl Thresholder for MinMaxErr {
+    fn name(&self) -> &'static str {
+        "minmax"
+    }
+
+    fn has_guarantee(&self) -> bool {
+        true
+    }
+
+    fn threshold(&self, b: usize, metric: ErrorMetric) -> Result<ThresholdRun, String> {
+        let r = self.run(b, metric);
+        Ok(ThresholdRun {
+            synopsis: AnySynopsis::One(r.synopsis),
+            objective: r.objective,
+            stats: r.stats,
+        })
+    }
+}
+
+/// The conventional greedy L2 baseline behind the uniform interface
+/// (retains the `B` largest normalized coefficients; no max-error
+/// guarantee, so the reported objective is the measured maximum error).
+#[derive(Debug, Clone)]
+pub struct GreedyL2 {
+    tree: ErrorTree1d,
+    data: Vec<f64>,
+}
+
+impl GreedyL2 {
+    /// Builds the baseline from raw data.
+    ///
+    /// # Errors
+    /// Propagates [`HaarError`] from the transform.
+    pub fn new(data: &[f64]) -> Result<Self, HaarError> {
+        Ok(Self {
+            tree: ErrorTree1d::from_data(data)?,
+            data: data.to_vec(),
+        })
+    }
+
+    /// The underlying error tree.
+    pub fn tree(&self) -> &ErrorTree1d {
+        &self.tree
+    }
+}
+
+impl Thresholder for GreedyL2 {
+    fn name(&self) -> &'static str {
+        "greedy"
+    }
+
+    fn threshold(&self, b: usize, metric: ErrorMetric) -> Result<ThresholdRun, String> {
+        let synopsis = greedy_l2_1d(&self.tree, b);
+        let objective = synopsis.max_error(&self.data, metric);
+        Ok(ThresholdRun {
+            synopsis: AnySynopsis::One(synopsis),
+            objective,
+            stats: DpStats::default(),
+        })
+    }
+}
+
+impl Thresholder for AdditiveScheme {
+    fn name(&self) -> &'static str {
+        "additive"
+    }
+
+    fn threshold(&self, b: usize, metric: ErrorMetric) -> Result<ThresholdRun, String> {
+        let r = self.run(b, metric, DEFAULT_EPS);
+        Ok(ThresholdRun {
+            synopsis: AnySynopsis::Nd(r.synopsis),
+            objective: r.true_objective,
+            stats: r.stats,
+        })
+    }
+}
+
+impl Thresholder for IntegerExact {
+    fn name(&self) -> &'static str {
+        "integer-exact"
+    }
+
+    fn has_guarantee(&self) -> bool {
+        true
+    }
+
+    fn threshold(&self, b: usize, metric: ErrorMetric) -> Result<ThresholdRun, String> {
+        let r = match metric {
+            ErrorMetric::Absolute => self.run(b),
+            ErrorMetric::Relative { sanity } => self.run_relative(b, sanity),
+        };
+        Ok(ThresholdRun {
+            synopsis: AnySynopsis::Nd(r.synopsis),
+            objective: r.true_objective,
+            stats: r.stats,
+        })
+    }
+}
+
+impl Thresholder for OnePlusEps {
+    fn name(&self) -> &'static str {
+        "oneplus"
+    }
+
+    fn threshold(&self, b: usize, metric: ErrorMetric) -> Result<ThresholdRun, String> {
+        if !matches!(metric, ErrorMetric::Absolute) {
+            return Err(
+                "the (1+ε) scheme is defined for the absolute-error metric only (§3.2.2)".into(),
+            );
+        }
+        let r = self.run(b, DEFAULT_EPS);
+        Ok(ThresholdRun {
+            synopsis: AnySynopsis::Nd(r.synopsis),
+            objective: r.true_objective,
+            stats: r.stats,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EXAMPLE: [f64; 8] = [2.0, 2.0, 0.0, 2.0, 3.0, 5.0, 4.0, 4.0];
+
+    #[test]
+    fn uniform_dispatch_1d() {
+        let solvers: Vec<Box<dyn Thresholder>> = vec![
+            Box::new(MinMaxErr::new(&EXAMPLE).unwrap()),
+            Box::new(GreedyL2::new(&EXAMPLE).unwrap()),
+        ];
+        for metric in [ErrorMetric::absolute(), ErrorMetric::relative(1.0)] {
+            let mut optimal = None;
+            for s in &solvers {
+                let r = s.threshold(3, metric).unwrap();
+                let syn = r.synopsis.into_one("test").unwrap();
+                assert!(syn.len() <= 3, "{} overspent the budget", s.name());
+                let measured = syn.max_error(&EXAMPLE, metric);
+                assert!(
+                    (measured - r.objective).abs() < 1e-9,
+                    "{}: objective {} vs measured {measured}",
+                    s.name(),
+                    r.objective
+                );
+                match s.name() {
+                    "minmax" => optimal = Some(r.objective),
+                    _ => assert!(
+                        optimal.expect("minmax first") <= r.objective + 1e-9,
+                        "optimal beaten by {}",
+                        s.name()
+                    ),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_dispatch_nd() {
+        use wsyn_haar::nd::{NdArray, NdShape};
+        let shape = NdShape::hypercube(4, 2).unwrap();
+        let vals: Vec<f64> = (0..16).map(|i| (i % 5) as f64).collect();
+        let ints: Vec<i64> = vals.iter().map(|&v| v as i64).collect();
+        let arr = NdArray::new(shape.clone(), vals.clone()).unwrap();
+        let solvers: Vec<Box<dyn Thresholder>> = vec![
+            Box::new(AdditiveScheme::new(&arr).unwrap()),
+            Box::new(IntegerExact::new(&shape, &ints).unwrap()),
+            Box::new(OnePlusEps::new(&shape, &ints).unwrap()),
+        ];
+        for s in &solvers {
+            let r = s.threshold(4, ErrorMetric::absolute()).unwrap();
+            assert!(r.synopsis.len() <= 4, "{} overspent", s.name());
+            assert!(r.objective.is_finite());
+            assert!(r.synopsis.into_one("x").is_err(), "{} is N-D", s.name());
+        }
+    }
+
+    #[test]
+    fn oneplus_rejects_relative_metric() {
+        use wsyn_haar::nd::NdShape;
+        let shape = NdShape::hypercube(4, 2).unwrap();
+        let ints: Vec<i64> = (0..16).collect();
+        let s = OnePlusEps::new(&shape, &ints).unwrap();
+        assert!(s.threshold(4, ErrorMetric::relative(1.0)).is_err());
+    }
+}

@@ -35,7 +35,10 @@ fn main() {
 
     println!("N = {n}, budget = {budget}, metric = max relative error (s = {sanity})\n");
     println!("deterministic guarantee (MinMaxErr): {:.4}", det.objective);
-    println!("greedy-L2 actual max rel err       : {:.4}", l2.max_error(&data, metric));
+    println!(
+        "greedy-L2 actual max rel err       : {:.4}",
+        l2.max_error(&data, metric)
+    );
 
     // Probabilistic: the guarantee varies per coin-flip sequence.
     let mut worst = 0.0f64;
@@ -57,7 +60,10 @@ fn main() {
     // Concrete per-answer intervals from the deterministic synopsis.
     let recon = det.synopsis.reconstruct();
     println!("\nper-answer intervals (first 8 cells, deterministic synopsis):");
-    println!("{:<6} {:>10} {:>10} {:>24}", "cell", "true", "estimate", "guaranteed interval");
+    println!(
+        "{:<6} {:>10} {:>10} {:>24}",
+        "cell", "true", "estimate", "guaranteed interval"
+    );
     for i in 0..8 {
         let iv = bounds::point_relative(recon[i], det.objective, sanity);
         println!(
@@ -66,7 +72,11 @@ fn main() {
             recon[i],
             iv.lo,
             iv.hi,
-            if iv.contains(data[i]) { "ok" } else { "VIOLATED" }
+            if iv.contains(data[i]) {
+                "ok"
+            } else {
+                "VIOLATED"
+            }
         );
     }
 }

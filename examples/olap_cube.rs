@@ -23,7 +23,10 @@ fn main() {
     let arr = NdArray::new(shape.clone(), sales_f.clone()).unwrap();
 
     let budget = 24usize;
-    println!("16x16 sales cube, budget {budget} of {} coefficients\n", side * side);
+    println!(
+        "16x16 sales cube, budget {budget} of {} coefficients\n",
+        side * side
+    );
 
     // ε-additive scheme, max *relative* error with sanity bound 10.
     let additive = AdditiveScheme::new(&arr).unwrap();

@@ -34,7 +34,10 @@ fn main() {
     println!("\nMinMaxErr, B = {budget}, max relative error (s = 1):");
     println!("  retained coefficients: {:?}", result.synopsis.entries());
     println!("  guaranteed max rel err: {:.4}", result.objective);
-    println!("  reconstruction        : {:?}", result.synopsis.reconstruct());
+    println!(
+        "  reconstruction        : {:?}",
+        result.synopsis.reconstruct()
+    );
 
     // The conventional L2-optimal baseline retains the largest normalized
     // coefficients instead — optimal for RMSE, not for max error.

@@ -68,7 +68,10 @@ fn main() {
         ("greedy-L2", l2),
         ("MinRelVar", prob),
     ];
-    println!("{:<14} {:>10} {:>12} {:>12} {:>12}", "query", "exact", "MinMaxErr", "greedy-L2", "MinRelVar");
+    println!(
+        "{:<14} {:>10} {:>12} {:>12} {:>12}",
+        "query", "exact", "MinMaxErr", "greedy-L2", "MinRelVar"
+    );
     for &(lo, hi) in &queries {
         let exact: f64 = freq[lo..hi].iter().sum();
         let mut row = format!("[{lo:>3}, {hi:>3})  {exact:>12.0}");

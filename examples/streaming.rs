@@ -19,8 +19,7 @@ fn main() {
     let n = 128usize;
     let b = 12usize;
     let data = zipf(n, 0.9, 50_000.0, ZipfPlacement::Shuffled, 8);
-    let mut adaptive =
-        AdaptiveMaxErrSynopsis::new(&data, b, ErrorMetric::absolute(), 1.5).unwrap();
+    let mut adaptive = AdaptiveMaxErrSynopsis::new(&data, b, ErrorMetric::absolute(), 1.5).unwrap();
     println!(
         "initial optimal guarantee (B = {b}): {:.2}\n",
         adaptive.built_objective()
@@ -50,7 +49,10 @@ fn main() {
             assert!(true_err <= adaptive.guarantee() + 1e-9);
         }
     }
-    println!("\n{} rebuilds over {updates} updates:", rebuild_points.len());
+    println!(
+        "\n{} rebuilds over {updates} updates:",
+        rebuild_points.len()
+    );
     for (step, obj) in rebuild_points.iter().take(12) {
         println!("  rebuilt at update {step:>5}, fresh optimal objective {obj:.2}");
     }

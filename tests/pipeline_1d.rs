@@ -25,10 +25,7 @@ fn workloads(n: usize) -> Vec<(&'static str, Vec<f64>)> {
             "bumps",
             gaussian_bumps(n, 5, (50.0, 300.0), (0.02, 0.1), 2.0, 3),
         ),
-        (
-            "piecewise",
-            piecewise_constant(n, 10, (1.0, 500.0), 0.0, 5),
-        ),
+        ("piecewise", piecewise_constant(n, 10, (1.0, 500.0), 0.0, 5)),
     ]
 }
 
@@ -89,7 +86,9 @@ fn guarantees_hold_for_every_point_query() {
 #[test]
 fn range_sum_guarantees_hold() {
     let data = zipf(64, 1.2, 20_000.0, ZipfPlacement::Shuffled, 23);
-    let det = MinMaxErr::new(&data).unwrap().run(10, ErrorMetric::absolute());
+    let det = MinMaxErr::new(&data)
+        .unwrap()
+        .run(10, ErrorMetric::absolute());
     let engine = QueryEngine1d::new(det.synopsis.clone());
     for lo in (0..64).step_by(7) {
         for hi in ((lo + 1)..=64).step_by(9) {
@@ -124,8 +123,12 @@ fn objective_monotone_in_budget_on_real_workloads() {
 #[test]
 fn pipeline_is_deterministic() {
     let data = gaussian_bumps(64, 6, (10.0, 200.0), (0.01, 0.2), 1.0, 77);
-    let r1 = MinMaxErr::new(&data).unwrap().run(9, ErrorMetric::relative(1.0));
-    let r2 = MinMaxErr::new(&data).unwrap().run(9, ErrorMetric::relative(1.0));
+    let r1 = MinMaxErr::new(&data)
+        .unwrap()
+        .run(9, ErrorMetric::relative(1.0));
+    let r2 = MinMaxErr::new(&data)
+        .unwrap()
+        .run(9, ErrorMetric::relative(1.0));
     assert_eq!(r1.synopsis, r2.synopsis);
     assert_eq!(r1.objective.to_bits(), r2.objective.to_bits());
 }

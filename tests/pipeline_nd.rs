@@ -76,7 +76,12 @@ fn nd_queries_consistent_with_reconstruction() {
     let r = scheme.run(12, 0.25);
     let engine = QueryEngineNd::new(r.synopsis.clone());
     let recon = r.synopsis.reconstruct();
-    for (r0, r1) in [(0..8usize, 0..8usize), (2..6, 1..7), (0..1, 0..8), (7..8, 7..8)] {
+    for (r0, r1) in [
+        (0..8usize, 0..8usize),
+        (2..6, 1..7),
+        (0..1, 0..8),
+        (7..8, 7..8),
+    ] {
         let mut expect = 0.0;
         for x0 in r0.clone() {
             for x1 in r1.clone() {

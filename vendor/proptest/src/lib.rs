@@ -1,0 +1,539 @@
+//! In-tree stand-in for the subset of the `proptest` 1.x API this
+//! workspace uses. The build environment has no crates.io access and the
+//! workspace dependency policy (DESIGN.md §6) forbids external
+//! dependencies, so this is a hand-rolled random-testing harness:
+//!
+//! * [`Strategy`] — value generation with `prop_map` / `prop_flat_map` /
+//!   `boxed`, implemented for numeric ranges, tuples, [`Just`], and
+//!   [`collection::vec`];
+//! * the [`proptest!`] macro — runs each case a configurable number of
+//!   times ([`ProptestConfig::with_cases`]) from a seed derived from the
+//!   test name, so failures are reproducible run-to-run;
+//! * [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_assume!`].
+//!
+//! **Deliberate simplification:** no shrinking. A failing case reports the
+//! generated inputs (via `Debug` where available at the macro call site)
+//! and panics. That is enough for the deterministic-DP invariants tested
+//! here, where counterexamples are already tiny (N ≤ 256).
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Debug;
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The generator driving test-case production. A thin wrapper over the
+/// workspace's deterministic [`StdRng`].
+#[derive(Debug, Clone)]
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    /// A generator seeded from a test name: reproducible run-to-run,
+    /// different across tests.
+    pub fn deterministic(name: &str) -> Self {
+        // FNV-1a over the name gives a stable per-test seed.
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for byte in name.bytes() {
+            h ^= byte as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng(StdRng::seed_from_u64(h))
+    }
+
+    /// The underlying rng.
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.0
+    }
+}
+
+/// Why a single generated case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` rejected the inputs; the runner draws a fresh case.
+    Reject,
+    /// `prop_assert!` failed with this message.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Constructs a failure with a message (used by the assert macros).
+    pub fn fail(msg: String) -> Self {
+        TestCaseError::Fail(msg)
+    }
+
+    /// Constructs a rejection (used by `prop_assume!`).
+    pub fn reject() -> Self {
+        TestCaseError::Reject
+    }
+}
+
+/// Result type the `proptest!` case body is wrapped into.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// A recipe for generating values of an associated type.
+pub trait Strategy {
+    /// The type of value this strategy generates.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Generates a value, then generates from the strategy `f` returns.
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Type-erases the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+/// A type-erased strategy.
+pub struct BoxedStrategy<T>(Box<dyn Strategy<Value = T>>);
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.0.generate(rng)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, S2, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    S2: Strategy,
+    F: Fn(S::Value) -> S2,
+{
+    type Value = S2::Value;
+    fn generate(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.rng().gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.rng().gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident),+)),*) => {$(
+        #[allow(non_snake_case)]
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy!((A, B), (A, B, C), (A, B, C, D));
+
+/// Types with a canonical "any value" strategy (`any::<T>()`).
+pub trait Arbitrary: Sized {
+    /// Draws an arbitrary value of this type.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_uint {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.rng().gen::<u64>() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_uint!(u8, u16, u32, u64, usize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.rng().gen::<u64>() & 1 == 1
+    }
+}
+
+/// The strategy returned by [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The canonical strategy for all values of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+/// Runner configuration: number of passing cases required per test.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Passing cases to run before declaring success.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` passing cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Collection strategies (`proptest::collection::vec`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// Accepted length arguments for [`vec`]: a fixed length or a range.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_exclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                lo: n,
+                hi_exclusive: n + 1,
+            }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi_exclusive: r.end,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty size range");
+            SizeRange {
+                lo: *r.start(),
+                hi_exclusive: *r.end() + 1,
+            }
+        }
+    }
+
+    /// A strategy producing `Vec`s of values drawn from `element`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Generates vectors with lengths drawn from `size` and elements drawn
+    /// from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.rng().gen_range(self.size.lo..self.size.hi_exclusive);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Uniform choice among boxed strategies — the engine behind
+/// [`prop_oneof!`].
+pub struct Union<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// A union over the given options (must be non-empty).
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+        Union { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let i = rng.rng().gen_range(0..self.options.len());
+        self.options[i].generate(rng)
+    }
+}
+
+/// Formats the generated bindings of a failing case for the panic message.
+pub fn format_binding<T: Debug>(name: &str, value: &T) -> String {
+    format!("  {name} = {value:?}")
+}
+
+/// Chooses uniformly among the listed strategies (all must yield the same
+/// value type).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($strategy)),+])
+    };
+}
+
+/// Rejects the current case unless `cond` holds; the runner draws a fresh
+/// one (bounded retries).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::reject());
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::reject());
+        }
+    };
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(
+                format!("assertion failed: {}: {}", stringify!($cond), format!($($fmt)*)),
+            ));
+        }
+    };
+}
+
+/// Fails the current case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(
+                format!("assertion failed: `left == right`\n  left: {l:?}\n right: {r:?}"),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(
+                format!("assertion failed: `left == right`\n  left: {l:?}\n right: {r:?}\n {}",
+                        format!($($fmt)*)),
+            ));
+        }
+    }};
+}
+
+/// Fails the current case unless `left != right`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l != r) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `left != right`\n  both: {l:?}"
+            )));
+        }
+    }};
+}
+
+/// Declares property tests. Each `fn name(bindings in strategies) { body }`
+/// becomes a `#[test]` running [`ProptestConfig::cases`] passing cases
+/// (default 256, overridable with a leading
+/// `#![proptest_config(ProptestConfig::with_cases(n))]`).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_cfg ($cfg) $($rest)*);
+    };
+    (@with_cfg ($cfg:expr)
+     $($(#[$meta:meta])* fn $name:ident ( $($arg:pat_param in $strategy:expr),* $(,)? ) $body:block)*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let mut rng = $crate::TestRng::deterministic(concat!(module_path!(), "::", stringify!($name)));
+                let mut passed: u32 = 0;
+                let mut attempts: u32 = 0;
+                let max_attempts = config.cases.saturating_mul(20).max(1000);
+                while passed < config.cases {
+                    attempts += 1;
+                    assert!(
+                        attempts <= max_attempts,
+                        "proptest {}: too many rejected cases ({} attempts, {} passed)",
+                        stringify!($name), attempts, passed
+                    );
+                    $(let $arg = $crate::Strategy::generate(&($strategy), &mut rng);)*
+                    #[allow(unreachable_code)]
+                    let case = || -> $crate::TestCaseResult {
+                        $body
+                        ::core::result::Result::Ok(())
+                    };
+                    match case() {
+                        ::core::result::Result::Ok(()) => passed += 1,
+                        ::core::result::Result::Err($crate::TestCaseError::Reject) => continue,
+                        ::core::result::Result::Err($crate::TestCaseError::Fail(msg)) => {
+                            panic!(
+                                "proptest {} failed at case {}:\n{}",
+                                stringify!($name), passed + 1, msg
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@with_cfg ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Prelude, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        Arbitrary, BoxedStrategy, Just, ProptestConfig, Strategy, TestCaseError, TestCaseResult,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_and_maps_generate_in_bounds() {
+        let mut rng = crate::TestRng::deterministic("ranges");
+        let s = (1u32..=4).prop_flat_map(|m| crate::collection::vec(-50i32..=50, 1usize << m));
+        for _ in 0..200 {
+            let v = s.generate(&mut rng);
+            assert!(v.len().is_power_of_two() && v.len() >= 2 && v.len() <= 16);
+            assert!(v.iter().all(|x| (-50..=50).contains(x)));
+        }
+    }
+
+    #[test]
+    fn oneof_hits_every_arm() {
+        let mut rng = crate::TestRng::deterministic("oneof");
+        let s = prop_oneof![Just(1u8), Just(2u8), Just(3u8)];
+        let mut seen = [false; 4];
+        for _ in 0..100 {
+            seen[s.generate(&mut rng) as usize] = true;
+        }
+        assert!(seen[1] && seen[2] && seen[3]);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_runs_and_asserts(v in crate::collection::vec(0i32..10, 1..8), flip in any::<bool>()) {
+            prop_assume!(!v.is_empty());
+            let total: i32 = v.iter().sum();
+            prop_assert!(total >= 0, "sum {total} negative for {v:?}");
+            prop_assert_eq!(v.len(), v.len());
+            let _ = flip;
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn tuple_strategies_work((i, x) in (0usize..64, -100i32..100)) {
+            prop_assert!(i < 64);
+            prop_assert!((-100..100).contains(&x));
+        }
+    }
+}

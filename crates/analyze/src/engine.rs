@@ -1,0 +1,76 @@
+//! Workspace walking: find every `.rs` file, classify it, run the rules.
+//!
+//! The walk is deterministic — directory entries are sorted byte-wise —
+//! so diagnostic output is byte-identical run-to-run (the tool practices
+//! what it preaches). `target/` and dot-directories are skipped;
+//! `vendor/` is walked but [`crate::rules::Scope::classify`] disarms
+//! every rule there, keeping "scan the whole workspace" structurally
+//! true while exempting the in-tree dependency stand-ins.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::rules::{check_source, Diagnostic};
+
+/// Outcome of a full-tree scan.
+#[derive(Debug)]
+pub struct Report {
+    /// All violations, sorted by `(path, line, rule)`.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+}
+
+/// Directory names never descended into.
+fn skip_dir(name: &str) -> bool {
+    name == "target" || name.starts_with('.')
+}
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    let mut entries: Vec<_> = fs::read_dir(dir)?.collect::<io::Result<Vec<_>>>()?;
+    entries.sort_by_key(std::fs::DirEntry::file_name);
+    for entry in entries {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if entry.file_type()?.is_dir() {
+            if !skip_dir(&name) {
+                walk(&path, out)?;
+            }
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// The workspace-relative `/`-separated form of `path` under `root`.
+fn rel_path(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    let parts: Vec<String> = rel
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy().into_owned())
+        .collect();
+    parts.join("/")
+}
+
+/// Scans every `.rs` file under `root` and reports all violations.
+///
+/// # Errors
+/// Propagates I/O failures from the directory walk or file reads.
+pub fn check_tree(root: &Path) -> io::Result<Report> {
+    let mut files = Vec::new();
+    walk(root, &mut files)?;
+    let mut diagnostics = Vec::new();
+    for path in &files {
+        let src = fs::read_to_string(path)?;
+        diagnostics.extend(check_source(&rel_path(root, path), &src));
+    }
+    diagnostics
+        .sort_by(|a, b| (a.path.as_str(), a.line, a.rule).cmp(&(b.path.as_str(), b.line, b.rule)));
+    Ok(Report {
+        diagnostics,
+        files_scanned: files.len(),
+    })
+}

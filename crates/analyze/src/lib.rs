@@ -1,0 +1,30 @@
+//! # wsyn-analyze — determinism-and-robustness static analysis
+//!
+//! The paper's contribution over the probabilistic baselines is
+//! *deterministic* maximum-error guarantees; this reproduction only
+//! keeps that promise if no nondeterminism leaks into the solver paths.
+//! `wsyn-analyze` mechanically guards those invariants on every change:
+//! a dependency-free token-level Rust lexer ([`lexer`]) feeds a rule
+//! engine ([`rules`]) that scans the whole workspace ([`engine`]) for
+//!
+//! * hash-order iteration (`HashMap`/`HashSet` with `RandomState`),
+//! * float `==`/`!=` tie-breaks,
+//! * wall-clock and entropy sources in guarantee-carrying code,
+//! * panicking escape hatches in library paths,
+//! * lossy integer casts in DP state packing,
+//! * unjustified `unsafe`.
+//!
+//! Run it with `cargo run -p wsyn-analyze -- check` (nonzero exit on
+//! violations); silence an intended site with
+//! `// wsyn: allow(<rule>)` plus a justification. See the rule table in
+//! [`rules`] and the "Determinism invariants" section of README.md.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod lexer;
+pub mod rules;
+
+pub use engine::{check_tree, Report};
+pub use rules::{check_source, Diagnostic, Rule, Scope, ALL_RULES};

@@ -1,0 +1,101 @@
+//! `wsyn-analyze` — the workspace determinism-and-robustness linter.
+//!
+//! ```text
+//! wsyn-analyze check [--root DIR]   # scan; nonzero exit on violations
+//! wsyn-analyze list-rules           # print the rule table
+//! ```
+//!
+//! CI runs `cargo run -p wsyn-analyze -- check` alongside rustfmt and
+//! clippy; see `.github/workflows/ci.yml`.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use wsyn_analyze::{check_tree, Rule, ALL_RULES};
+
+const USAGE: &str = "usage: wsyn-analyze <check [--root DIR] | list-rules>";
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match run(&argv) {
+        Ok(clean) => {
+            if clean {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(argv: &[String]) -> Result<bool, String> {
+    match argv.first().map(String::as_str) {
+        Some("check") => check(&argv[1..]),
+        Some("list-rules") => {
+            for rule in ALL_RULES {
+                println!("{:16} {}", rule.id(), rule.describe());
+            }
+            Ok(true)
+        }
+        _ => Err("expected a subcommand".to_string()),
+    }
+}
+
+/// Locates the workspace root: `--root` if given, else the current
+/// directory if it holds a `Cargo.toml`, else the workspace this binary
+/// was compiled from (compile-time constant — no environment reads at
+/// run time beyond the CLI).
+fn find_root(argv: &[String]) -> Result<PathBuf, String> {
+    match argv {
+        [] => {}
+        [flag, dir] if flag == "--root" => return Ok(PathBuf::from(dir)),
+        _ => return Err(format!("unrecognized arguments: {argv:?}")),
+    }
+    if Path::new("Cargo.toml").exists() {
+        return Ok(PathBuf::from("."));
+    }
+    let compiled_from = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    if compiled_from.join("Cargo.toml").exists() {
+        return Ok(compiled_from);
+    }
+    Err("no Cargo.toml here; pass --root <workspace-dir>".to_string())
+}
+
+fn check(argv: &[String]) -> Result<bool, String> {
+    let root = find_root(argv)?;
+    let report = check_tree(&root).map_err(|e| format!("scan failed: {e}"))?;
+    for d in &report.diagnostics {
+        println!("{d}");
+    }
+    if report.diagnostics.is_empty() {
+        println!(
+            "wsyn-analyze: clean ({} files scanned)",
+            report.files_scanned
+        );
+        Ok(true)
+    } else {
+        let mut by_rule: Vec<(Rule, usize)> = Vec::new();
+        for d in &report.diagnostics {
+            match by_rule.iter_mut().find(|(r, _)| *r == d.rule) {
+                Some((_, n)) => *n += 1,
+                None => by_rule.push((d.rule, 1)),
+            }
+        }
+        let summary: Vec<String> = by_rule
+            .iter()
+            .map(|(r, n)| format!("{} {}", n, r.id()))
+            .collect();
+        println!(
+            "wsyn-analyze: {} violation(s) [{}] in {} files scanned",
+            report.diagnostics.len(),
+            summary.join(", "),
+            report.files_scanned
+        );
+        Ok(false)
+    }
+}

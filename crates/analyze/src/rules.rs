@@ -1,0 +1,674 @@
+//! The determinism-and-robustness rules and the per-file engine.
+//!
+//! Every rule guards an invariant the paper's *deterministic* error
+//! guarantees rest on (DESIGN.md §4, README "Determinism invariants"):
+//!
+//! | id | guard |
+//! |----|-------|
+//! | `float-eq` | no `==`/`!=` against float literals in solver crates — ties must be broken by explicit ordering or `wsyn_core::{is_zero, total_eq}` |
+//! | `hash-collections` | no `HashMap`/`HashSet` (randomized `RandomState` iteration order) in solver crates — use `StateTable` or `BTreeMap`/`BTreeSet` |
+//! | `wall-clock` | no `Instant::now`/`SystemTime`/entropy-seeded RNG outside `bench`/`cli` |
+//! | `no-panic` | no `.unwrap()`/`.expect(…)`/`panic!` in library non-test code — propagate `Result` |
+//! | `lossy-cast` | no narrowing `as` casts in solver-crate DP state packing / index arithmetic — use `try_into` or `wsyn_core::narrow_u32` |
+//! | `safety-comment` | every `unsafe` must carry a `// SAFETY:` comment (vendor exempt) |
+//!
+//! A violation that is *intended* — a documented invariant, a wrapping
+//! truncation inside a hash — is silenced in place with
+//! `// wsyn: allow(<rule>)` on the offending line or the line above.
+//! The comment is the audit trail: the justification lives next to it.
+//!
+//! Scoping decisions (computed by [`Scope::classify`]):
+//!
+//! * Solver crates are `core`, `synopsis` (home of `MinMaxErr` and the
+//!   multi-dimensional schemes), `haar`, and `prob`.
+//! * `#[cfg(test)]` modules, `#[test]` functions, and `tests/` /
+//!   `benches/` / `examples/` trees are exempt from `float-eq`,
+//!   `hash-collections`, `no-panic`, and `lossy-cast`: exact float
+//!   assertions and `unwrap` are the *point* of tests. `wall-clock` and
+//!   `safety-comment` apply everywhere in scope — a flaky clock in a
+//!   test is still nondeterminism.
+//! * `vendor/` (in-tree dependency stand-ins) is exempt from all rules.
+
+use crate::lexer::{lex, Token, TokenKind};
+
+/// The six rules, in reporting order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    /// R1: float `==`/`!=` in solver crates.
+    FloatEq,
+    /// R2: `HashMap`/`HashSet` with random state in solver crates.
+    HashCollections,
+    /// R3: wall-clock or entropy sources outside `bench`/`cli`.
+    WallClock,
+    /// R4: `unwrap`/`expect`/`panic!` in library non-test code.
+    NoPanic,
+    /// R5: narrowing `as` casts in solver crates.
+    LossyCast,
+    /// R6: `unsafe` without a `// SAFETY:` comment.
+    SafetyComment,
+}
+
+/// All rules, in reporting order.
+pub const ALL_RULES: [Rule; 6] = [
+    Rule::FloatEq,
+    Rule::HashCollections,
+    Rule::WallClock,
+    Rule::NoPanic,
+    Rule::LossyCast,
+    Rule::SafetyComment,
+];
+
+impl Rule {
+    /// The kebab-case id used in diagnostics and allow comments.
+    #[must_use]
+    pub fn id(self) -> &'static str {
+        match self {
+            Rule::FloatEq => "float-eq",
+            Rule::HashCollections => "hash-collections",
+            Rule::WallClock => "wall-clock",
+            Rule::NoPanic => "no-panic",
+            Rule::LossyCast => "lossy-cast",
+            Rule::SafetyComment => "safety-comment",
+        }
+    }
+
+    /// Parses a rule id (as written in an allow comment).
+    #[must_use]
+    pub fn from_id(id: &str) -> Option<Rule> {
+        ALL_RULES.iter().copied().find(|r| r.id() == id)
+    }
+
+    /// One-line description shown by `wsyn-analyze list-rules`.
+    #[must_use]
+    pub fn describe(self) -> &'static str {
+        match self {
+            Rule::FloatEq => {
+                "float == / != against a float literal in a solver crate; \
+                 use explicit ordering, wsyn_core::is_zero, or wsyn_core::total_eq"
+            }
+            Rule::HashCollections => {
+                "HashMap/HashSet iteration order is randomized per process; \
+                 use wsyn_core::StateTable or BTreeMap/BTreeSet in solver crates"
+            }
+            Rule::WallClock => {
+                "Instant/SystemTime/entropy-seeded randomness outside bench/cli \
+                 makes solver behaviour time-dependent"
+            }
+            Rule::NoPanic => {
+                ".unwrap()/.expect()/panic! in library non-test code; \
+                 propagate Result, or justify with // wsyn: allow(no-panic)"
+            }
+            Rule::LossyCast => {
+                "narrowing `as` cast in solver-crate DP state packing or index \
+                 arithmetic; use try_into or wsyn_core::narrow_u32"
+            }
+            Rule::SafetyComment => "unsafe without an adjacent // SAFETY: justification",
+        }
+    }
+}
+
+/// One reported violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Workspace-relative path of the offending file.
+    pub path: String,
+    /// 1-based line of the offending token.
+    pub line: u32,
+    /// Violated rule.
+    pub rule: Rule,
+    /// Human-readable detail (what was matched).
+    pub message: String,
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path,
+            self.line,
+            self.rule.id(),
+            self.message
+        )
+    }
+}
+
+/// Which rules apply to a file, derived from its workspace-relative path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Scope {
+    /// `float-eq`, `hash-collections`, `lossy-cast` (solver crates).
+    pub solver: bool,
+    /// `wall-clock`.
+    pub wall_clock: bool,
+    /// `no-panic`.
+    pub no_panic: bool,
+    /// `safety-comment`.
+    pub safety: bool,
+    /// Whole file is test/bench/example code (path-derived).
+    pub test_path: bool,
+}
+
+/// Crates whose solver paths carry the paper's deterministic guarantees.
+/// (`MinMaxErr` and the multi-dimensional schemes live in `synopsis`.)
+pub const SOLVER_CRATES: &[&str] = &["core", "synopsis", "haar", "prob"];
+
+impl Scope {
+    /// A scope with nothing enabled (vendor, non-Rust trees).
+    #[must_use]
+    pub fn none() -> Scope {
+        Scope {
+            solver: false,
+            wall_clock: false,
+            no_panic: false,
+            safety: false,
+            test_path: false,
+        }
+    }
+
+    /// Derives the scope from a workspace-relative path with `/`
+    /// separators (e.g. `crates/synopsis/src/one_dim/dedup.rs`).
+    #[must_use]
+    pub fn classify(rel_path: &str) -> Scope {
+        let parts: Vec<&str> = rel_path.split('/').collect();
+        let test_path = parts
+            .iter()
+            .any(|p| matches!(*p, "tests" | "benches" | "examples"));
+        match parts.as_slice() {
+            ["vendor", ..] => Scope::none(),
+            ["crates", name, ..] => Scope {
+                solver: SOLVER_CRATES.contains(name),
+                // bench times things and cli may report durations; both
+                // sit outside every guarantee-carrying path.
+                wall_clock: !matches!(*name, "bench" | "cli"),
+                no_panic: *name != "bench",
+                safety: true,
+                test_path,
+            },
+            // Root package: facade lib, integration tests, examples.
+            _ => Scope {
+                solver: false,
+                wall_clock: !test_path,
+                no_panic: true,
+                safety: true,
+                test_path,
+            },
+        }
+    }
+}
+
+/// Idents that read the wall clock or process entropy (rule
+/// `wall-clock`). `RandomState` is `std`'s per-process-seeded hasher.
+const WALL_CLOCK_IDENTS: &[&str] = &[
+    "Instant",
+    "SystemTime",
+    "thread_rng",
+    "from_entropy",
+    "RandomState",
+];
+
+/// Per-line allow-comment table.
+struct Allows {
+    /// `(line, rule)` pairs collected from `// wsyn: allow(...)`.
+    entries: Vec<(u32, Rule)>,
+}
+
+impl Allows {
+    /// Parses every comment token. Accepted forms, anywhere inside a
+    /// line or block comment: `wsyn: allow(rule)` and
+    /// `wsyn: allow(rule-a, rule-b)`. A multi-line block comment
+    /// anchors at its *last* line.
+    fn collect(tokens: &[Token<'_>]) -> Allows {
+        let mut entries = Vec::new();
+        for t in tokens {
+            if !matches!(t.kind, TokenKind::LineComment | TokenKind::BlockComment) {
+                continue;
+            }
+            let line = t.line + u32::try_from(t.text.matches('\n').count()).unwrap_or(0);
+            let mut rest = t.text;
+            while let Some(at) = rest.find("wsyn:") {
+                rest = &rest[at + "wsyn:".len()..];
+                let trimmed = rest.trim_start();
+                let Some(arg) = trimmed.strip_prefix("allow(") else {
+                    continue;
+                };
+                let Some(close) = arg.find(')') else { continue };
+                for id in arg[..close].split(',') {
+                    if let Some(rule) = Rule::from_id(id.trim()) {
+                        entries.push((line, rule));
+                    }
+                }
+            }
+        }
+        Allows { entries }
+    }
+
+    /// Whether a diagnostic for `rule` at `line` is suppressed: an allow
+    /// comment matches its own line (trailing) or the next (preceding).
+    fn covers(&self, line: u32, rule: Rule) -> bool {
+        self.entries
+            .iter()
+            .any(|&(l, r)| r == rule && (l == line || l + 1 == line))
+    }
+}
+
+/// Lines carrying a `SAFETY:` comment (for rule `safety-comment`).
+fn safety_lines(tokens: &[Token<'_>]) -> Vec<u32> {
+    let mut out = Vec::new();
+    for t in tokens {
+        if matches!(t.kind, TokenKind::LineComment | TokenKind::BlockComment)
+            && t.text.contains("SAFETY:")
+        {
+            let last = t.line + u32::try_from(t.text.matches('\n').count()).unwrap_or(0);
+            out.push(last);
+        }
+    }
+    out
+}
+
+/// Marks each code token as test code or not, by tracking `#[test]` /
+/// `#[cfg(test)]`-attributed items and the brace extent of their bodies.
+///
+/// Token-level approximation: an attribute whose argument tokens contain
+/// the bare ident `test` marks the next brace-delimited item body as
+/// test code. This covers `#[test]`, `#[cfg(test)]`, and
+/// `#[cfg(all(test, …))]`; it does not understand `#[cfg(not(test))]`,
+/// which the workspace does not use.
+fn test_mask(code: &[Token<'_>]) -> Vec<bool> {
+    let mut mask = vec![false; code.len()];
+    let mut depth = 0i32;
+    // Brace depths at which a test item's body ends, as a stack.
+    let mut test_until: Vec<i32> = Vec::new();
+    // Set when a test attribute was seen and its item body not yet begun.
+    let mut pending = false;
+    let mut i = 0usize;
+    while i < code.len() {
+        let t = code[i];
+        let in_test = !test_until.is_empty();
+        mask[i] = in_test;
+        if t.kind == TokenKind::Punct {
+            match t.text {
+                "#" if code.get(i + 1).is_some_and(|n| n.text == "[") => {
+                    // Scan the attribute for the bare ident `test`.
+                    let mut j = i + 2;
+                    let mut bracket = 1i32;
+                    let mut has_test = false;
+                    while j < code.len() && bracket > 0 {
+                        match code[j].text {
+                            "[" => bracket += 1,
+                            "]" => bracket -= 1,
+                            "test" if code[j].kind == TokenKind::Ident => has_test = true,
+                            _ => {}
+                        }
+                        mask[j] = in_test;
+                        j += 1;
+                    }
+                    mask[i + 1] = in_test;
+                    if has_test {
+                        pending = true;
+                    }
+                    i = j;
+                    continue;
+                }
+                "{" => {
+                    depth += 1;
+                    if pending {
+                        test_until.push(depth);
+                        pending = false;
+                        mask[i] = true;
+                    }
+                }
+                "}" => {
+                    if test_until.last() == Some(&depth) {
+                        test_until.pop();
+                        mask[i] = true;
+                    }
+                    depth -= 1;
+                }
+                // `#[cfg(test)] use …;` or `mod tests;` — no body.
+                ";" if pending && depth == test_until.last().copied().unwrap_or(0) => {
+                    pending = false;
+                }
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+    mask
+}
+
+/// Runs every applicable rule over one file.
+///
+/// `rel_path` must be workspace-relative with `/` separators — it picks
+/// the [`Scope`] and is echoed into diagnostics.
+#[must_use]
+pub fn check_source(rel_path: &str, src: &str) -> Vec<Diagnostic> {
+    let scope = Scope::classify(rel_path);
+    check_source_scoped(rel_path, src, scope)
+}
+
+/// [`check_source`] with an explicit scope (used by tests to aim rules
+/// at synthetic snippets without fabricating paths).
+#[must_use]
+pub fn check_source_scoped(rel_path: &str, src: &str, scope: Scope) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    if scope == Scope::none() {
+        return out;
+    }
+    let tokens = lex(src);
+    let allows = Allows::collect(&tokens);
+    let safety = safety_lines(&tokens);
+    let code: Vec<Token<'_>> = tokens
+        .iter()
+        .copied()
+        .filter(|t| !matches!(t.kind, TokenKind::LineComment | TokenKind::BlockComment))
+        .collect();
+    let in_test = test_mask(&code);
+
+    let mut push = |line: u32, rule: Rule, message: String| {
+        if !allows.covers(line, rule) {
+            out.push(Diagnostic {
+                path: rel_path.to_string(),
+                line,
+                rule,
+                message,
+            });
+        }
+    };
+
+    for (i, t) in code.iter().enumerate() {
+        let exempt_test = scope.test_path || in_test[i];
+        match t.kind {
+            TokenKind::Punct if matches!(t.text, "==" | "!=") && scope.solver && !exempt_test => {
+                let prev_float = i > 0 && code[i - 1].kind == TokenKind::Float;
+                let next_float = code.get(i + 1).map(|n| n.kind) == Some(TokenKind::Float)
+                    || (code.get(i + 1).map(|n| n.text) == Some("-")
+                        && code.get(i + 2).map(|n| n.kind) == Some(TokenKind::Float));
+                if prev_float || next_float {
+                    push(
+                        t.line,
+                        Rule::FloatEq,
+                        format!(
+                            "float `{}` against a literal; use explicit ordering or \
+                             wsyn_core::{{is_zero, total_eq}}",
+                            t.text
+                        ),
+                    );
+                }
+            }
+            TokenKind::Ident => match t.text {
+                "HashMap" | "HashSet" if scope.solver && !exempt_test => {
+                    push(
+                        t.line,
+                        Rule::HashCollections,
+                        format!(
+                            "`{}` has per-process-randomized iteration order; use \
+                             wsyn_core::StateTable or an ordered map",
+                            t.text
+                        ),
+                    );
+                }
+                name if scope.wall_clock && WALL_CLOCK_IDENTS.contains(&name) => {
+                    push(
+                        t.line,
+                        Rule::WallClock,
+                        format!("`{name}` is a wall-clock/entropy source outside bench/cli"),
+                    );
+                }
+                "unwrap" | "expect"
+                    if scope.no_panic
+                        && !exempt_test
+                        && i > 0
+                        && code[i - 1].text == "."
+                        && code.get(i + 1).map(|n| n.text) == Some("(") =>
+                {
+                    push(
+                        t.line,
+                        Rule::NoPanic,
+                        format!(".{}() in library non-test code; propagate Result", t.text),
+                    );
+                }
+                "panic"
+                    if scope.no_panic
+                        && !exempt_test
+                        && code.get(i + 1).map(|n| n.text) == Some("!") =>
+                {
+                    push(
+                        t.line,
+                        Rule::NoPanic,
+                        "panic! in library non-test code; return an error".to_string(),
+                    );
+                }
+                "as" if scope.solver && !exempt_test => {
+                    if let Some(next) = code.get(i + 1) {
+                        if matches!(next.text, "u8" | "u16" | "u32" | "i8" | "i16" | "i32") {
+                            push(
+                                t.line,
+                                Rule::LossyCast,
+                                format!(
+                                    "narrowing `as {}`; use try_into or wsyn_core::narrow_u32",
+                                    next.text
+                                ),
+                            );
+                        }
+                    }
+                }
+                "unsafe" if scope.safety => {
+                    let justified = safety
+                        .iter()
+                        .any(|&l| l <= t.line && t.line.saturating_sub(l) <= 3);
+                    if !justified {
+                        push(
+                            t.line,
+                            Rule::SafetyComment,
+                            "unsafe without a // SAFETY: comment within 3 lines above".to_string(),
+                        );
+                    }
+                }
+                _ => {}
+            },
+            _ => {}
+        }
+    }
+    out.sort_by_key(|a| (a.line, a.rule));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A scope with every rule armed and no path-level test exemption.
+    fn all() -> Scope {
+        Scope {
+            solver: true,
+            wall_clock: true,
+            no_panic: true,
+            safety: true,
+            test_path: false,
+        }
+    }
+
+    fn rules_of(src: &str) -> Vec<Rule> {
+        check_source_scoped("crates/core/src/lib.rs", src, all())
+            .into_iter()
+            .map(|d| d.rule)
+            .collect()
+    }
+
+    #[test]
+    fn float_eq_flags_literal_comparisons() {
+        assert_eq!(
+            rules_of("fn f(x: f64) -> bool { x == 0.0 }"),
+            vec![Rule::FloatEq]
+        );
+        assert_eq!(
+            rules_of("fn f(x: f64) -> bool { 1e-9 != x }"),
+            vec![Rule::FloatEq]
+        );
+        assert_eq!(
+            rules_of("fn f(x: f64) -> bool { x == -0.5 }"),
+            vec![Rule::FloatEq]
+        );
+        // Integer comparisons and float ordering are fine.
+        assert!(rules_of("fn f(x: u32) -> bool { x == 0 }").is_empty());
+        assert!(rules_of("fn f(x: f64) -> bool { x < 0.0 }").is_empty());
+    }
+
+    #[test]
+    fn float_eq_ignores_strings_comments_and_tests() {
+        assert!(rules_of("// x == 0.0\nfn f() {}").is_empty());
+        assert!(rules_of("fn f() -> &'static str { \"x == 0.0\" }").is_empty());
+        assert!(rules_of("#[cfg(test)]\nmod t { fn g(x: f64) -> bool { x == 0.0 } }").is_empty());
+        assert!(rules_of("#[test]\nfn t() { assert!(1.0 == 1.0); }").is_empty());
+    }
+
+    #[test]
+    fn hash_collections_flagged_in_solver_scope_only() {
+        let src = "use std::collections::HashMap;";
+        assert_eq!(rules_of(src), vec![Rule::HashCollections]);
+        assert!(check_source("crates/cli/src/args.rs", src).is_empty());
+        assert!(check_source("crates/bench/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn wall_clock_scoping() {
+        let src = "fn f() { let t = std::time::Instant::now(); }";
+        assert_eq!(rules_of(src), vec![Rule::WallClock]);
+        assert!(check_source("crates/bench/src/lib.rs", src).is_empty());
+        assert!(check_source("crates/cli/src/main.rs", src).is_empty());
+        // Applies inside test code too: flaky clocks make flaky tests.
+        assert_eq!(
+            rules_of("#[test]\nfn t() { let t = Instant::now(); }"),
+            vec![Rule::WallClock]
+        );
+    }
+
+    #[test]
+    fn no_panic_variants() {
+        assert_eq!(rules_of("fn f() { x.unwrap(); }"), vec![Rule::NoPanic]);
+        assert_eq!(rules_of("fn f() { x.expect(\"m\"); }"), vec![Rule::NoPanic]);
+        assert_eq!(
+            rules_of("fn f() { panic!(\"boom\"); }"),
+            vec![Rule::NoPanic]
+        );
+        // Not confused by unwrap_or / expect-like names or field access.
+        assert!(rules_of("fn f() { x.unwrap_or(0); }").is_empty());
+        assert!(rules_of("fn f() { x.unwrap_or_else(g); }").is_empty());
+        assert!(rules_of("fn f() { unwrap(); }").is_empty());
+        // Test code may unwrap freely.
+        assert!(rules_of("#[test]\nfn t() { x.unwrap(); }").is_empty());
+        assert!(rules_of("#[cfg(test)]\nmod t {\n fn h() { x.unwrap(); }\n}").is_empty());
+        // …but a sibling item after the test module is back in scope.
+        assert_eq!(
+            rules_of("#[cfg(test)]\nmod t { fn h() {} }\nfn f() { x.unwrap(); }"),
+            vec![Rule::NoPanic]
+        );
+    }
+
+    #[test]
+    fn lossy_cast_targets_narrowing_only() {
+        assert_eq!(
+            rules_of("fn f(x: usize) -> u32 { x as u32 }"),
+            vec![Rule::LossyCast]
+        );
+        assert_eq!(
+            rules_of("fn f(x: u64) -> i16 { x as i16 }"),
+            vec![Rule::LossyCast]
+        );
+        assert!(rules_of("fn f(x: u32) -> u64 { x as u64 }").is_empty());
+        assert!(rules_of("fn f(x: u32) -> usize { x as usize }").is_empty());
+        assert!(rules_of("fn f(x: u32) -> f64 { x as f64 }").is_empty());
+    }
+
+    #[test]
+    fn safety_comment_rule() {
+        assert_eq!(
+            rules_of("fn f() { unsafe { core::hint::unreachable_unchecked() } }"),
+            vec![Rule::SafetyComment]
+        );
+        assert!(rules_of(
+            "fn f() {\n    // SAFETY: caller guarantees the invariant\n    unsafe { g() }\n}"
+        )
+        .is_empty());
+        // A SAFETY comment more than 3 lines away does not count.
+        assert_eq!(
+            rules_of("// SAFETY: too far\n\n\n\n\nfn f() { unsafe { g() } }"),
+            vec![Rule::SafetyComment]
+        );
+        // Applies in test code too.
+        assert_eq!(
+            rules_of("#[test]\nfn t() { unsafe { g() } }"),
+            vec![Rule::SafetyComment]
+        );
+    }
+
+    #[test]
+    fn allow_comment_suppresses_same_and_next_line() {
+        // Trailing on the offending line.
+        assert!(rules_of("fn f(x: f64) -> bool { x == 0.0 } // wsyn: allow(float-eq)").is_empty());
+        // On the line above.
+        assert!(
+            rules_of("fn f(x: f64) -> bool {\n    // wsyn: allow(float-eq)\n    x == 0.0\n}")
+                .is_empty()
+        );
+        // Multiple rules in one comment.
+        assert!(rules_of(
+            "fn f(x: f64, y: usize) {\n    // wsyn: allow(float-eq, lossy-cast)\n    \
+             let _ = (x == 0.0, y as u32);\n}"
+        )
+        .is_empty());
+        // The wrong rule id does not suppress.
+        assert_eq!(
+            rules_of("fn f(x: f64) -> bool { x == 0.0 } // wsyn: allow(no-panic)"),
+            vec![Rule::FloatEq]
+        );
+        // Two lines below is out of reach.
+        assert_eq!(
+            rules_of("// wsyn: allow(float-eq)\n\nfn f(x: f64) -> bool { x == 0.0 }"),
+            vec![Rule::FloatEq]
+        );
+    }
+
+    #[test]
+    fn scope_classification() {
+        let s = Scope::classify("crates/synopsis/src/one_dim/dedup.rs");
+        assert!(s.solver && s.wall_clock && s.no_panic && s.safety && !s.test_path);
+        let s = Scope::classify("crates/aqp/src/lib.rs");
+        assert!(!s.solver && s.wall_clock && s.no_panic);
+        let s = Scope::classify("crates/bench/src/bin/exp_e5_scaling.rs");
+        assert!(!s.wall_clock && !s.no_panic && s.safety);
+        let s = Scope::classify("crates/cli/src/main.rs");
+        assert!(!s.wall_clock && s.no_panic);
+        let s = Scope::classify("vendor/rand/src/lib.rs");
+        assert_eq!(s, Scope::none());
+        let s = Scope::classify("crates/synopsis/tests/one_dim_properties.rs");
+        assert!(s.solver && s.test_path);
+        let s = Scope::classify("tests/invariants.rs");
+        assert!(s.test_path && !s.wall_clock);
+        let s = Scope::classify("src/lib.rs");
+        assert!(s.no_panic && s.wall_clock && !s.solver);
+    }
+
+    #[test]
+    fn diagnostics_carry_path_line_and_rule_id() {
+        let d = check_source(
+            "crates/haar/src/error.rs",
+            "fn f(x: f64) -> bool {\n    x == 0.0\n}",
+        );
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].line, 2);
+        assert_eq!(d[0].rule.id(), "float-eq");
+        assert_eq!(
+            d[0].to_string(),
+            format!("crates/haar/src/error.rs:2: [float-eq] {}", d[0].message)
+        );
+    }
+
+    #[test]
+    fn rule_ids_roundtrip() {
+        for r in ALL_RULES {
+            assert_eq!(Rule::from_id(r.id()), Some(r));
+        }
+        assert_eq!(Rule::from_id("nonsense"), None);
+    }
+}

@@ -112,7 +112,7 @@ mod tests {
 
     #[test]
     fn absolute_interval_contains_truth() {
-        let data: Vec<f64> = (0..32).map(|i| ((i * 17 + 3) % 29) as f64).collect();
+        let data: Vec<f64> = (0..32).map(|i| f64::from((i * 17 + 3) % 29)).collect();
         let solver = MinMaxErr::new(&data).unwrap();
         for b in [2usize, 4, 8] {
             let r = solver.run(b, ErrorMetric::absolute());
@@ -126,7 +126,9 @@ mod tests {
 
     #[test]
     fn relative_interval_contains_truth() {
-        let data: Vec<f64> = (0..32).map(|i| ((i * 23 + 7) % 41) as f64 - 10.0).collect();
+        let data: Vec<f64> = (0..32)
+            .map(|i| f64::from((i * 23 + 7) % 41) - 10.0)
+            .collect();
         let solver = MinMaxErr::new(&data).unwrap();
         let s = 2.0;
         for b in [3usize, 6, 12] {
@@ -160,7 +162,7 @@ mod tests {
 
     #[test]
     fn range_sum_interval() {
-        let data: Vec<f64> = (0..16).map(|i| (i % 4) as f64 * 3.0).collect();
+        let data: Vec<f64> = (0..16).map(|i| f64::from(i % 4) * 3.0).collect();
         let solver = MinMaxErr::new(&data).unwrap();
         let r = solver.run(4, ErrorMetric::absolute());
         let engine = crate::QueryEngine1d::new(r.synopsis.clone());

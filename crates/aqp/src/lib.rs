@@ -160,7 +160,7 @@ impl QueryEngineNd {
         for (k, r) in query.iter().enumerate() {
             assert!(r.end <= shape.sides()[k], "query dim {k} out of bounds");
         }
-        if query.iter().any(|r| r.is_empty()) {
+        if query.iter().any(std::ops::Range::is_empty) {
             return 0.0;
         }
         let m = wsyn_haar::log2_exact(side);
@@ -203,14 +203,12 @@ fn coeff_range_weight_nd(coords: &[usize], side: usize, m: u32, query: &[Range<u
         // Overall average: plain volume overlap.
         return query.iter().map(|r| overlap(r, 0, side)).product();
     }
-    // Level of the coefficient: unique l with all coords < 2^{l+1} and at
-    // least one >= 2^l.
-    let l = (0..m)
-        .find(|&ll| {
-            coords.iter().all(|&c| c < (1usize << (ll + 1)))
-                && coords.iter().any(|&c| c >= (1usize << ll))
-        })
-        .expect("nonzero coordinate has a level");
+    // Level of the coefficient: the unique l with all coords < 2^{l+1}
+    // and at least one >= 2^l — i.e. floor(log2) of the largest
+    // coordinate (nonzero, since the all-zero average returned above).
+    let cmax = coords.iter().copied().max().unwrap_or(1).max(1);
+    let l = usize::BITS - 1 - cmax.leading_zeros();
+    debug_assert!(l < m);
     let off = 1usize << l;
     let width = side >> l;
     let mut w = 1.0f64;
@@ -393,7 +391,7 @@ mod tests {
         use wsyn_haar::nd::{NdArray, NdShape};
         use wsyn_haar::ErrorTreeNd;
         let shape = NdShape::hypercube(4, 2).unwrap();
-        let vals: Vec<f64> = (0..16).map(|i| ((i * 7 + 2) % 9) as f64).collect();
+        let vals: Vec<f64> = (0..16).map(|i| f64::from((i * 7 + 2) % 9)).collect();
         let tree =
             ErrorTreeNd::from_data(&NdArray::new(shape.clone(), vals.clone()).unwrap()).unwrap();
         let syn = SynopsisNd::from_positions(&tree, &(0..16).collect::<Vec<_>>());
@@ -424,7 +422,7 @@ mod tests {
         use wsyn_haar::nd::{NdArray, NdShape};
         use wsyn_haar::ErrorTreeNd;
         let shape = NdShape::hypercube(4, 2).unwrap();
-        let vals: Vec<f64> = (0..16).map(|i| (i % 5) as f64 * 2.0).collect();
+        let vals: Vec<f64> = (0..16).map(|i| f64::from(i % 5) * 2.0).collect();
         let tree = ErrorTreeNd::from_data(&NdArray::new(shape.clone(), vals).unwrap()).unwrap();
         let syn = SynopsisNd::from_positions(&tree, &[0, 1, 4, 5]);
         let engine = QueryEngineNd::new(syn.clone());

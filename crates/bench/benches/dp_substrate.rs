@@ -218,9 +218,7 @@ fn compare_ms(reps: usize, mut a: impl FnMut(), mut b: impl FnMut()) -> (f64, f6
 }
 
 fn main() {
-    let host_cpus = std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(1);
+    let host_cpus = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
     let reps = 5usize;
 
     // ── Memo layout: seed HashMap vs StateTable, E5 workload ──────────

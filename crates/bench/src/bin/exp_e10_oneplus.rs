@@ -71,9 +71,7 @@ fn main() {
             vec![
                 t.tau.to_string(),
                 t.forced.to_string(),
-                t.true_objective
-                    .map(f)
-                    .unwrap_or_else(|| "infeasible".into()),
+                t.true_objective.map_or_else(|| "infeasible".into(), f),
                 t.states.to_string(),
             ]
         })

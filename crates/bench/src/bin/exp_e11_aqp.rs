@@ -73,7 +73,7 @@ fn main() {
             f(error_quantile(errs.clone(), 0.5)),
             f(error_quantile(errs.clone(), 0.9)),
             f(error_quantile(errs.clone(), 0.99)),
-            f(errs.iter().cloned().fold(0.0f64, f64::max)),
+            f(errs.iter().copied().fold(0.0f64, f64::max)),
         ]);
     }
     md_table(&["synopsis", "median rel err", "p90", "p99", "max"], &rows);

@@ -19,7 +19,9 @@ fn main() {
     let mut checks = 0usize;
     for _ in 0..60 {
         let n = 16usize;
-        let data: Vec<f64> = (0..n).map(|_| rng.gen_range(-30i32..=30) as f64).collect();
+        let data: Vec<f64> = (0..n)
+            .map(|_| f64::from(rng.gen_range(-30i32..=30)))
+            .collect();
         let tree = ErrorTree1d::from_data(&data).unwrap();
         for b in 0..=8usize {
             let greedy = greedy_l2_1d(&tree, b);
@@ -43,10 +45,10 @@ fn main() {
         // Mostly-small values with a few huge ones: greedy spends its
         // budget on the big coefficients and butchers the small region.
         let n = 64usize;
-        let mut data: Vec<f64> = (0..n).map(|_| rng.gen_range(1i32..=4) as f64).collect();
+        let mut data: Vec<f64> = (0..n).map(|_| f64::from(rng.gen_range(1i32..=4))).collect();
         for _ in 0..6 {
             let i = rng.gen_range(0..n);
-            data[i] = rng.gen_range(500i32..=900) as f64;
+            data[i] = f64::from(rng.gen_range(500i32..=900));
         }
         let b = 8;
         let metric = ErrorMetric::relative(1.0);

@@ -77,13 +77,9 @@ fn main() {
         rows.push(vec![
             n.to_string(),
             f(total),
-            prev_total
-                .map(|p| format!("{:.2}x", total / p))
-                .unwrap_or_else(|| "—".into()),
+            prev_total.map_or_else(|| "—".into(), |p| format!("{:.2}x", total / p)),
             f(peak),
-            prev_peak
-                .map(|p| format!("{:.2}x", peak / p))
-                .unwrap_or_else(|| "—".into()),
+            prev_peak.map_or_else(|| "—".into(), |p| format!("{:.2}x", peak / p)),
             format!("{:.1}x", total / peak),
         ]);
         prev_total = Some(total);

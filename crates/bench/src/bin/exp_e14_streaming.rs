@@ -33,7 +33,7 @@ fn main() {
     // Shared update stream.
     let mut rng = StdRng::seed_from_u64(77);
     let stream: Vec<(usize, f64)> = (0..updates)
-        .map(|_| (rng.gen_range(0..n), rng.gen_range(-40i32..=40) as f64))
+        .map(|_| (rng.gen_range(0..n), f64::from(rng.gen_range(-40i32..=40))))
         .collect();
 
     // Policies.
@@ -44,7 +44,7 @@ fn main() {
 
     for (step, &(i, delta)) in stream.iter().enumerate() {
         current[i] += delta;
-        adaptive.update(i, delta);
+        adaptive.update(i, delta).unwrap();
         if (step + 1) % 500 == 0 {
             let static_err = static_syn.max_error(&current, metric);
             let adaptive_err = adaptive.synopsis().max_error(&current, metric);

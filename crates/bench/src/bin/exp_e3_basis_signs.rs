@@ -48,7 +48,7 @@ fn main() {
     }
 
     println!("\n## Figure 2 — error-tree structure for the 4x4 array\n");
-    let vals: Vec<f64> = (0..16).map(|i| i as f64).collect();
+    let vals: Vec<f64> = (0..16).map(f64::from).collect();
     let tree = ErrorTreeNd::from_data(&NdArray::new(shape.clone(), vals).unwrap()).unwrap();
     println!("root: W_A[0,0] (overall average), single child");
     let top = NodeRef { level: 0, index: 0 };

@@ -22,7 +22,9 @@ fn main() {
             };
             let mut checks = 0usize;
             for _ in 0..40 {
-                let data: Vec<f64> = (0..n).map(|_| rng.gen_range(-20i32..=20) as f64).collect();
+                let data: Vec<f64> = (0..n)
+                    .map(|_| f64::from(rng.gen_range(-20i32..=20)))
+                    .collect();
                 let solver = MinMaxErr::new(&data).unwrap();
                 for b in 0..=n.min(8) {
                     let opt = oracle::exhaustive_1d(solver.tree(), &data, b, metric).objective;

@@ -24,7 +24,7 @@ fn main() {
         let data = zipf(n, 1.0, 100_000.0, ZipfPlacement::Shuffled, 5);
         let solver = MinMaxErr::new(&data).unwrap();
         let (r, ms) = timed(|| solver.run(12, metric));
-        let ratio = prev.map(|p: f64| ms / p).unwrap_or(f64::NAN);
+        let ratio = prev.map_or(f64::NAN, |p: f64| ms / p);
         rows.push(vec![
             n.to_string(),
             f(ms),
@@ -46,7 +46,7 @@ fn main() {
     let mut prev = None;
     for b in [4usize, 8, 16, 32] {
         let (r, ms) = timed(|| solver.run(b, metric));
-        let ratio = prev.map(|p: f64| ms / p).unwrap_or(f64::NAN);
+        let ratio = prev.map_or(f64::NAN, |p: f64| ms / p);
         rows.push(vec![
             b.to_string(),
             f(ms),

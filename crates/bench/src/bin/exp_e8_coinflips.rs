@@ -40,7 +40,7 @@ fn main() {
             let mut rng = StdRng::seed_from_u64(seed);
             errs.push(assignment.draw(&mut rng).max_error(&data, metric));
         }
-        let best = errs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let best = errs.iter().copied().fold(f64::INFINITY, f64::min);
         assert!(det <= best + 1e-9, "{name}: a draw beat the optimum?!");
         rows.push(vec![
             name.to_string(),
@@ -48,7 +48,7 @@ fn main() {
             f(best),
             f(error_quantile(errs.clone(), 0.5)),
             f(error_quantile(errs.clone(), 0.95)),
-            f(errs.iter().cloned().fold(0.0f64, f64::max)),
+            f(errs.iter().copied().fold(0.0f64, f64::max)),
             format!("{fractional}/{}", assignment.entries().len()),
         ]);
     }

@@ -41,7 +41,10 @@ fn main() {
             let guarantee = eps * r_max;
             assert!(
                 deviation
-                    <= guarantee + (1u64 << d) as f64 * side.trailing_zeros() as f64 + 1.0 + 1e-9,
+                    <= guarantee
+                        + (1u64 << d) as f64 * f64::from(side.trailing_zeros())
+                        + 1.0
+                        + 1e-9,
                 "guarantee violated at eps={eps}: deviation {deviation} > {guarantee}"
             );
             rows.push(vec![

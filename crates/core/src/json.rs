@@ -50,7 +50,9 @@ impl Value {
     #[must_use]
     pub fn as_usize(&self) -> Option<usize> {
         match self {
-            Value::Number(x) if *x >= 0.0 && x.fract() == 0.0 && *x <= u32::MAX as f64 * 4096.0 => {
+            Value::Number(x)
+                if *x >= 0.0 && crate::is_zero(x.fract()) && *x <= f64::from(u32::MAX) * 4096.0 =>
+            {
                 Some(*x as usize)
             }
             _ => None,
@@ -192,7 +194,7 @@ fn write_number(out: &mut String, x: f64) {
     if !x.is_finite() {
         // JSON has no Inf/NaN; null is the conventional degradation.
         out.push_str("null");
-    } else if x.fract() == 0.0 && x.abs() < 1e15 {
+    } else if crate::is_zero(x.fract()) && x.abs() < 1e15 {
         let _ = write!(out, "{}", x as i64);
     } else {
         // Shortest roundtrip representation.
@@ -209,8 +211,8 @@ fn write_string(out: &mut String, s: &str) {
             '\n' => out.push_str("\\n"),
             '\r' => out.push_str("\\r"),
             '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
+            c if u32::from(c) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", u32::from(c));
             }
             c => out.push(c),
         }
@@ -238,7 +240,7 @@ impl Parser<'_> {
         self.bytes.get(self.pos).copied()
     }
 
-    fn expect(&mut self, b: u8) -> Result<(), String> {
+    fn eat(&mut self, b: u8) -> Result<(), String> {
         if self.peek() == Some(b) {
             self.pos += 1;
             Ok(())
@@ -271,7 +273,7 @@ impl Parser<'_> {
     }
 
     fn array(&mut self) -> Result<Value, String> {
-        self.expect(b'[')?;
+        self.eat(b'[')?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
@@ -294,7 +296,7 @@ impl Parser<'_> {
     }
 
     fn object(&mut self) -> Result<Value, String> {
-        self.expect(b'{')?;
+        self.eat(b'{')?;
         let mut fields = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
@@ -305,7 +307,7 @@ impl Parser<'_> {
             self.skip_ws();
             let key = self.string()?;
             self.skip_ws();
-            self.expect(b':')?;
+            self.eat(b':')?;
             self.skip_ws();
             let value = self.value()?;
             fields.push((key, value));
@@ -322,7 +324,7 @@ impl Parser<'_> {
     }
 
     fn string(&mut self) -> Result<String, String> {
-        self.expect(b'"')?;
+        self.eat(b'"')?;
         let mut out = String::new();
         loop {
             match self.peek() {
@@ -366,7 +368,7 @@ impl Parser<'_> {
                     let rest = &self.bytes[self.pos..];
                     let s = std::str::from_utf8(rest)
                         .map_err(|_| "invalid UTF-8 in string".to_string())?;
-                    let ch = s.chars().next().expect("non-empty by peek");
+                    let ch = s.chars().next().ok_or("unexpected end of input")?;
                     out.push(ch);
                     self.pos += ch.len_utf8();
                 }
@@ -386,7 +388,8 @@ impl Parser<'_> {
                 break;
             }
         }
-        let token = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii");
+        let token = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| format!("bad number at byte {start}"))?;
         token
             .parse::<f64>()
             .map(Value::Number)

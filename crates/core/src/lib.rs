@@ -63,7 +63,7 @@ impl DpStats {
 #[inline]
 #[must_use]
 pub fn pack_state_1d(node: u32, budget: u32, error_bits: u64) -> u128 {
-    ((node as u128) << 96) | ((budget as u128) << 64) | error_bits as u128
+    (u128::from(node) << 96) | (u128::from(budget) << 64) | u128::from(error_bits)
 }
 
 /// Packs a multi-dimensional DP state `(packed node key, error bits)`.
@@ -72,7 +72,94 @@ pub fn pack_state_1d(node: u32, budget: u32, error_bits: u64) -> u128 {
 #[inline]
 #[must_use]
 pub fn pack_state_nd(node_key: u64, error_bits: u64) -> u128 {
-    ((node_key as u128) << 64) | error_bits as u128
+    (u128::from(node_key) << 64) | u128::from(error_bits)
+}
+
+/// Whether `x` is exactly `±0.0`, decided on the bit pattern.
+///
+/// The determinism lint (`wsyn-analyze`, rule `float-eq`) bans float
+/// `==`/`!=` in solver crates because accidental equality tie-breaks on
+/// computed values are where reproducibility quietly dies. The solvers
+/// *do* need one exact predicate — "is this coefficient structurally
+/// zero?" (a zero coefficient never earns budget) — and this is it:
+/// shifting out the sign bit leaves zero for `+0.0` and `-0.0` only.
+/// `NaN` is not zero.
+#[inline]
+#[must_use]
+pub fn is_zero(x: f64) -> bool {
+    x.to_bits() << 1 == 0
+}
+
+/// Bit-identical `f64` equality (`a` and `b` have the same bit pattern).
+///
+/// The companion to [`is_zero`] for the rare solver-path comparisons
+/// that genuinely mean "the *same* value, reproducibly": memo keys,
+/// geometric-breakpoint membership, certification checks. Unlike `==`
+/// this distinguishes `+0.0` from `-0.0` and equates `NaN` with itself
+/// bit-for-bit — i.e. it is the equivalence the DP state packing
+/// (`f64::to_bits` keys) already uses.
+#[inline]
+#[must_use]
+pub fn total_eq(a: f64, b: f64) -> bool {
+    a.to_bits() == b.to_bits()
+}
+
+/// Checked `usize → u32` narrowing for DP state fields and row indices.
+///
+/// The lint rule `lossy-cast` bans bare narrowing `as` casts in solver
+/// crates; every node-id/budget/allotment narrowing routes through here
+/// instead so the (out-of-spec) overflow fails loudly rather than
+/// wrapping into a wrong-but-plausible DP state.
+///
+/// # Panics
+/// Panics when `x` does not fit in `u32` — all solvers bound node count
+/// and budget well below `2^32`.
+#[inline]
+#[must_use]
+pub fn narrow_u32(x: usize) -> u32 {
+    match u32::try_from(x) {
+        Ok(v) => v,
+        // The single checked-narrowing choke point; reaching this arm
+        // means a caller broke its documented N < 2^32 bound and no
+        // recoverable answer exists.
+        // wsyn: allow(no-panic)
+        Err(_) => panic!("narrow_u32: {x} exceeds a u32 DP state field"),
+    }
+}
+
+/// Checked `usize → u8` narrowing for tree-level counters.
+///
+/// Companion to [`narrow_u32`] for the `u8` level fields of
+/// multi-dimensional error-tree nodes (`level ≤ 63` on any machine-word
+/// domain, so overflow again means a broken caller invariant).
+///
+/// # Panics
+/// Panics when `x` does not fit in `u8`.
+#[inline]
+#[must_use]
+pub fn narrow_u8(x: usize) -> u8 {
+    match u8::try_from(x) {
+        Ok(v) => v,
+        // Same contract as narrow_u32: fail loudly at the one choke point.
+        // wsyn: allow(no-panic)
+        Err(_) => panic!("narrow_u8: {x} exceeds a u8 tree-level field"),
+    }
+}
+
+/// Checked `usize → i32` narrowing for exponent arguments (`powi` and
+/// friends take `i32`; dimension/level counts are tiny by construction).
+///
+/// # Panics
+/// Panics when `x` does not fit in `i32`.
+#[inline]
+#[must_use]
+pub fn narrow_i32(x: usize) -> i32 {
+    match i32::try_from(x) {
+        Ok(v) => v,
+        // Same contract as narrow_u32: fail loudly at the one choke point.
+        // wsyn: allow(no-panic)
+        Err(_) => panic!("narrow_i32: {x} exceeds an i32 exponent field"),
+    }
 }
 
 /// FxHash-style multiply-xor hash of a packed state key. Not
@@ -254,7 +341,7 @@ impl<V> StateTable<V> {
             .iter()
             .zip(&self.vals)
             .filter(|&(&k, _)| k != EMPTY_KEY)
-            .map(|(&k, v)| (k, v.as_ref().expect("full slot")))
+            .filter_map(|(&k, v)| v.as_ref().map(|v| (k, v)))
     }
 }
 
@@ -297,9 +384,9 @@ impl<V> RowArena<V> {
     /// (more than `u32::MAX` rows or elements).
     pub fn alloc(&mut self, values: Vec<V>, choices: Vec<u32>) -> RowId {
         assert_eq!(values.len(), choices.len(), "row slices must be parallel");
-        let offset = u32::try_from(self.values.len()).expect("arena element overflow");
-        let len = u32::try_from(values.len()).expect("row too long");
-        let id = u32::try_from(self.rows.len()).expect("arena row overflow");
+        let offset = narrow_u32(self.values.len());
+        let len = narrow_u32(values.len());
+        let id = narrow_u32(self.rows.len());
         self.values.extend(values);
         self.choices.extend(choices);
         self.rows.push((offset, len));
@@ -423,5 +510,64 @@ mod tests {
         let c = pack_state_1d(1, 2, 4);
         assert!(a != b && a != c && b != c);
         assert_ne!(pack_state_nd(1, 2), pack_state_nd(2, 1));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use std::collections::BTreeMap;
+
+    use proptest::prelude::*;
+
+    use super::StateTable;
+
+    /// Packed keys, biased towards a small space so runs exercise
+    /// overwrites and probe clusters, not just fresh inserts. The
+    /// all-ones sentinel is remapped to zero (`insert` rejects it by
+    /// contract, so it can never be a real DP state).
+    fn key_strategy() -> impl Strategy<Value = u128> {
+        (any::<u64>(), any::<u64>(), any::<bool>()).prop_map(|(hi, lo, small)| {
+            let k = if small {
+                u128::from(lo % 97)
+            } else {
+                (u128::from(hi) << 64) | u128::from(lo)
+            };
+            if k == u128::MAX {
+                0
+            } else {
+                k
+            }
+        })
+    }
+
+    proptest! {
+        /// The open-addressing table is observationally equivalent to a
+        /// `BTreeMap` reference model under any interleaving of inserts
+        /// and lookups, across growth/rehash boundaries (tiny initial
+        /// capacity forces several), and its final iteration contents
+        /// match the model exactly.
+        #[test]
+        fn state_table_matches_btreemap_model(
+            ops in proptest::collection::vec(
+                (key_strategy(), any::<u64>(), any::<bool>()),
+                0..400,
+            ),
+        ) {
+            let mut table: StateTable<u64> = StateTable::with_capacity(2);
+            let mut model: BTreeMap<u128, u64> = BTreeMap::new();
+            for &(key, value, is_insert) in &ops {
+                if is_insert {
+                    prop_assert_eq!(table.insert(key, value), model.insert(key, value));
+                } else {
+                    prop_assert_eq!(table.get(key), model.get(&key));
+                }
+                prop_assert_eq!(table.len(), model.len());
+                prop_assert_eq!(table.is_empty(), model.is_empty());
+            }
+            let mut got: Vec<(u128, u64)> = table.iter().map(|(k, v)| (k, *v)).collect();
+            got.sort_unstable();
+            let want: Vec<(u128, u64)> = model.into_iter().collect();
+            prop_assert_eq!(got, want);
+        }
     }
 }

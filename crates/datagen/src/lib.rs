@@ -85,7 +85,7 @@ pub fn gaussian_bumps(
         }
     }
     if noise_sigma > 0.0 {
-        for v in out.iter_mut() {
+        for v in &mut out {
             *v += noise_sigma * gauss(&mut rng);
         }
     }
@@ -120,7 +120,7 @@ pub fn piecewise_constant(
         }
     }
     if noise_sigma > 0.0 {
-        for v in out.iter_mut() {
+        for v in &mut out {
             *v += noise_sigma * gauss(&mut rng);
         }
     }

@@ -96,7 +96,10 @@ pub fn forward_scaled_nd(shape: &NdShape, data: &[i64]) -> Result<ScaledCoeffs, 
     let side = shape.sides()[0];
     let d = shape.ndims();
     let m = log2_exact(side);
-    let total_shift = (d as u32).checked_mul(m).ok_or(HaarError::Overflow)?;
+    let total_shift = u32::try_from(d)
+        .map_err(|_| HaarError::Overflow)?
+        .checked_mul(m)
+        .ok_or(HaarError::Overflow)?;
     if total_shift >= 63 {
         return Err(HaarError::Overflow);
     }
@@ -183,7 +186,7 @@ mod tests {
     #[test]
     fn scaled_nd_matches_f64_transform() {
         let shape = NdShape::hypercube(4, 2).unwrap();
-        let data: Vec<i64> = (0..16).map(|i| (i * i % 7) as i64 - 3).collect();
+        let data: Vec<i64> = (0..16).map(|i| i64::from(i * i % 7) - 3).collect();
         let sc = forward_scaled_nd(&shape, &data).unwrap();
         assert_eq!(sc.scale, 16);
         let f: Vec<f64> = data.iter().map(|&v| v as f64).collect();

@@ -181,7 +181,7 @@ mod tests {
 
     #[test]
     fn roundtrip_4x4() {
-        let vals: Vec<f64> = (0..16).map(|i| (i * i % 7) as f64 - 3.0).collect();
+        let vals: Vec<f64> = (0..16).map(|i| f64::from(i * i % 7) - 3.0).collect();
         let original = arr2(4, vals);
         let w = forward(&original).unwrap();
         let back = inverse(&w).unwrap();

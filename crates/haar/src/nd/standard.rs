@@ -103,7 +103,7 @@ mod tests {
     #[test]
     fn roundtrip_rectangular() {
         let shape = NdShape::new(vec![2, 8]).unwrap();
-        let vals: Vec<f64> = (0..16).map(|i| ((i * 5 + 3) % 11) as f64 - 4.0).collect();
+        let vals: Vec<f64> = (0..16).map(|i| f64::from((i * 5 + 3) % 11) - 4.0).collect();
         let original = NdArray::new(shape, vals).unwrap();
         let w = forward(&original).unwrap();
         let back = inverse(&w).unwrap();
@@ -123,7 +123,7 @@ mod tests {
     #[test]
     fn overall_average_agrees_with_nonstandard() {
         let shape = NdShape::hypercube(4, 2).unwrap();
-        let vals: Vec<f64> = (0..16).map(|i| i as f64).collect();
+        let vals: Vec<f64> = (0..16).map(f64::from).collect();
         let arr = NdArray::new(shape, vals).unwrap();
         let ws = forward(&arr).unwrap();
         let wn = super::super::nonstandard::forward(&arr).unwrap();

@@ -18,6 +18,8 @@
 //! For `D = 1` this degenerates exactly to the one-dimensional error tree of
 //! [`crate::tree1d`], which the tests verify.
 
+use wsyn_core::{narrow_u32, narrow_u8};
+
 use super::{nonstandard, NdArray};
 use crate::{log2_exact, HaarError};
 
@@ -36,7 +38,7 @@ impl NodeRef {
     /// Packs the reference into a single `u64` (for memo keys).
     #[inline]
     pub fn key(self) -> u64 {
-        ((self.level as u64) << 56) | self.index as u64
+        (u64::from(self.level) << 56) | u64::from(self.index)
     }
 
     /// Packs the node reference together with a 64-bit incoming-error
@@ -45,7 +47,7 @@ impl NodeRef {
     /// error bits in the low half.
     #[inline]
     pub fn state_key(self, error_bits: u64) -> u128 {
-        ((self.key() as u128) << 64) | error_bits as u128
+        (u128::from(self.key()) << 64) | u128::from(error_bits)
     }
 }
 
@@ -149,8 +151,8 @@ impl ErrorTreeNd {
 
     /// Iterates all inner nodes, coarsest level first.
     pub fn all_nodes(&self) -> impl Iterator<Item = NodeRef> + '_ {
-        (0..self.m as u8).flat_map(move |level| {
-            (0..self.nodes_at_level(level) as u32).map(move |index| NodeRef { level, index })
+        (0..narrow_u8(self.m as usize)).flat_map(move |level| {
+            (0..narrow_u32(self.nodes_at_level(level))).map(move |index| NodeRef { level, index })
         })
     }
 
@@ -176,7 +178,7 @@ impl ErrorTreeNd {
         }
         NodeRef {
             level,
-            index: idx as u32,
+            index: narrow_u32(idx),
         }
     }
 
@@ -206,7 +208,7 @@ impl ErrorTreeNd {
     pub fn children(&self, node: NodeRef) -> NodeChildren {
         let q = self.node_pos(node);
         let nq = 1usize << self.d;
-        if (node.level as u32) + 1 < self.m {
+        if u32::from(node.level) + 1 < self.m {
             let lvl = node.level + 1;
             let mut out = Vec::with_capacity(nq);
             let mut child_q = vec![0usize; self.d];
@@ -263,7 +265,7 @@ impl ErrorTreeNd {
             for k in 0..self.d {
                 q[k] = x[k] >> (self.m - l);
             }
-            out.push(self.node_index(l as u8, &q));
+            out.push(self.node_index(narrow_u8(l as usize), &q));
         }
         out
     }
@@ -271,10 +273,10 @@ impl ErrorTreeNd {
     /// Quadrant mask of cell `x` within the level-`l` node containing it:
     /// bit `k` is bit `(m - l - 1)` of `x_k`.
     pub fn cell_quadrant(&self, x: &[usize], level: u8) -> u32 {
-        let shift = self.m - level as u32 - 1;
+        let shift = self.m - u32::from(level) - 1;
         let mut delta = 0u32;
         for (k, &xk) in x.iter().enumerate() {
-            delta |= (((xk >> shift) & 1) as u32) << k;
+            delta |= u32::from((xk >> shift) & 1 == 1) << k;
         }
         delta
     }
@@ -298,6 +300,9 @@ impl ErrorTreeNd {
     /// Never (shape validated at construction).
     pub fn reconstruct_all(&self) -> NdArray {
         let mut out = self.coeffs.clone();
+        // Shape was validated hypercube at construction; the inverse
+        // transform cannot fail on it.
+        // wsyn: allow(no-panic)
         nonstandard::inverse_in_place(&mut out).expect("validated hypercube");
         out
     }
@@ -312,6 +317,9 @@ impl ErrorTreeNd {
                 *v = 0.0;
             }
         }
+        // Shape was validated hypercube at construction; the inverse
+        // transform cannot fail on it.
+        // wsyn: allow(no-panic)
         nonstandard::inverse_in_place(&mut out).expect("validated hypercube");
         out
     }
@@ -321,7 +329,7 @@ impl ErrorTreeNd {
     pub fn cells_under(&self, node: NodeRef) -> Vec<usize> {
         let q = self.node_pos(node);
         let width = self.side >> node.level;
-        let count = width.pow(self.d as u32);
+        let count = width.pow(narrow_u32(self.d));
         let mut out = Vec::with_capacity(count);
         let mut rel = vec![0usize; self.d];
         let mut abs = vec![0usize; self.d];
@@ -353,7 +361,7 @@ mod tests {
 
     fn tree_4x4() -> ErrorTreeNd {
         let shape = NdShape::hypercube(4, 2).unwrap();
-        let vals: Vec<f64> = (0..16).map(|i| ((i * 7 + 3) % 13) as f64 - 5.0).collect();
+        let vals: Vec<f64> = (0..16).map(|i| f64::from((i * 7 + 3) % 13) - 5.0).collect();
         ErrorTreeNd::from_data(&NdArray::new(shape, vals).unwrap()).unwrap()
     }
 
@@ -447,7 +455,7 @@ mod tests {
     #[test]
     fn reconstruct_cell_matches_inverse_3d() {
         let shape = NdShape::hypercube(4, 3).unwrap();
-        let vals: Vec<f64> = (0..64).map(|i| ((i * 11 + 5) % 17) as f64).collect();
+        let vals: Vec<f64> = (0..64).map(|i| f64::from((i * 11 + 5) % 17)).collect();
         let t = ErrorTreeNd::from_data(&NdArray::new(shape.clone(), vals).unwrap()).unwrap();
         let full = t.reconstruct_all();
         for idx in 0..shape.len() {

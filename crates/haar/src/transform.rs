@@ -284,7 +284,7 @@ mod tests {
     #[test]
     fn normalized_magnitudes_rank_overall_average_highest_for_shifted_data() {
         // A large DC offset should dominate the normalized ranking.
-        let data: Vec<f64> = (0..16).map(|i| 100.0 + (i % 2) as f64).collect();
+        let data: Vec<f64> = (0..16).map(|i| 100.0 + f64::from(i % 2)).collect();
         let w = forward(&data).unwrap();
         let norm = normalized_magnitudes(&w);
         let max_idx = norm

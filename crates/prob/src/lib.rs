@@ -37,7 +37,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use wsyn_core::{pack_state_1d, DpStats, StateTable};
+use wsyn_core::{is_zero, narrow_u32, pack_state_1d, DpStats, StateTable};
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -94,6 +94,8 @@ impl ProbAssignment {
             .map(|&(j, y, c)| (j, c / y))
             .collect();
         Synopsis1d::from_entries(self.n, entries)
+            // The entry domain was validated when the assignment was built.
+            // wsyn: allow(no-panic)
             .expect("assignment domain validated at construction")
     }
 
@@ -122,13 +124,15 @@ impl ProbAssignment {
 /// NaN contributions are filled from the freshly computed tree (dropped
 /// coefficients contribute `c²` / `|c|` depending on the caller).
 fn max_normalized_path_sum(data: &[f64], sanity: f64, contrib: &[f64], f: fn(f64) -> f64) -> f64 {
+    // Callers pass the same data an ErrorTree1d was already built from.
+    // wsyn: allow(no-panic)
     let tree = ErrorTree1d::from_data(data).expect("data validated upstream");
     let mut worst = 0.0f64;
     for (i, &d) in data.iter().enumerate() {
         let mut sum = 0.0;
         for (j, _) in tree.path(i) {
             let c = tree.coeff(j);
-            if c == 0.0 {
+            if is_zero(c) {
                 continue;
             }
             let x = contrib[j];
@@ -149,6 +153,9 @@ fn round_grid(v: f64, eps: f64) -> f64 {
         return 0.0;
     }
     let k = (v.ln() / (1.0 + eps).ln()).floor();
+    // Float→int after an explicit clamp into i32 range: saturating by
+    // construction, and the grid exponent is meaningless beyond ±600.
+    // wsyn: allow(lossy-cast)
     let k = k.clamp(-600.0, 600.0) as i32;
     (1.0 + eps).powi(k)
 }
@@ -186,12 +193,12 @@ impl ProbDp<'_> {
             self.leaf_evals += 1;
             return (self.combine)(v) / self.denom[id - n];
         }
-        let key = pack_state_1d(id as u32, t as u32, v.to_bits());
+        let key = pack_state_1d(narrow_u32(id), narrow_u32(t), v.to_bits());
         if let Some(&(val, _, _)) = self.memo.get(key) {
             return val;
         }
         let c = self.tree.coeff(id);
-        let umax = if c == 0.0 { 0 } else { self.q.min(t) };
+        let umax = if is_zero(c) { 0 } else { self.q.min(t) };
         let mut best = (f64::INFINITY, 0u32, 0u32);
         let min_units = self.min_units;
         for u in (0..=umax).filter(move |&u| u == 0 || u >= min_units) {
@@ -201,7 +208,7 @@ impl ProbDp<'_> {
                 let child = if n == 1 { n } else { 1 };
                 let val = self.solve(child, remaining, vv);
                 if val < best.0 {
-                    best = (val, u as u32, remaining as u32);
+                    best = (val, narrow_u32(u), narrow_u32(remaining));
                 }
             } else {
                 let (lc, rc) = (2 * id, 2 * id + 1);
@@ -222,7 +229,7 @@ impl ProbDp<'_> {
                         .solve(lc, tl, vv)
                         .max(self.solve(rc, remaining - tl, vv));
                     if val < best.0 {
-                        best = (val, u as u32, tl as u32);
+                        best = (val, narrow_u32(u), narrow_u32(tl));
                     }
                 }
             }
@@ -236,7 +243,9 @@ impl ProbDp<'_> {
         if id >= n {
             return;
         }
-        let key = pack_state_1d(id as u32, t as u32, v.to_bits());
+        let key = pack_state_1d(narrow_u32(id), narrow_u32(t), v.to_bits());
+        // Trace replays decisions along states solve() materialized.
+        // wsyn: allow(no-panic)
         let &(_, u, tl) = self.memo.get(key).expect("trace visits only solved states");
         let (u, tl) = (u as usize, tl as usize);
         let c = self.tree.coeff(id);
@@ -561,7 +570,7 @@ mod tests {
 
     #[test]
     fn nse_decreases_with_budget() {
-        let data: Vec<f64> = (0..16).map(|i| ((i * 7 + 1) % 11) as f64 + 1.0).collect();
+        let data: Vec<f64> = (0..16).map(|i| f64::from((i * 7 + 1) % 11) + 1.0).collect();
         let mrv = MinRelVar::new(&data).unwrap();
         let mut prev = f64::INFINITY;
         for b in [1usize, 2, 4, 8, 16] {
@@ -597,7 +606,7 @@ mod tests {
         // scheme eliminates. (A DP assignment may legitimately be fully
         // integral, in which case every draw is identical; so we pin a
         // fractional one.)
-        let data: Vec<f64> = (0..8).map(|i| ((i * 13 + 3) % 19) as f64).collect();
+        let data: Vec<f64> = (0..8).map(|i| f64::from((i * 13 + 3) % 19)).collect();
         let tree = ErrorTree1d::from_data(&data).unwrap();
         let entries: Vec<(usize, f64, f64)> = (0..8)
             .filter(|&j| tree.coeff(j) != 0.0)

@@ -149,6 +149,9 @@ impl DynamicErrorTree {
     /// # Panics
     /// Never (domain validated at construction).
     pub fn snapshot(&self) -> ErrorTree1d {
+        // The domain (power-of-two, non-empty) was validated when the
+        // dynamic tree was built; the same coefficients always re-wrap.
+        // wsyn: allow(no-panic)
         ErrorTree1d::from_coeffs(self.coeffs.clone()).expect("validated domain")
     }
 
@@ -156,6 +159,8 @@ impl DynamicErrorTree {
     /// and to shed accumulated floating-point drift after very long update
     /// streams). Returns the maximum absolute drift that was corrected.
     pub fn rebuild(&mut self) -> f64 {
+        // Same validated domain as `snapshot`.
+        // wsyn: allow(no-panic)
         let fresh = transform::forward(&self.data).expect("validated domain");
         let drift = self
             .coeffs
@@ -265,7 +270,8 @@ impl AdaptiveMaxErrSynopsis {
     /// guarantee may have doubled).
     ///
     /// # Errors
-    /// Propagates [`HaarError`].
+    /// Describes the failure: an invalid domain ([`HaarError`] rendered as
+    /// text) or the default thresholder's refusal.
     ///
     /// # Panics
     /// Panics when `tolerance < 1`.
@@ -274,12 +280,9 @@ impl AdaptiveMaxErrSynopsis {
         b: usize,
         metric: ErrorMetric,
         tolerance: f64,
-    ) -> Result<Self, HaarError> {
-        let tree = DynamicErrorTree::new(data)?; // validates the domain
-        Ok(
-            Self::with_factory(tree, b, metric, tolerance, minmax_factory)
-                .expect("minmax accepts every validated domain"),
-        )
+    ) -> Result<Self, String> {
+        let tree = DynamicErrorTree::new(data).map_err(|e| e.to_string())?;
+        Self::with_factory(tree, b, metric, tolerance, minmax_factory)
     }
 
     /// Like [`Self::new`], but rebuilding with an arbitrary
@@ -316,7 +319,11 @@ impl AdaptiveMaxErrSynopsis {
 
     /// Applies an update, rebuilding if the guarantee degraded past the
     /// tolerance. Returns `true` when a rebuild happened.
-    pub fn update(&mut self, i: usize, delta: f64) -> bool {
+    ///
+    /// # Errors
+    /// Propagates the factory's or the thresholder's refusal from a
+    /// triggered rebuild.
+    pub fn update(&mut self, i: usize, delta: f64) -> Result<bool, String> {
         self.tree.update(i, delta);
         self.drift_abs += delta.abs();
         let degraded = match self.metric {
@@ -331,10 +338,10 @@ impl AdaptiveMaxErrSynopsis {
             }
         };
         if degraded {
-            self.rebuild();
-            true
+            self.rebuild()?;
+            Ok(true)
         } else {
-            false
+            Ok(false)
         }
     }
 
@@ -348,17 +355,19 @@ impl AdaptiveMaxErrSynopsis {
 
     /// Forces a rebuild of the synopsis from the current data, via the
     /// configured [`ThresholderFactory`].
-    pub fn rebuild(&mut self) {
-        let run = (self.factory)(self.tree.data())
-            .and_then(|t| t.threshold(self.b, self.metric))
-            .expect("factory accepted this (budget, metric) at construction");
+    ///
+    /// # Errors
+    /// Propagates the factory's or the thresholder's refusal (the factory
+    /// accepted the same `(budget, metric)` at construction, so a refusal
+    /// here indicates a non-deterministic factory).
+    pub fn rebuild(&mut self) -> Result<(), String> {
+        let run =
+            (self.factory)(self.tree.data()).and_then(|t| t.threshold(self.b, self.metric))?;
         self.built_objective = run.objective;
-        self.current = run
-            .synopsis
-            .into_one("the rebuild policy")
-            .expect("factory produced a 1-D synopsis at construction");
+        self.current = run.synopsis.into_one("the rebuild policy")?;
         self.drift_abs = 0.0;
         self.rebuilds += 1;
+        Ok(())
     }
 
     /// The current synopsis.
@@ -403,7 +412,10 @@ mod tests {
         let mut via_default = AdaptiveMaxErrSynopsis::new(&data, 3, metric, 2.0).unwrap();
         assert_eq!(via_factory.built_objective(), via_default.built_objective());
         for (i, delta) in [(3usize, 4.0), (0, -6.0), (5, 9.0), (6, -3.0)] {
-            assert_eq!(via_factory.update(i, delta), via_default.update(i, delta));
+            assert_eq!(
+                via_factory.update(i, delta).unwrap(),
+                via_default.update(i, delta).unwrap()
+            );
             assert_eq!(via_factory.synopsis(), via_default.synopsis());
         }
         assert_eq!(via_factory.rebuilds(), via_default.rebuilds());
@@ -435,7 +447,7 @@ mod tests {
         let mut reference = vec![0.0f64; n];
         for _ in 0..2000 {
             let i = rng.gen_range(0..n);
-            let delta = rng.gen_range(-10i32..=10) as f64;
+            let delta = f64::from(rng.gen_range(-10i32..=10));
             dyn_tree.update(i, delta);
             reference[i] += delta;
         }
@@ -458,13 +470,13 @@ mod tests {
 
     #[test]
     fn maintained_greedy_matches_from_scratch_after_refresh() {
-        let data: Vec<f64> = (0..32).map(|i| ((i * 7 + 3) % 13) as f64).collect();
+        let data: Vec<f64> = (0..32).map(|i| f64::from((i * 7 + 3) % 13)).collect();
         let mut m = MaintainedGreedySynopsis::new(&data, 6, 4).unwrap();
         let mut reference = data.clone();
         let mut rng = StdRng::seed_from_u64(3);
         for _ in 0..40 {
             let i = rng.gen_range(0..32);
-            let delta = rng.gen_range(-5i32..=5) as f64;
+            let delta = f64::from(rng.gen_range(-5i32..=5));
             m.update(i, delta);
             reference[i] += delta;
         }
@@ -479,15 +491,15 @@ mod tests {
 
     #[test]
     fn adaptive_guarantee_is_conservative() {
-        let data: Vec<f64> = (0..64).map(|i| ((i * 11 + 5) % 23) as f64).collect();
+        let data: Vec<f64> = (0..64).map(|i| f64::from((i * 11 + 5) % 23)).collect();
         let mut a = AdaptiveMaxErrSynopsis::new(&data, 8, ErrorMetric::absolute(), 1e18).unwrap();
         // With an enormous tolerance no rebuild happens; the conservative
         // guarantee must still upper-bound the true error after updates.
         let mut rng = StdRng::seed_from_u64(5);
         for _ in 0..200 {
             let i = rng.gen_range(0..64);
-            let delta = rng.gen_range(-3i32..=3) as f64;
-            let rebuilt = a.update(i, delta);
+            let delta = f64::from(rng.gen_range(-3i32..=3));
+            let rebuilt = a.update(i, delta).unwrap();
             assert!(!rebuilt);
             let true_err = a
                 .synopsis()
@@ -502,14 +514,14 @@ mod tests {
 
     #[test]
     fn adaptive_rebuilds_restore_optimality() {
-        let data: Vec<f64> = (0..32).map(|i| (i % 7) as f64 + 1.0).collect();
+        let data: Vec<f64> = (0..32).map(|i| f64::from(i % 7) + 1.0).collect();
         let mut a = AdaptiveMaxErrSynopsis::new(&data, 6, ErrorMetric::absolute(), 1.5).unwrap();
         let mut rng = StdRng::seed_from_u64(6);
         let mut rebuild_seen = false;
         for _ in 0..300 {
             let i = rng.gen_range(0..32);
-            let delta = rng.gen_range(-4i32..=4) as f64;
-            if a.update(i, delta) {
+            let delta = f64::from(rng.gen_range(-4i32..=4));
+            if a.update(i, delta).unwrap() {
                 rebuild_seen = true;
                 // Immediately after a rebuild, the objective is optimal for
                 // the current data.
@@ -548,7 +560,7 @@ mod proptests {
             let mut reference = vec![0.0f64; n];
             for (i, delta) in updates {
                 let i = i % n;
-                let delta = delta as f64;
+                let delta = f64::from(delta);
                 dyn_tree.update(i, delta);
                 reference[i] += delta;
             }

@@ -7,6 +7,7 @@
 //! can be arbitrarily bad for maximum relative/absolute error. Ties are
 //! broken by coefficient index for determinism.
 
+use wsyn_core::narrow_i32;
 use wsyn_haar::{transform, ErrorTree1d, ErrorTreeNd};
 
 use crate::synopsis::{Synopsis1d, SynopsisNd};
@@ -28,9 +29,9 @@ pub fn greedy_l2_nd(tree: &ErrorTreeNd, b: usize) -> SynopsisNd {
     let n = tree.n();
     let mut norms = vec![0.0f64; n];
     norms[0] = tree.root_average().abs() * (n as f64).sqrt();
-    let d = tree.ndims() as u32;
+    let d = narrow_i32(tree.ndims());
     for node in tree.all_nodes() {
-        let support_cells = ((tree.side() >> node.level) as f64).powi(d as i32);
+        let support_cells = ((tree.side() >> node.level) as f64).powi(d);
         let w = support_cells.sqrt();
         for c in tree.node_coeffs(node) {
             norms[c.pos] = c.value.abs() * w;

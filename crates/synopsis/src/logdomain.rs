@@ -139,7 +139,7 @@ mod tests {
 
     fn positive_data() -> Vec<f64> {
         (0..32)
-            .map(|i| (((i * 13 + 7) % 29) as f64) * 4.0 + 1.0)
+            .map(|i| f64::from((i * 13 + 7) % 29) * 4.0 + 1.0)
             .collect()
     }
 
@@ -196,7 +196,7 @@ mod tests {
         // module exists to demonstrate. Pin the smooth decreasing-Zipf
         // instance verified by experiment E15 (log 0.2746 < direct 0.3123
         // at B = 8).
-        let weights: Vec<f64> = (1..=256).map(|r| 1.0 / (r as f64).powf(0.7)).collect();
+        let weights: Vec<f64> = (1..=256).map(|r| 1.0 / f64::from(r).powf(0.7)).collect();
         let total: f64 = weights.iter().sum();
         let data: Vec<f64> = weights
             .iter()

@@ -18,7 +18,7 @@
 //! errors are ≥ 1 — integer-valued data (frequency counts, OLAP measures)
 //! already is.
 
-use wsyn_core::{DpStats, RowArena, RowId, StateTable};
+use wsyn_core::{is_zero, narrow_u32, DpStats, RowArena, RowId, StateTable};
 use wsyn_haar::nd::{NdArray, NodeChildren, NodeCoeff};
 use wsyn_haar::{ErrorTreeNd, HaarError, NodeRef};
 
@@ -36,9 +36,13 @@ pub fn round_eps(v: f64, eps: f64) -> f64 {
         return 0.0;
     }
     let l = a.ln() / (1.0 + eps).ln();
+    // Float→int casts saturate at i32 bounds, where (1+eps)^k has long
+    // since overflowed to ±inf — exactly the intended degradation.
     if v > 0.0 {
+        // wsyn: allow(lossy-cast)
         (1.0 + eps).powi(l.floor() as i32)
     } else {
+        // wsyn: allow(lossy-cast)
         -(1.0 + eps).powi(l.ceil() as i32)
     }
 }
@@ -79,9 +83,9 @@ impl AdditiveScheme {
     /// `eps_total · R / s` for relative error): internally rounds with
     /// `ε' = eps_total / (2^D · m)` per Theorem 3.2.
     pub fn run(&self, b: usize, metric: ErrorMetric, eps_total: f64) -> NdThresholdResult {
-        let d = self.tree.ndims() as u32;
+        let d = narrow_u32(self.tree.ndims());
         let m = self.tree.levels().max(1);
-        let eps_step = eps_total / ((1u64 << d) as f64 * m as f64);
+        let eps_step = eps_total / ((1u64 << d) as f64 * f64::from(m));
         self.run_with_step_eps(b, metric, eps_step)
     }
 
@@ -117,7 +121,7 @@ impl AdditiveScheme {
                 // Degenerate 1-cell domain.
                 let cell = cells[0];
                 let drop_val = avg.abs() / solver.denom[cell];
-                if b >= 1 && avg != 0.0 {
+                if b >= 1 && !is_zero(avg) {
                     (0.0, true, 0)
                 } else {
                     (drop_val, false, 0)
@@ -127,7 +131,7 @@ impl AdditiveScheme {
                 let top = nodes[0];
                 let drop_row = solver.node_row(top, round_eps(avg, eps_step));
                 let drop_val = solver.arena.values(drop_row)[b];
-                let keep_val = if b >= 1 && avg != 0.0 {
+                let keep_val = if b >= 1 && !is_zero(avg) {
                     let keep_row = solver.node_row(top, 0.0);
                     solver.arena.values(keep_row)[b - 1]
                 } else {
@@ -196,7 +200,7 @@ impl Solver<'_> {
             .tree
             .node_coeffs(node)
             .into_iter()
-            .filter(|c| c.value != 0.0)
+            .filter(|c| !is_zero(c.value))
             .collect();
         let children = self.tree.children(node);
         let k = coeffs.len();
@@ -241,7 +245,7 @@ impl Solver<'_> {
                 let mut ec = e;
                 for (ci, c) in coeffs.iter().enumerate() {
                     if s_mask >> ci & 1 == 0 {
-                        ec += ErrorTreeNd::child_sign(c.bmask, delta as u32) * c.value;
+                        ec += ErrorTreeNd::child_sign(c.bmask, narrow_u32(delta)) * c.value;
                     }
                 }
                 round_eps(ec, self.eps)
@@ -307,7 +311,7 @@ impl Solver<'_> {
             .tree
             .node_coeffs(node)
             .into_iter()
-            .filter(|c| c.value != 0.0)
+            .filter(|c| !is_zero(c.value))
             .collect();
         for (ci, c) in coeffs.iter().enumerate() {
             if s_mask >> ci & 1 == 1 {
@@ -412,7 +416,7 @@ mod tests {
             eps_tenths in 1u32..=20,
             negative in 0u32..2,
         ) {
-            let eps = eps_tenths as f64 / 10.0;
+            let eps = f64::from(eps_tenths) / 10.0;
             let mag = (1.0 + eps).powi(k);
             let v = if negative == 1 { -mag } else { mag };
             let r = round_eps(v, eps);
@@ -435,7 +439,7 @@ mod tests {
             eps_tenths in 1u32..=20,
             negative in 0u32..2,
         ) {
-            let eps = eps_tenths as f64 / 10.0;
+            let eps = f64::from(eps_tenths) / 10.0;
             let mag = f64::from_bits(1.0f64.to_bits() - ulps_below);
             proptest::prop_assert!(mag < 1.0);
             let v = if negative == 1 { -mag } else { mag };
@@ -447,7 +451,7 @@ mod tests {
     fn round_eps_relative_error_bounded() {
         let eps = 0.1;
         for i in 1..500 {
-            let v = i as f64 * 1.37;
+            let v = f64::from(i) * 1.37;
             for x in [v, -v] {
                 let r = round_eps(x, eps);
                 assert!(
@@ -461,7 +465,9 @@ mod tests {
 
     #[test]
     fn full_budget_zero_error() {
-        let vals: Vec<f64> = (0..16).map(|i| ((i * 7 + 3) % 13) as f64 * 10.0).collect();
+        let vals: Vec<f64> = (0..16)
+            .map(|i| f64::from((i * 7 + 3) % 13) * 10.0)
+            .collect();
         let arr = cube(4, 2, vals.clone());
         let s = AdditiveScheme::new(&arr).unwrap();
         let r = s.run(16, ErrorMetric::absolute(), 0.1);
@@ -470,8 +476,8 @@ mod tests {
 
     #[test]
     fn zero_budget_error_is_max_value() {
-        let vals: Vec<f64> = (0..16).map(|i| (i % 7) as f64 * 10.0).collect();
-        let max = vals.iter().cloned().fold(0.0f64, f64::max);
+        let vals: Vec<f64> = (0..16).map(|i| f64::from(i % 7) * 10.0).collect();
+        let max = vals.iter().copied().fold(0.0f64, f64::max);
         let arr = cube(4, 2, vals);
         let s = AdditiveScheme::new(&arr).unwrap();
         let r = s.run(0, ErrorMetric::absolute(), 0.1);
@@ -484,7 +490,7 @@ mod tests {
         // Theorem 3.2: true objective ≤ OPT + ε·R (plus the sub-1 rounding
         // truncation slack, bounded by one unit per hop).
         let vals: Vec<f64> = (0..16)
-            .map(|i| (((i * 11 + 5) % 23) as f64) * 8.0)
+            .map(|i| f64::from((i * 11 + 5) % 23) * 8.0)
             .collect();
         let arr = cube(4, 2, vals.clone());
         let s = AdditiveScheme::new(&arr).unwrap();
@@ -512,7 +518,7 @@ mod tests {
 
     #[test]
     fn relative_error_metric_supported() {
-        let vals: Vec<f64> = (0..16).map(|i| ((i % 5) + 1) as f64 * 20.0).collect();
+        let vals: Vec<f64> = (0..16).map(|i| f64::from((i % 5) + 1) * 20.0).collect();
         let arr = cube(4, 2, vals.clone());
         let s = AdditiveScheme::new(&arr).unwrap();
         let r = s.run(4, ErrorMetric::relative(1.0), 0.2);
@@ -532,7 +538,7 @@ mod tests {
         use crate::multi_dim::integer::IntegerExact;
         use wsyn_haar::nd::NdShape;
         let shape = NdShape::hypercube(4, 2).unwrap();
-        let data_i: Vec<i64> = (0..16).map(|i| (((i * 11 + 5) % 23) as i64) * 8).collect();
+        let data_i: Vec<i64> = (0..16).map(|i| i64::from((i * 11 + 5) % 23) * 8).collect();
         let data_f: Vec<f64> = data_i.iter().map(|&v| v as f64).collect();
         let arr = NdArray::new(shape.clone(), data_f.clone()).unwrap();
         let scheme = AdditiveScheme::new(&arr).unwrap();
@@ -561,7 +567,7 @@ mod tests {
 
     #[test]
     fn three_dimensional_smoke() {
-        let vals: Vec<f64> = (0..8).map(|i| (i * 10) as f64).collect();
+        let vals: Vec<f64> = (0..8).map(|i| f64::from(i * 10)).collect();
         let arr = cube(2, 3, vals.clone());
         let s = AdditiveScheme::new(&arr).unwrap();
         let r = s.run(8, ErrorMetric::absolute(), 0.2);
@@ -585,7 +591,7 @@ mod tests {
     #[test]
     fn d1_additive_close_to_optimal_1d_dp() {
         // In one dimension the scheme competes with the exact MinMaxErr.
-        let data: Vec<f64> = (0..16).map(|i| (((i * 13) % 29) as f64) * 12.0).collect();
+        let data: Vec<f64> = (0..16).map(|i| f64::from((i * 13) % 29) * 12.0).collect();
         let arr = NdArray::new(NdShape::new(vec![16]).unwrap(), data.clone()).unwrap();
         let s = AdditiveScheme::new(&arr).unwrap();
         let exact = crate::one_dim::MinMaxErr::new(&data).unwrap();
@@ -611,7 +617,7 @@ mod tests {
     #[test]
     fn smaller_eps_means_more_states() {
         let vals: Vec<f64> = (0..64)
-            .map(|i| (((i * 17 + 3) % 31) as f64) * 5.0)
+            .map(|i| f64::from((i * 17 + 3) % 31) * 5.0)
             .collect();
         let arr = cube(8, 2, vals);
         let s = AdditiveScheme::new(&arr).unwrap();

@@ -18,7 +18,7 @@
 //! extension: integer incoming errors, float values normalized at the
 //! leaves by `max{|d_i|, s}`.
 
-use wsyn_core::{DpStats, RowArena, RowId, StateTable};
+use wsyn_core::{narrow_u32, DpStats, RowArena, RowId, StateTable};
 use wsyn_haar::int::{self, ScaledCoeffs};
 use wsyn_haar::nd::{NdArray, NdShape, NodeChildren};
 use wsyn_haar::{ErrorTreeNd, HaarError, NodeRef};
@@ -98,6 +98,9 @@ impl IntegerExact {
         let outcome = run_int_dp(&self.tree, &self.scaled.coeffs, None, b);
         let value = outcome
             .value
+            // With no forced-keep threshold the empty synopsis is always
+            // feasible, so the DP cannot come back infeasible.
+            // wsyn: allow(no-panic)
             .expect("unforced DP always feasible (empty synopsis)");
         let synopsis = SynopsisNd::from_positions(&self.tree, &outcome.retained);
         let true_objective = synopsis.max_error(&self.data_f64, ErrorMetric::absolute());
@@ -382,7 +385,7 @@ pub(crate) fn run_int_dp(
         leaf_evals: 0,
     };
     let avg = coeff[0];
-    let forced0 = forced.map(|f| f[0]).unwrap_or(false);
+    let forced0 = forced.is_some_and(|f| f[0]);
     let mut retained = Vec::new();
     let (value, keep_avg, child_budget) = match tree.root_children() {
         NodeChildren::Cells(cells) => {
@@ -477,7 +480,7 @@ impl IntSolver<'_> {
             .into_iter()
             .filter_map(|c| {
                 let v = self.coeff[c.pos];
-                let forced = self.forced.map(|f| f[c.pos]).unwrap_or(false);
+                let forced = self.forced.is_some_and(|f| f[c.pos]);
                 // A forced coefficient must survive the filter even if its
                 // truncated value is zero (retention is about the original
                 // magnitude, not the scaled-down one).
@@ -637,13 +640,18 @@ fn child_errors_int(e: i64, coeffs: &[CoeffI], s_mask: u32, children: &NodeChild
             let mut ec = e;
             for (ci, c) in coeffs.iter().enumerate() {
                 if s_mask >> ci & 1 == 0 {
-                    let signed = if ErrorTreeNd::child_sign(c.bmask, delta as u32) > 0.0 {
+                    let signed = if ErrorTreeNd::child_sign(c.bmask, narrow_u32(delta)) > 0.0 {
                         c.value
                     } else {
                         -c.value
                     };
                     ec = ec
                         .checked_add(signed)
+                        // The scaled-coefficient domain bound (checked at
+                        // transform time) keeps every path sum inside i64;
+                        // overflow here means corrupted inputs, not a
+                        // recoverable state.
+                        // wsyn: allow(no-panic)
                         .expect("integer error accumulation overflow");
                 }
             }
@@ -679,7 +687,7 @@ mod tests {
     #[test]
     fn matches_oracle_2d() {
         let shape = cube_shape(4, 2);
-        let data: Vec<i64> = (0..16).map(|i| ((i * 7 + 3) % 11) as i64).collect();
+        let data: Vec<i64> = (0..16).map(|i| i64::from((i * 7 + 3) % 11)).collect();
         let solver = IntegerExact::new(&shape, &data).unwrap();
         let data_f64: Vec<f64> = data.iter().map(|&v| v as f64).collect();
         for b in 0..=8usize {
@@ -706,7 +714,7 @@ mod tests {
     #[test]
     fn matches_1d_minmaxerr() {
         let shape = NdShape::new(vec![16]).unwrap();
-        let data: Vec<i64> = (0..16).map(|i| ((i * 13 + 5) % 17) as i64).collect();
+        let data: Vec<i64> = (0..16).map(|i| i64::from((i * 13 + 5) % 17)).collect();
         let solver = IntegerExact::new(&shape, &data).unwrap();
         let data_f64: Vec<f64> = data.iter().map(|&v| v as f64).collect();
         let exact = crate::one_dim::MinMaxErr::new(&data_f64).unwrap();
@@ -724,7 +732,7 @@ mod tests {
     #[test]
     fn full_budget_zero_error_3d() {
         let shape = cube_shape(2, 3);
-        let data: Vec<i64> = (0..8).map(|i| (i * 3 % 5) as i64).collect();
+        let data: Vec<i64> = (0..8).map(|i| i64::from(i * 3 % 5)).collect();
         let solver = IntegerExact::new(&shape, &data).unwrap();
         let r = solver.run(8);
         assert_eq!(r.true_objective, 0.0);
@@ -734,7 +742,7 @@ mod tests {
     #[test]
     fn zero_budget() {
         let shape = cube_shape(4, 2);
-        let data: Vec<i64> = (0..16).map(|i| (i % 6) as i64).collect();
+        let data: Vec<i64> = (0..16).map(|i| i64::from(i % 6)).collect();
         let solver = IntegerExact::new(&shape, &data).unwrap();
         let r = solver.run(0);
         assert_eq!(r.true_objective, 5.0);
@@ -744,7 +752,7 @@ mod tests {
     #[test]
     fn forced_retention_respected() {
         let shape = cube_shape(4, 2);
-        let data: Vec<i64> = (0..16).map(|i| ((i * 5 + 1) % 9) as i64).collect();
+        let data: Vec<i64> = (0..16).map(|i| i64::from((i * 5 + 1) % 9)).collect();
         let solver = IntegerExact::new(&shape, &data).unwrap();
         // Force the two largest coefficients.
         let coeffs = &solver.scaled.coeffs;
@@ -777,7 +785,7 @@ mod tests {
         // The optimum's absolute error is at least the largest dropped
         // |coefficient| (Proposition 3.3), in original (unscaled) units.
         let shape = cube_shape(4, 2);
-        let data: Vec<i64> = (0..16).map(|i| ((i * 11 + 2) % 13) as i64).collect();
+        let data: Vec<i64> = (0..16).map(|i| i64::from((i * 11 + 2) % 13)).collect();
         let solver = IntegerExact::new(&shape, &data).unwrap();
         let scale = solver.scale() as f64;
         for b in 0..6usize {
@@ -803,7 +811,7 @@ mod rel_tests {
     #[test]
     fn relative_dp_matches_oracle_2d() {
         let shape = NdShape::hypercube(4, 2).unwrap();
-        let data: Vec<i64> = (0..16).map(|i| ((i * 7 + 3) % 11) as i64).collect();
+        let data: Vec<i64> = (0..16).map(|i| i64::from((i * 7 + 3) % 11)).collect();
         let solver = IntegerExact::new(&shape, &data).unwrap();
         let data_f64: Vec<f64> = data.iter().map(|&v| v as f64).collect();
         for b in 0..=8usize {
@@ -828,7 +836,7 @@ mod rel_tests {
     #[test]
     fn relative_dp_matches_1d_minmaxerr() {
         let shape = NdShape::new(vec![16]).unwrap();
-        let data: Vec<i64> = (0..16).map(|i| ((i * 13 + 5) % 17) as i64).collect();
+        let data: Vec<i64> = (0..16).map(|i| i64::from((i * 13 + 5) % 17)).collect();
         let solver = IntegerExact::new(&shape, &data).unwrap();
         let data_f64: Vec<f64> = data.iter().map(|&v| v as f64).collect();
         let exact = crate::one_dim::MinMaxErr::new(&data_f64).unwrap();
@@ -848,7 +856,7 @@ mod rel_tests {
     #[test]
     fn relative_dp_sanity_bound_monotone() {
         let shape = NdShape::hypercube(4, 2).unwrap();
-        let data: Vec<i64> = (0..16).map(|i| ((i * 5 + 2) % 13) as i64).collect();
+        let data: Vec<i64> = (0..16).map(|i| i64::from((i * 5 + 2) % 13)).collect();
         let solver = IntegerExact::new(&shape, &data).unwrap();
         let lo = solver.run_relative(4, 0.5).true_objective;
         let hi = solver.run_relative(4, 20.0).true_objective;

@@ -159,8 +159,8 @@ impl OnePlusEps {
         // m levels of up to 2^D-1 coefficients plus the root; we use the
         // path-length bound 2^D·m (+1 for the root) that also drives the
         // additive scheme. A smaller K_τ only refines the truncation.
-        let hops = ((1u64 << self.d) as f64) * (self.m.max(1) as f64);
-        let kmax = (64 - (rz as u64).leading_zeros()) as i64; // ceil(log2 rz) + 1 cover
+        let hops = ((1u64 << self.d) as f64) * f64::from(self.m.max(1));
+        let kmax = i64::from(64 - (rz as u64).leading_zeros()); // ceil(log2 rz) + 1 cover
         let outcomes: Vec<TauOutcome> = if parallel {
             std::thread::scope(|scope| {
                 let handles: Vec<_> = (0..=kmax)
@@ -168,7 +168,7 @@ impl OnePlusEps {
                     .collect();
                 handles
                     .into_iter()
-                    .map(|h| h.join().expect("tau worker panicked"))
+                    .map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
                     .collect()
             })
         } else {
@@ -185,12 +185,15 @@ impl OnePlusEps {
             reports.push(outcome.report);
             stats = stats.merged(outcome.stats);
             if let Some((true_err, positions, dp_units)) = outcome.selected {
-                if best.as_ref().map(|(e, _, _)| true_err < *e).unwrap_or(true) {
+                if best.as_ref().map_or(true, |(e, _, _)| true_err < *e) {
                     best = Some((true_err, positions, dp_units));
                 }
             }
         }
         let (true_objective, positions, dp_objective) =
+            // The largest tau in the sweep forces no coefficient, so that
+            // run is always feasible and `best` is always populated.
+            // wsyn: allow(no-panic)
             best.expect("tau = 2^ceil(log rz) forces nothing, so at least one tau is feasible");
         let synopsis = SynopsisNd::from_positions(&self.tree, &positions);
         (
@@ -270,7 +273,7 @@ mod tests {
     #[test]
     fn guarantee_vs_exact_2d() {
         let shape = cube_shape(4, 2);
-        let data: Vec<i64> = (0..16).map(|i| ((i * 7 + 3) % 19) as i64 * 3).collect();
+        let data: Vec<i64> = (0..16).map(|i| i64::from((i * 7 + 3) % 19) * 3).collect();
         let scheme = OnePlusEps::new(&shape, &data).unwrap();
         let exact = IntegerExact::new(&shape, &data).unwrap();
         for b in [1usize, 2, 4, 6, 8] {
@@ -291,7 +294,7 @@ mod tests {
     #[test]
     fn guarantee_vs_exact_1d_and_minmaxerr() {
         let shape = NdShape::new(vec![16]).unwrap();
-        let data: Vec<i64> = (0..16).map(|i| ((i * 11 + 5) % 23) as i64).collect();
+        let data: Vec<i64> = (0..16).map(|i| i64::from((i * 11 + 5) % 23)).collect();
         let scheme = OnePlusEps::new(&shape, &data).unwrap();
         let data_f64: Vec<f64> = data.iter().map(|&v| v as f64).collect();
         let exact = crate::one_dim::MinMaxErr::new(&data_f64).unwrap();
@@ -318,7 +321,7 @@ mod tests {
     #[test]
     fn full_budget_recovers_exactly() {
         let shape = cube_shape(4, 2);
-        let data: Vec<i64> = (0..16).map(|i| (i % 7) as i64 - 3).collect();
+        let data: Vec<i64> = (0..16).map(|i| i64::from(i % 7) - 3).collect();
         let scheme = OnePlusEps::new(&shape, &data).unwrap();
         let r = scheme.run(16, 0.5);
         assert_eq!(r.true_objective, 0.0);
@@ -330,7 +333,7 @@ mod tests {
         // does real work and ties between τ values are plausible.
         let shape = cube_shape(4, 2);
         let data: Vec<i64> = (0..16)
-            .map(|i| ((i * 13 + 7) % 257) as i64 * 12 - 1500)
+            .map(|i| i64::from((i * 13 + 7) % 257) * 12 - 1500)
             .collect();
         let scheme = OnePlusEps::new(&shape, &data).unwrap();
         assert!(
@@ -356,7 +359,7 @@ mod tests {
     #[test]
     fn reports_cover_tau_range() {
         let shape = cube_shape(4, 2);
-        let data: Vec<i64> = (0..16).map(|i| (i * i % 13) as i64).collect();
+        let data: Vec<i64> = (0..16).map(|i| i64::from(i * i % 13)).collect();
         let scheme = OnePlusEps::new(&shape, &data).unwrap();
         let (r, reports) = scheme.run_with_reports(4, 0.25);
         assert!(!reports.is_empty());
@@ -381,7 +384,7 @@ mod tests {
         // With b = 1 many taus are infeasible; the sweep must still find a
         // feasible one and return a valid synopsis.
         let shape = cube_shape(4, 2);
-        let data: Vec<i64> = (0..16).map(|i| ((i * 29 + 7) % 31) as i64).collect();
+        let data: Vec<i64> = (0..16).map(|i| i64::from((i * 29 + 7) % 31)).collect();
         let scheme = OnePlusEps::new(&shape, &data).unwrap();
         let r = scheme.run(1, 0.5);
         assert!(r.synopsis.len() <= 1);

@@ -14,7 +14,7 @@
 //! bit patterns match the top-down engines) to the vector of optimal
 //! values for budgets `0..=B`.
 
-use wsyn_core::StateTable;
+use wsyn_core::{is_zero, StateTable};
 use wsyn_haar::ErrorTree1d;
 
 use super::{best_split, DpStats, SplitSearch, ThresholdResult};
@@ -28,7 +28,9 @@ type Table = StateTable<Vec<f64>>;
 /// ancestor chain).
 #[inline]
 fn row(t: &Table, e: f64) -> &[f64] {
-    t.get(norm(e).to_bits() as u128)
+    t.get(u128::from(norm(e).to_bits()))
+        // Every queried error was materialized when the table was built.
+        // wsyn: allow(no-panic)
         .expect("incoming error is a subset sum of the ancestor chain")
 }
 
@@ -50,7 +52,7 @@ struct Ctx<'a> {
 /// Canonicalizes `-0.0` to `+0.0` so exact cancellations hash identically.
 #[inline]
 fn norm(e: f64) -> f64 {
-    if e == 0.0 {
+    if is_zero(e) {
         0.0
     } else {
         e
@@ -105,8 +107,9 @@ fn subset_sums(anc: &[f64]) -> Vec<f64> {
             sums.push(norm(sums[i] + a));
         }
         // Dedup keeps table sizes at the number of *distinct* incoming
-        // errors (cannot exceed 2^depth).
-        let mut seen = std::collections::HashSet::with_capacity(sums.len());
+        // errors (cannot exceed 2^depth). BTreeSet for deterministic
+        // behavior end to end (hash-collections rule).
+        let mut seen = std::collections::BTreeSet::new();
         sums.retain(|v| seen.insert(v.to_bits()));
     }
     sums
@@ -136,7 +139,7 @@ impl Ctx<'_> {
             self.leaf_evals += sums.len();
             let mut out = Table::with_capacity(sums.len());
             for e in sums {
-                out.insert(e.to_bits() as u128, vec![e.abs() / d; self.b_total + 1]);
+                out.insert(u128::from(e.to_bits()), vec![e.abs() / d; self.b_total + 1]);
             }
             self.register(&out);
             return out;
@@ -153,7 +156,7 @@ impl Ctx<'_> {
                 let mut vals = Vec::with_capacity(self.b_total + 1);
                 for b in 0..=self.b_total {
                     let drop_val = row(&ct, e + c)[b];
-                    let keep_val = if b >= 1 && c != 0.0 {
+                    let keep_val = if b >= 1 && !is_zero(c) {
                         row(&ct, e)[b - 1]
                     } else {
                         f64::INFINITY
@@ -161,7 +164,7 @@ impl Ctx<'_> {
                     vals.push(drop_val.min(keep_val));
                 }
                 self.states += vals.len();
-                out.insert(e.to_bits() as u128, vals);
+                out.insert(u128::from(e.to_bits()), vals);
             }
             self.register(&out);
             self.retire(ct);
@@ -171,7 +174,8 @@ impl Ctx<'_> {
         let mut child_anc = anc.to_vec();
         child_anc.push(c);
         let tl = self.table(lc, &child_anc);
-        *child_anc.last_mut().expect("just pushed") = -c;
+        child_anc.pop();
+        child_anc.push(-c);
         let tr = self.table(rc, &child_anc);
         let mut out = Table::with_capacity(sums.len());
         let split = self.split;
@@ -183,7 +187,7 @@ impl Ctx<'_> {
                     let fr = row(&tr, e - c);
                     best_split(&mut (), b, split, |_, bp| fl[bp], |_, bp| fr[b - bp])
                 };
-                let keep_val = if b >= 1 && c != 0.0 {
+                let keep_val = if b >= 1 && !is_zero(c) {
                     let fl = row(&tl, e);
                     let fr = row(&tr, e);
                     best_split(
@@ -200,7 +204,7 @@ impl Ctx<'_> {
                 vals.push(drop_val.min(keep_val));
             }
             self.states += vals.len();
-            out.insert(e.to_bits() as u128, vals);
+            out.insert(u128::from(e.to_bits()), vals);
         }
         // tl/tr retired here: one live table per level on the recursion
         // spine.
@@ -222,7 +226,7 @@ impl Ctx<'_> {
             anc.push(c);
             let ct = self.table(child, anc);
             let drop_val = row(&ct, e + c)[b];
-            let keep_val = if b >= 1 && c != 0.0 {
+            let keep_val = if b >= 1 && !is_zero(c) {
                 row(&ct, e)[b - 1]
             } else {
                 f64::INFINITY
@@ -241,14 +245,15 @@ impl Ctx<'_> {
         let split = self.split;
         anc.push(c);
         let tl = self.table(lc, anc);
-        *anc.last_mut().expect("just pushed") = -c;
+        anc.pop();
+        anc.push(-c);
         let tr = self.table(rc, anc);
         let (drop_val, drop_b) = {
             let fl = row(&tl, e + c);
             let fr = row(&tr, e - c);
             best_split(&mut (), b, split, |_, bp| fl[bp], |_, bp| fr[b - bp])
         };
-        let (keep_val, keep_b) = if b >= 1 && c != 0.0 {
+        let (keep_val, keep_b) = if b >= 1 && !is_zero(c) {
             let fl = row(&tl, e);
             let fr = row(&tr, e);
             best_split(
@@ -265,16 +270,19 @@ impl Ctx<'_> {
         self.retire(tr);
         if keep_val <= drop_val {
             out.push(id);
-            *anc.last_mut().expect("pushed above") = 0.0; // kept: no dropped contribution
-                                                          // Left child sees ancestors with c kept; its own chain entry for
-                                                          // c is "kept", contributing nothing when dropped-summing. We
-                                                          // model that by a 0.0 entry (subset sums unchanged).
+            // Kept: no dropped contribution. The child chain entry for c
+            // contributes nothing when dropped-summing; a 0.0 entry models
+            // that (subset sums unchanged).
+            anc.pop();
+            anc.push(0.0);
             self.trace(lc, keep_b, e, anc, out);
             self.trace(rc, b - 1 - keep_b, e, anc, out);
         } else {
-            *anc.last_mut().expect("pushed above") = c;
+            anc.pop();
+            anc.push(c);
             self.trace(lc, drop_b, norm(e + c), anc, out);
-            *anc.last_mut().expect("pushed above") = -c;
+            anc.pop();
+            anc.push(-c);
             self.trace(rc, b - drop_b, norm(e - c), anc, out);
         }
         anc.pop();

@@ -15,7 +15,7 @@
 //! bit pattern is sound. Distinct-but-mathematically-equal float values
 //! would merely miss a merge — never produce a wrong value.
 
-use wsyn_core::{pack_state_1d, StateTable};
+use wsyn_core::{is_zero, narrow_u32, pack_state_1d, StateTable};
 use wsyn_haar::ErrorTree1d;
 
 use super::{best_split, DpStats, SplitSearch, ThresholdResult};
@@ -80,7 +80,7 @@ impl Solver<'_> {
             self.leaf_evals += 1;
             return e.abs() / self.denom[id - self.n];
         }
-        let key = pack_state_1d(id as u32, b as u32, e.to_bits());
+        let key = pack_state_1d(narrow_u32(id), narrow_u32(b), e.to_bits());
         if let Some(entry) = self.memo.get(key) {
             return entry.value;
         }
@@ -90,7 +90,7 @@ impl Solver<'_> {
             // contribution sign +1.
             let child = if self.n == 1 { self.n } else { 1 };
             let drop_val = self.solve(child, b, e + c);
-            let keep_val = if b >= 1 && c != 0.0 {
+            let keep_val = if b >= 1 && !is_zero(c) {
                 self.solve(child, b - 1, e)
             } else {
                 f64::INFINITY
@@ -99,13 +99,13 @@ impl Solver<'_> {
                 Entry {
                     value: keep_val,
                     keep: true,
-                    left_allot: (b - 1) as u32,
+                    left_allot: narrow_u32(b - 1),
                 }
             } else {
                 Entry {
                     value: drop_val,
                     keep: false,
-                    left_allot: b as u32,
+                    left_allot: narrow_u32(b),
                 }
             }
         } else {
@@ -122,7 +122,7 @@ impl Solver<'_> {
             // Keep c_j (only if it is non-zero; retaining a zero
             // coefficient wastes budget, matching the paper's path(u)
             // containing non-zero ancestors only).
-            let (keep_val, keep_b) = if b >= 1 && c != 0.0 {
+            let (keep_val, keep_b) = if b >= 1 && !is_zero(c) {
                 best_split(
                     self,
                     b - 1,
@@ -137,13 +137,13 @@ impl Solver<'_> {
                 Entry {
                     value: keep_val,
                     keep: true,
-                    left_allot: keep_b as u32,
+                    left_allot: narrow_u32(keep_b),
                 }
             } else {
                 Entry {
                     value: drop_val,
                     keep: false,
-                    left_allot: drop_b as u32,
+                    left_allot: narrow_u32(drop_b),
                 }
             }
         };
@@ -157,10 +157,12 @@ impl Solver<'_> {
         if id >= self.n {
             return;
         }
-        let key = pack_state_1d(id as u32, b as u32, e.to_bits());
+        let key = pack_state_1d(narrow_u32(id), narrow_u32(b), e.to_bits());
         let entry = *self
             .memo
             .get(key)
+            // Trace replays decisions along states solve() materialized.
+            // wsyn: allow(no-panic)
             .expect("trace visits only states materialized by solve");
         let c = self.tree.coeff(id);
         if id == 0 {

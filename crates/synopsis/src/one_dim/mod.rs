@@ -126,7 +126,12 @@ impl Clone for MinMaxErr {
         Self {
             tree: self.tree.clone(),
             data: self.data.clone(),
-            denom_cache: Mutex::new(self.denom_cache.lock().expect("cache poisoned").clone()),
+            denom_cache: Mutex::new(
+                self.denom_cache
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .clone(),
+            ),
         }
     }
 }
@@ -173,19 +178,40 @@ impl MinMaxErr {
     }
 
     /// Runs the DP with an explicit engine/split configuration.
+    ///
+    /// Debug builds certify every run: the synopsis the trace emits is
+    /// reconstructed and its achieved maximum error must equal the DP
+    /// objective (Theorem 3.1's equality — the deterministic guarantee
+    /// is the *actual* error, not a bound).
     pub fn run_with(&self, b: usize, metric: ErrorMetric, config: Config) -> ThresholdResult {
         let denom = self.denom(metric);
-        match config.engine {
+        let result = match config.engine {
             Engine::Dedup => dedup::run(&self.tree, &denom, b, config.split),
             Engine::SubsetMask => subset::run(&self.tree, &self.data, &denom, b, config.split),
             Engine::BottomUp => bottom_up::run(&self.tree, &denom, b, config.split),
-        }
+        };
+        debug_assert!(
+            {
+                let achieved = result.synopsis.max_error(&self.data, metric);
+                (achieved - result.objective).abs() <= 1e-9 * (1.0 + result.objective.abs())
+            },
+            "MinMaxErr certification failed: reconstructed max error {} != DP objective {} \
+             (b = {b}, {metric:?}, {config:?})",
+            result.synopsis.max_error(&self.data, metric),
+            result.objective,
+        );
+        result
     }
 
     /// The per-leaf denominator vector for `metric`, computed once and
     /// cached (metrics are few: a linear scan beats hashing here).
     fn denom(&self, metric: ErrorMetric) -> Arc<Vec<f64>> {
-        let mut cache = self.denom_cache.lock().expect("cache poisoned");
+        // The cache is append-only, so a poisoned lock still holds a
+        // consistent value; recover it instead of propagating the panic.
+        let mut cache = self
+            .denom_cache
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         if let Some((_, d)) = cache.iter().find(|(m, _)| *m == metric) {
             return Arc::clone(d);
         }
@@ -313,6 +339,46 @@ mod tests {
         }
     }
 
+    /// The certification `debug_assert` in `run_with` (reconstructed
+    /// maximum error equals the DP objective) holds on the §2.1 worked
+    /// example and on E4-style random instances — asserted explicitly
+    /// here too, so the property is also checked by release-mode runs of
+    /// the suite, for every engine, split, and budget.
+    #[test]
+    fn certification_holds_on_example_and_e4_inputs() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let certify = |data: &[f64]| {
+            let solver = MinMaxErr::new(data).unwrap();
+            for metric in [ErrorMetric::absolute(), ErrorMetric::relative(1.0)] {
+                for b in 0..=data.len().min(8) {
+                    for config in configs() {
+                        let r = solver.run_with(b, metric, config);
+                        let achieved = r.synopsis.max_error(data, metric);
+                        assert!(
+                            (achieved - r.objective).abs() <= 1e-9 * (1.0 + r.objective.abs()),
+                            "b={b} {metric:?} {config:?}: achieved {achieved} vs objective {} \
+                             (data {data:?})",
+                            r.objective
+                        );
+                    }
+                }
+            }
+        };
+        // §2.1 worked example.
+        certify(&EXAMPLE);
+        // E4 inputs: random integer-valued instances (E4's seed).
+        let mut rng = StdRng::seed_from_u64(2004);
+        for n in [4usize, 8, 16] {
+            for _ in 0..10 {
+                let data: Vec<f64> = (0..n)
+                    .map(|_| f64::from(rng.gen_range(-20i32..=20)))
+                    .collect();
+                certify(&data);
+            }
+        }
+    }
+
     #[test]
     fn full_budget_zero_error() {
         let solver = MinMaxErr::new(&EXAMPLE).unwrap();
@@ -355,7 +421,9 @@ mod tests {
 
     #[test]
     fn objective_monotone_in_budget() {
-        let data: Vec<f64> = (0..32).map(|i| ((i * 37 + 11) % 23) as f64 - 7.0).collect();
+        let data: Vec<f64> = (0..32)
+            .map(|i| f64::from((i * 37 + 11) % 23) - 7.0)
+            .collect();
         let solver = MinMaxErr::new(&data).unwrap();
         for metric in [ErrorMetric::absolute(), ErrorMetric::relative(2.0)] {
             let mut prev = f64::INFINITY;
@@ -405,7 +473,7 @@ mod tests {
 
     #[test]
     fn dedup_never_has_more_states_than_subset() {
-        let data: Vec<f64> = (0..16).map(|i| ((i * 7) % 5) as f64).collect();
+        let data: Vec<f64> = (0..16).map(|i| f64::from((i * 7) % 5)).collect();
         let solver = MinMaxErr::new(&data).unwrap();
         let metric = ErrorMetric::absolute();
         let dedup = solver.run_with(
@@ -486,7 +554,7 @@ mod tests {
     fn prop33_lower_bound_max_dropped_coefficient() {
         // Proposition 3.3: any synopsis has max absolute error >= the
         // largest dropped |coefficient|; the optimum must respect it too.
-        let data: Vec<f64> = (0..16).map(|i| ((i * 13 + 5) % 17) as f64).collect();
+        let data: Vec<f64> = (0..16).map(|i| f64::from((i * 13 + 5) % 17)).collect();
         let solver = MinMaxErr::new(&data).unwrap();
         for b in 0..8 {
             let r = solver.run(b, ErrorMetric::absolute());

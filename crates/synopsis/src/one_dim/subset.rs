@@ -12,7 +12,7 @@
 //! quantify (in benches) how much state deduplication saves; it enumerates
 //! `O(2^depth)` subsets per node, i.e. the full `O(N² B)` table.
 
-use wsyn_core::{pack_state_1d, StateTable};
+use wsyn_core::{is_zero, narrow_u32, pack_state_1d, StateTable};
 use wsyn_haar::ErrorTree1d;
 
 use super::{best_split, DpStats, SplitSearch, ThresholdResult};
@@ -82,7 +82,7 @@ impl Solver<'_> {
         if id >= self.n {
             return self.leaf_value(id - self.n, mask);
         }
-        let key = pack_state_1d(id as u32, b as u32, mask as u64);
+        let key = pack_state_1d(narrow_u32(id), narrow_u32(b), u64::from(mask));
         if let Some(entry) = self.memo.get(key) {
             return entry.value;
         }
@@ -92,7 +92,7 @@ impl Solver<'_> {
         let entry = if id == 0 {
             let child = if self.n == 1 { self.n } else { 1 };
             let drop_val = self.solve(child, b, mask);
-            let keep_val = if b >= 1 && c != 0.0 {
+            let keep_val = if b >= 1 && !is_zero(c) {
                 self.solve(child, b - 1, mask | bit)
             } else {
                 f64::INFINITY
@@ -101,13 +101,13 @@ impl Solver<'_> {
                 Entry {
                     value: keep_val,
                     keep: true,
-                    left_allot: (b - 1) as u32,
+                    left_allot: narrow_u32(b - 1),
                 }
             } else {
                 Entry {
                     value: drop_val,
                     keep: false,
-                    left_allot: b as u32,
+                    left_allot: narrow_u32(b),
                 }
             }
         } else {
@@ -122,7 +122,7 @@ impl Solver<'_> {
                 |s, bp| s.solve(rc, b - bp, mask),
             );
             // Equation (3): keep c_j (non-zero coefficients only).
-            let (keep_val, keep_b) = if b >= 1 && c != 0.0 {
+            let (keep_val, keep_b) = if b >= 1 && !is_zero(c) {
                 best_split(
                     self,
                     b - 1,
@@ -137,13 +137,13 @@ impl Solver<'_> {
                 Entry {
                     value: keep_val,
                     keep: true,
-                    left_allot: keep_b as u32,
+                    left_allot: narrow_u32(keep_b),
                 }
             } else {
                 Entry {
                     value: drop_val,
                     keep: false,
-                    left_allot: drop_b as u32,
+                    left_allot: narrow_u32(drop_b),
                 }
             }
         };
@@ -170,10 +170,12 @@ impl Solver<'_> {
         if id >= self.n {
             return;
         }
-        let key = pack_state_1d(id as u32, b as u32, mask as u64);
+        let key = pack_state_1d(narrow_u32(id), narrow_u32(b), u64::from(mask));
         let entry = *self
             .memo
             .get(key)
+            // Trace replays decisions along states solve() materialized.
+            // wsyn: allow(no-panic)
             .expect("trace visits only states materialized by solve");
         let bit = 1u32 << self.anc.len();
         self.anc.push(id);

@@ -6,6 +6,7 @@
 //! small instances; they are exponential and refuse domains with more than
 //! [`MAX_ORACLE_COEFFS`] non-zero coefficients.
 
+use wsyn_core::{is_zero, narrow_u32};
 use wsyn_haar::{ErrorTree1d, ErrorTreeNd};
 
 use crate::metric::ErrorMetric;
@@ -36,7 +37,7 @@ pub fn exhaustive_1d(
     b: usize,
     metric: ErrorMetric,
 ) -> OracleResult<Synopsis1d> {
-    let nonzero: Vec<usize> = (0..tree.n()).filter(|&j| tree.coeff(j) != 0.0).collect();
+    let nonzero: Vec<usize> = (0..tree.n()).filter(|&j| !is_zero(tree.coeff(j))).collect();
     let (best_mask, objective) = search(&nonzero, b, |subset| {
         let s = Synopsis1d::from_indices(tree, subset);
         metric.max_error(data, &s.reconstruct())
@@ -62,7 +63,7 @@ pub fn exhaustive_nd(
 ) -> OracleResult<SynopsisNd> {
     let n = tree.n();
     let coeffs = tree.coeffs().data();
-    let nonzero: Vec<usize> = (0..n).filter(|&p| coeffs[p] != 0.0).collect();
+    let nonzero: Vec<usize> = (0..n).filter(|&p| !is_zero(coeffs[p])).collect();
     let (best_mask, objective) = search(&nonzero, b, |subset| {
         let s = SynopsisNd::from_positions(tree, subset);
         metric.max_error(data, s.reconstruct().data())
@@ -97,7 +98,7 @@ fn search<F: FnMut(&[usize]) -> f64>(nonzero: &[usize], b: usize, mut eval: F) -
     let total = 1u64 << nonzero.len();
     let mut subset = Vec::with_capacity(b);
     for mask in 0..total {
-        let mask = mask as u32;
+        let mask = narrow_u32(mask as usize);
         if mask.count_ones() as usize > b {
             continue;
         }
@@ -125,7 +126,7 @@ fn search<F: FnMut(&[usize]) -> f64>(nonzero: &[usize], b: usize, mut eval: F) -
 /// Panics when the tree has more than [`MAX_ORACLE_COEFFS`] non-zero
 /// coefficients.
 pub fn exhaustive_l2_1d(tree: &ErrorTree1d, data: &[f64], b: usize) -> OracleResult<Synopsis1d> {
-    let nonzero: Vec<usize> = (0..tree.n()).filter(|&j| tree.coeff(j) != 0.0).collect();
+    let nonzero: Vec<usize> = (0..tree.n()).filter(|&j| !is_zero(tree.coeff(j))).collect();
     let (best_mask, objective) = search(&nonzero, b, |subset| {
         let s = Synopsis1d::from_indices(tree, subset);
         crate::metric::rmse(data, &s.reconstruct())
@@ -147,7 +148,7 @@ pub fn exhaustive_l2_1d(tree: &ErrorTree1d, data: &[f64], b: usize) -> OracleRes
 pub fn exhaustive_l2_nd(tree: &ErrorTreeNd, data: &[f64], b: usize) -> OracleResult<SynopsisNd> {
     let n = tree.n();
     let coeffs = tree.coeffs().data();
-    let nonzero: Vec<usize> = (0..n).filter(|&p| coeffs[p] != 0.0).collect();
+    let nonzero: Vec<usize> = (0..n).filter(|&p| !is_zero(coeffs[p])).collect();
     let (best_mask, objective) = search(&nonzero, b, |subset| {
         let s = SynopsisNd::from_positions(tree, subset);
         crate::metric::rmse(data, s.reconstruct().data())
@@ -169,7 +170,7 @@ mod tests {
     fn nd_greedy_matches_l2_oracle() {
         use wsyn_haar::nd::{NdArray, NdShape};
         let shape = NdShape::hypercube(4, 2).unwrap();
-        let data: Vec<f64> = (0..16).map(|i| ((i * 7 + 3) % 11) as f64 - 4.0).collect();
+        let data: Vec<f64> = (0..16).map(|i| f64::from((i * 7 + 3) % 11) - 4.0).collect();
         let tree = ErrorTreeNd::from_data(&NdArray::new(shape, data.clone()).unwrap()).unwrap();
         for b in 0..=6usize {
             let greedy = crate::greedy::greedy_l2_nd(&tree, b);

@@ -229,6 +229,9 @@ impl SynopsisNd {
             coeffs.data_mut()[p] = v;
         }
         nonstandard::inverse_in_place(&mut coeffs)
+            // The shape was validated hypercube when the synopsis was
+            // built; the inverse transform cannot fail on it.
+            // wsyn: allow(no-panic)
             .expect("synopsis shape is a validated hypercube");
         coeffs
     }
@@ -322,7 +325,7 @@ mod tests {
     #[test]
     fn nd_synopsis_roundtrip() {
         let shape = NdShape::hypercube(4, 2).unwrap();
-        let vals: Vec<f64> = (0..16).map(|i| (i % 5) as f64).collect();
+        let vals: Vec<f64> = (0..16).map(|i| f64::from(i % 5)).collect();
         let tree = ErrorTreeNd::from_data(&NdArray::new(shape, vals.clone()).unwrap()).unwrap();
         let all: Vec<usize> = (0..16).collect();
         let s = SynopsisNd::from_positions(&tree, &all);

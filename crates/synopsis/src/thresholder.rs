@@ -258,7 +258,7 @@ mod tests {
     fn uniform_dispatch_nd() {
         use wsyn_haar::nd::{NdArray, NdShape};
         let shape = NdShape::hypercube(4, 2).unwrap();
-        let vals: Vec<f64> = (0..16).map(|i| (i % 5) as f64).collect();
+        let vals: Vec<f64> = (0..16).map(|i| f64::from(i % 5)).collect();
         let ints: Vec<i64> = vals.iter().map(|&v| v as i64).collect();
         let arr = NdArray::new(shape.clone(), vals.clone()).unwrap();
         let solvers: Vec<Box<dyn Thresholder>> = vec![

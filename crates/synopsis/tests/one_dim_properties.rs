@@ -8,14 +8,14 @@ use wsyn_synopsis::{oracle, ErrorMetric};
 
 fn pow2_data() -> impl Strategy<Value = Vec<f64>> {
     (1u32..=4).prop_flat_map(|m| {
-        proptest::collection::vec((-50i32..=50).prop_map(|v| v as f64), 1usize << m)
+        proptest::collection::vec((-50i32..=50).prop_map(f64::from), 1usize << m)
     })
 }
 
 fn metrics() -> impl Strategy<Value = ErrorMetric> {
     prop_oneof![
         Just(ErrorMetric::absolute()),
-        (1u32..=20).prop_map(|s| ErrorMetric::relative(s as f64 / 2.0)),
+        (1u32..=20).prop_map(|s| ErrorMetric::relative(f64::from(s) / 2.0)),
     ]
 }
 
@@ -75,7 +75,7 @@ proptest! {
     /// objective changes by at most |shift| in either direction.
     #[test]
     fn absolute_error_shift_stability(data in pow2_data(), b in 1usize..5, shift in -20i32..=20) {
-        let shift = shift as f64;
+        let shift = f64::from(shift);
         let shifted: Vec<f64> = data.iter().map(|&v| v + shift).collect();
         let o1 = MinMaxErr::new(&data).unwrap().run(b, ErrorMetric::absolute()).objective;
         let o2 = MinMaxErr::new(&shifted).unwrap().run(b, ErrorMetric::absolute()).objective;
@@ -87,7 +87,7 @@ proptest! {
     /// error tree is left/right symmetric.
     #[test]
     fn mirror_symmetry(data in pow2_data(), b in 0usize..6, metric in metrics()) {
-        let mirrored: Vec<f64> = data.iter().rev().cloned().collect();
+        let mirrored: Vec<f64> = data.iter().rev().copied().collect();
         let o1 = MinMaxErr::new(&data).unwrap().run(b, metric).objective;
         let o2 = MinMaxErr::new(&mirrored).unwrap().run(b, metric).objective;
         prop_assert!((o1 - o2).abs() < 1e-9, "{o1} vs mirrored {o2}");

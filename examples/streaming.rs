@@ -30,8 +30,8 @@ fn main() {
     let mut rebuild_points = Vec::new();
     for step in 0..updates {
         let i = rng.gen_range(0..n);
-        let delta = rng.gen_range(-40i32..=40) as f64;
-        if adaptive.update(i, delta) {
+        let delta = f64::from(rng.gen_range(-40i32..=40));
+        if adaptive.update(i, delta).unwrap() {
             rebuild_points.push((step, adaptive.built_objective()));
         }
         // Every 1000 steps: verify the conservative guarantee holds.

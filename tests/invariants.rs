@@ -10,7 +10,7 @@ use wavelet_synopses::synopsis::{rmse, ErrorMetric, Synopsis1d};
 
 fn pow2_data(max_exp: u32) -> impl Strategy<Value = Vec<f64>> {
     (1u32..=max_exp).prop_flat_map(|m| {
-        proptest::collection::vec((-500i32..500).prop_map(|v| v as f64), 1usize << m)
+        proptest::collection::vec((-500i32..500).prop_map(f64::from), 1usize << m)
     })
 }
 
@@ -87,7 +87,7 @@ proptest! {
     /// optimal).
     #[test]
     fn absolute_error_scale_equivariance(data in pow2_data(3), b in 0usize..5, k in 1i32..20) {
-        let k = k as f64;
+        let k = f64::from(k);
         let scaled: Vec<f64> = data.iter().map(|&v| v * k).collect();
         let o1 = MinMaxErr::new(&data).unwrap().run(b, ErrorMetric::absolute()).objective;
         let o2 = MinMaxErr::new(&scaled).unwrap().run(b, ErrorMetric::absolute()).objective;

@@ -1,0 +1,419 @@
+//! DP-kernel benchmark: quantifies what the branch-and-bound iterative
+//! kernel with cross-run memo reuse buys over the previous PR's recursive
+//! cold-per-budget kernel on the E5 scaling workload. Results land in
+//! `BENCH_dp_kernel.json` at the repo root so the perf trajectory
+//! accumulates across PRs.
+//!
+//! Four comparisons:
+//!
+//! 1. **headline** — a descending B-sweep answered by one warm
+//!    `DedupWorkspace` with pruning, vs. the same sweep answered by the
+//!    embedded copy of the previous recursive kernel with a fresh memo
+//!    per budget (the acceptance gate requires ≥ 1.5× here);
+//! 2. **pruning** — cold `Dedup` (branch-and-bound) vs. cold
+//!    `DedupExhaustive` (same iterative kernel, pruning disabled),
+//!    including state and leaf-evaluation counts;
+//! 3. **warm vs cold** — the same pruned kernel with and without memo
+//!    reuse across the sweep;
+//! 4. **identity** — the E4 harness shape (seeded integer instances,
+//!    N ≤ 16, all budgets, both metrics): the pruned warm kernel must be
+//!    **bitwise** identical — objective bits and retained coefficient
+//!    set — to the fresh unpruned `SubsetMask` and `BottomUp` engines.
+//!
+//! Run with `cargo bench --bench dp_kernel`. Numbers are medians of
+//! several interleaved runs; the JSON records `host_cpus` and the sweep
+//! modes the E6/E7 binaries would pick on this host, because single-core
+//! containers are exactly where the sequential warm path replaces the
+//! thread-per-budget one.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use wsyn_core::json::{object, Value};
+use wsyn_datagen::{zipf, ZipfPlacement};
+use wsyn_haar::ErrorTree1d;
+use wsyn_synopsis::one_dim::{Config, DedupWorkspace, Engine, MinMaxErr, SplitSearch};
+use wsyn_synopsis::ErrorMetric;
+
+/// A structural copy of the previous PR's dedup kernel: recursive
+/// descent, `StateTable` memo keyed on `(node, budget, error-bits)`,
+/// binary-search budget splits, **no pruning and no memo reuse** — a
+/// fresh solver per budget. This is the baseline the branch-and-bound
+/// iterative kernel is measured against.
+mod baseline {
+    use wsyn_core::{pack_state_1d, StateTable};
+    use wsyn_haar::ErrorTree1d;
+
+    #[derive(Clone, Copy)]
+    struct Entry {
+        value: f64,
+        #[allow(dead_code)] // the real kernel stores traceback decisions too
+        left_allot: u32,
+        #[allow(dead_code)]
+        keep: bool,
+    }
+
+    pub struct Solver<'a> {
+        tree: &'a ErrorTree1d,
+        denom: &'a [f64],
+        n: usize,
+        memo: StateTable<Entry>,
+    }
+
+    impl<'a> Solver<'a> {
+        pub fn new(tree: &'a ErrorTree1d, denom: &'a [f64]) -> Self {
+            Self {
+                tree,
+                denom,
+                n: tree.n(),
+                memo: StateTable::new(),
+            }
+        }
+
+        pub fn solve(&mut self, id: usize, b: usize, e: f64) -> f64 {
+            if id >= self.n {
+                return e.abs() / self.denom[id - self.n];
+            }
+            let key = pack_state_1d(id as u32, b as u32, e.to_bits());
+            if let Some(entry) = self.memo.get(key) {
+                return entry.value;
+            }
+            let c = self.tree.coeff(id);
+            let entry = if id == 0 {
+                let child = if self.n == 1 { self.n } else { 1 };
+                let drop_val = self.solve(child, b, e + c);
+                let keep_val = if b >= 1 && c != 0.0 {
+                    self.solve(child, b - 1, e)
+                } else {
+                    f64::INFINITY
+                };
+                if keep_val <= drop_val {
+                    Entry {
+                        value: keep_val,
+                        keep: true,
+                        left_allot: (b - 1) as u32,
+                    }
+                } else {
+                    Entry {
+                        value: drop_val,
+                        keep: false,
+                        left_allot: b as u32,
+                    }
+                }
+            } else {
+                let (lc, rc) = (2 * id, 2 * id + 1);
+                let (drop_val, drop_b) = self.best_split(
+                    b,
+                    |s, bp| s.solve(lc, bp, e + c),
+                    |s, bp| s.solve(rc, b - bp, e - c),
+                );
+                let (keep_val, keep_b) = if b >= 1 && c != 0.0 {
+                    self.best_split(
+                        b - 1,
+                        |s, bp| s.solve(lc, bp, e),
+                        |s, bp| s.solve(rc, b - 1 - bp, e),
+                    )
+                } else {
+                    (f64::INFINITY, 0)
+                };
+                if keep_val <= drop_val {
+                    Entry {
+                        value: keep_val,
+                        keep: true,
+                        left_allot: keep_b as u32,
+                    }
+                } else {
+                    Entry {
+                        value: drop_val,
+                        keep: false,
+                        left_allot: drop_b as u32,
+                    }
+                }
+            };
+            self.memo.insert(key, entry);
+            entry.value
+        }
+
+        fn best_split(
+            &mut self,
+            budget: usize,
+            f: impl Fn(&mut Self, usize) -> f64 + Copy,
+            g: impl Fn(&mut Self, usize) -> f64 + Copy,
+        ) -> (f64, usize) {
+            let (mut lo, mut hi) = (0usize, budget);
+            while lo < hi {
+                let mid = lo + (hi - lo) / 2;
+                if f(self, mid) <= g(self, mid) {
+                    hi = mid;
+                } else {
+                    lo = mid + 1;
+                }
+            }
+            let mut best = (f64::INFINITY, 0usize);
+            for bp in [lo, lo.saturating_sub(1)] {
+                let v = f(self, bp).max(g(self, bp));
+                if v < best.0 {
+                    best = (v, bp);
+                }
+            }
+            best
+        }
+    }
+}
+
+/// Wall-clock milliseconds of one run of `f`.
+fn time_ms(mut f: impl FnMut()) -> f64 {
+    let t0 = std::time::Instant::now();
+    f();
+    t0.elapsed().as_secs_f64() * 1e3
+}
+
+fn median(times: &mut [f64]) -> f64 {
+    times.sort_by(f64::total_cmp);
+    times[times.len() / 2]
+}
+
+/// Times two alternatives interleaved — A, B, A, B, … — so slow drift in
+/// background load hits both paths equally, and reports
+/// `(median A ms, median B ms, median per-rep A/B ratio)`.
+fn compare_ms(reps: usize, mut a: impl FnMut(), mut b: impl FnMut()) -> (f64, f64, f64) {
+    let mut a_times = Vec::with_capacity(reps);
+    let mut b_times = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        a_times.push(time_ms(&mut a));
+        b_times.push(time_ms(&mut b));
+    }
+    let mut ratios: Vec<f64> = a_times.iter().zip(&b_times).map(|(&x, &y)| x / y).collect();
+    (
+        median(&mut a_times),
+        median(&mut b_times),
+        median(&mut ratios),
+    )
+}
+
+fn main() {
+    let host_cpus = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let reps = 5usize;
+
+    // ── Workload: the E5 scaling instance, descending B-sweep ─────────
+    let n = 1024usize;
+    let budgets = [64usize, 56, 48, 40, 32, 24, 16, 8];
+    let data = zipf(n, 1.0, 100_000.0, ZipfPlacement::Shuffled, 5);
+    let sanity = 1.0;
+    let metric = ErrorMetric::relative(sanity);
+    let tree = ErrorTree1d::from_data(&data).unwrap();
+    let denom: Vec<f64> = data.iter().map(|&v| v.abs().max(sanity)).collect();
+    let solver = MinMaxErr::new(&data).unwrap();
+
+    // Correctness gate before timing anything: the warm pruned kernel is
+    // bit-identical to the recursive baseline at every budget of the sweep.
+    {
+        let mut ws = DedupWorkspace::new();
+        for &b in &budgets {
+            let warm = solver.run_warm(b, metric, SplitSearch::Binary, &mut ws);
+            let base = baseline::Solver::new(&tree, &denom).solve(0, b, 0.0);
+            assert!(
+                warm.objective.to_bits() == base.to_bits(),
+                "kernel diverged from baseline at b={b}: {} vs {base}",
+                warm.objective
+            );
+        }
+    }
+
+    // ── 1. Headline: warm pruned sweep vs cold recursive baseline ─────
+    let (baseline_ms, warm_ms, headline_speedup) = compare_ms(
+        reps,
+        || {
+            for &b in &budgets {
+                let mut s = baseline::Solver::new(&tree, &denom);
+                std::hint::black_box(s.solve(0, b, 0.0));
+            }
+        },
+        || {
+            let mut ws = DedupWorkspace::new();
+            for &b in &budgets {
+                std::hint::black_box(
+                    solver
+                        .run_warm(b, metric, SplitSearch::Binary, &mut ws)
+                        .objective,
+                );
+            }
+        },
+    );
+    println!("headline B-sweep (E5, N = {n}, B = {budgets:?}):");
+    println!("  recursive cold-per-budget : {baseline_ms:.2} ms");
+    println!("  B&B + warm workspace      : {warm_ms:.2} ms  ({headline_speedup:.2}x)");
+    assert!(
+        headline_speedup >= 1.5,
+        "acceptance gate: need >= 1.5x over the recursive baseline, got {headline_speedup:.2}x"
+    );
+
+    // ── 2. Pruned vs unpruned, cold, largest budget ───────────────────
+    let b_top = budgets[0];
+    let pruned = solver.run_with(b_top, metric, Config::default());
+    let exhaustive = solver.run_with(
+        b_top,
+        metric,
+        Config {
+            engine: Engine::DedupExhaustive,
+            ..Config::default()
+        },
+    );
+    assert!(
+        pruned.objective.to_bits() == exhaustive.objective.to_bits(),
+        "pruning changed the objective"
+    );
+    let (exhaustive_ms, pruned_ms, prune_speedup) = compare_ms(
+        reps,
+        || {
+            std::hint::black_box(
+                solver
+                    .run_with(
+                        b_top,
+                        metric,
+                        Config {
+                            engine: Engine::DedupExhaustive,
+                            ..Config::default()
+                        },
+                    )
+                    .objective,
+            );
+        },
+        || {
+            std::hint::black_box(solver.run_with(b_top, metric, Config::default()).objective);
+        },
+    );
+    println!("pruning (cold, B = {b_top}):");
+    println!(
+        "  exhaustive : {exhaustive_ms:.2} ms  ({} states, {} leaf evals)",
+        exhaustive.stats.states, exhaustive.stats.leaf_evals
+    );
+    println!(
+        "  pruned     : {pruned_ms:.2} ms  ({} states, {} leaf evals)  ({prune_speedup:.2}x)",
+        pruned.stats.states, pruned.stats.leaf_evals
+    );
+
+    // ── 3. Warm vs cold, same pruned kernel, same sweep ───────────────
+    let (cold_ms, warm_sweep_ms, warm_speedup) = compare_ms(
+        reps,
+        || {
+            for &b in &budgets {
+                std::hint::black_box(solver.run(b, metric).objective);
+            }
+        },
+        || {
+            let mut ws = DedupWorkspace::new();
+            for &b in &budgets {
+                std::hint::black_box(
+                    solver
+                        .run_warm(b, metric, SplitSearch::Binary, &mut ws)
+                        .objective,
+                );
+            }
+        },
+    );
+    println!("memo reuse (pruned kernel, same sweep):");
+    println!("  cold per budget : {cold_ms:.2} ms");
+    println!("  warm workspace  : {warm_sweep_ms:.2} ms  ({warm_speedup:.2}x)");
+
+    // ── 4. Identity harness: bitwise agreement on E4-shaped instances ─
+    let mut rng = StdRng::seed_from_u64(2004);
+    let mut identity_checks = 0usize;
+    for small_n in [4usize, 8, 16] {
+        for metric in [ErrorMetric::absolute(), ErrorMetric::relative(1.0)] {
+            for _ in 0..10 {
+                let data: Vec<f64> = (0..small_n)
+                    .map(|_| f64::from(rng.gen_range(-20i32..=20)))
+                    .collect();
+                let s = MinMaxErr::new(&data).unwrap();
+                let mut ws = DedupWorkspace::new();
+                for b in (0..=small_n).rev() {
+                    let warm = s.run_warm(b, metric, SplitSearch::Binary, &mut ws);
+                    for engine in [Engine::SubsetMask, Engine::BottomUp] {
+                        let r = s.run_with(
+                            b,
+                            metric,
+                            Config {
+                                engine,
+                                split: SplitSearch::Binary,
+                            },
+                        );
+                        assert!(
+                            warm.objective.to_bits() == r.objective.to_bits()
+                                && warm.synopsis.indices() == r.synopsis.indices(),
+                            "identity violated: n={small_n} b={b} {engine:?}"
+                        );
+                        identity_checks += 1;
+                    }
+                }
+            }
+        }
+    }
+    println!("identity harness: {identity_checks} bitwise engine agreements  ✓");
+
+    let mode = if host_cpus > 1 {
+        "parallel budget rows"
+    } else {
+        "sequential warm-workspace"
+    };
+    let doc = object(vec![
+        ("bench", Value::String("dp_kernel".into())),
+        ("host_cpus", Value::Number(host_cpus as f64)),
+        ("sweep_mode", Value::String(mode.into())),
+        ("reps", Value::Number(reps as f64)),
+        (
+            "headline_b_sweep",
+            object(vec![
+                ("workload", Value::String("E5 zipf(1.0)-shuffled".into())),
+                ("n", Value::Number(n as f64)),
+                (
+                    "budgets",
+                    Value::Array(budgets.iter().map(|&b| Value::Number(b as f64)).collect()),
+                ),
+                ("recursive_cold_ms", Value::Number(baseline_ms)),
+                ("bnb_warm_ms", Value::Number(warm_ms)),
+                ("speedup", Value::Number(headline_speedup)),
+            ]),
+        ),
+        (
+            "pruning",
+            object(vec![
+                ("b", Value::Number(b_top as f64)),
+                ("exhaustive_ms", Value::Number(exhaustive_ms)),
+                ("pruned_ms", Value::Number(pruned_ms)),
+                ("speedup", Value::Number(prune_speedup)),
+                (
+                    "exhaustive_states",
+                    Value::Number(exhaustive.stats.states as f64),
+                ),
+                ("pruned_states", Value::Number(pruned.stats.states as f64)),
+                (
+                    "exhaustive_leaf_evals",
+                    Value::Number(exhaustive.stats.leaf_evals as f64),
+                ),
+                (
+                    "pruned_leaf_evals",
+                    Value::Number(pruned.stats.leaf_evals as f64),
+                ),
+            ]),
+        ),
+        (
+            "memo_reuse",
+            object(vec![
+                ("cold_ms", Value::Number(cold_ms)),
+                ("warm_ms", Value::Number(warm_sweep_ms)),
+                ("speedup", Value::Number(warm_speedup)),
+            ]),
+        ),
+        ("identity_checks", Value::Number(identity_checks as f64)),
+    ]);
+    // The bench usually runs from the workspace root under `cargo bench`;
+    // resolve the root from the manifest dir so any cwd works.
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/bench has two ancestors")
+        .to_path_buf();
+    let out = root.join("BENCH_dp_kernel.json");
+    std::fs::write(&out, doc.pretty() + "\n").expect("write BENCH_dp_kernel.json");
+    println!("wrote {}", out.display());
+}

@@ -1,8 +1,13 @@
 //! E4: Theorem 3.1 — `MinMaxErr` is optimal.
 //!
-//! Runs all three DP engines against the exhaustive-search oracle over
+//! Runs all four DP engines against the exhaustive-search oracle over
 //! hundreds of random instances (N ≤ 16, all budgets, both metrics) and
 //! reports the number of exact agreements. A single disagreement aborts.
+//! The instances are integer-valued, so every engine's arithmetic is
+//! dyadic-exact and the engines are additionally required to agree
+//! **bitwise** — identical objective bit patterns and identical retained
+//! coefficient sets, including the branch-and-bound `Dedup` engine vs.
+//! its unpruned `DedupExhaustive` twin.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -28,8 +33,14 @@ fn main() {
                 let solver = MinMaxErr::new(&data).unwrap();
                 for b in 0..=n.min(8) {
                     let opt = oracle::exhaustive_1d(solver.tree(), &data, b, metric).objective;
-                    for engine in [Engine::Dedup, Engine::SubsetMask, Engine::BottomUp] {
-                        for split in [SplitSearch::Binary, SplitSearch::Linear] {
+                    for split in [SplitSearch::Binary, SplitSearch::Linear] {
+                        let mut witness: Option<(u64, Vec<usize>)> = None;
+                        for engine in [
+                            Engine::Dedup,
+                            Engine::DedupExhaustive,
+                            Engine::SubsetMask,
+                            Engine::BottomUp,
+                        ] {
                             let r = solver.run_with(b, metric, Config { engine, split });
                             assert!(
                                 (r.objective - opt).abs() < 1e-9,
@@ -39,6 +50,20 @@ fn main() {
                             // Returned synopsis attains the objective.
                             let true_err = r.synopsis.max_error(&data, metric);
                             assert!((true_err - r.objective).abs() < 1e-9);
+                            // Bitwise identity across engines (dyadic-exact
+                            // integer data): same objective bits and same
+                            // retained coefficient set as the first engine.
+                            let bits = r.objective.to_bits();
+                            let indices = r.synopsis.indices().clone();
+                            match &witness {
+                                None => witness = Some((bits, indices)),
+                                Some((wbits, windices)) => {
+                                    assert!(
+                                        bits == *wbits && indices == *windices,
+                                        "BITWISE DIVERGENCE: n={n} b={b} {metric:?} {engine:?} {split:?} vs Dedup (data {data:?})"
+                                    );
+                                }
+                            }
                             checks += 1;
                         }
                     }

@@ -6,52 +6,71 @@
 //! Both algorithms are driven through the uniform [`Thresholder`] trait,
 //! and the independent budget rows of each sweep run on their own threads
 //! (`std::thread::scope`), joined in budget order for deterministic output.
+//! On a single-core host the sweep instead runs sequentially through
+//! [`Thresholder::threshold_reusing`] with one shared [`SolverScratch`],
+//! so the DP memo built for earlier budgets is reused by later ones; both
+//! modes produce identical numbers.
 
 use wsyn_bench::{f, md_table, workloads_1d};
 use wsyn_synopsis::one_dim::MinMaxErr;
 use wsyn_synopsis::thresholder::GreedyL2;
-use wsyn_synopsis::{prop33, ErrorMetric, Thresholder};
+use wsyn_synopsis::{prop33, ErrorMetric, SolverScratch, Thresholder};
 
 fn main() {
     let n = 256usize;
     let metric = ErrorMetric::absolute();
     let budgets = [8usize, 16, 24, 32];
+    let cores = wsyn_core::host_parallelism();
+    let parallel = cores > 1;
     println!("## E7 — max absolute error vs budget (N = {n})\n");
+    println!(
+        "sweep mode: {} (host parallelism = {cores})\n",
+        if parallel {
+            "parallel budget rows"
+        } else {
+            "sequential scratch-reusing"
+        }
+    );
     for (name, data) in workloads_1d(n) {
         println!("### workload: {name}\n");
         let det = MinMaxErr::new(&data).unwrap();
         let l2 = GreedyL2::new(&data).unwrap();
-        let rows: Vec<Vec<String>> = std::thread::scope(|scope| {
-            let handles: Vec<_> = budgets
+        let rows: Vec<Vec<String>> = if parallel {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = budgets
+                    .iter()
+                    .map(|&b| {
+                        // Uniform dispatch: the optimal DP and the baseline
+                        // answer the same (budget, metric) question through
+                        // the same interface.
+                        let solvers: [&(dyn Thresholder + Sync); 2] = [&det, &l2];
+                        let tree = l2.tree();
+                        scope.spawn(move || {
+                            let [opt, base] = solvers.map(|s| s.threshold(b, metric).unwrap());
+                            budget_row(b, opt, base, tree)
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("budget worker panicked"))
+                    .collect()
+            })
+        } else {
+            // Same uniform dispatch, but through the scratch-reusing entry
+            // point: MinMaxErr keeps its DP memo warm across budgets while
+            // GreedyL2's default implementation ignores the scratch.
+            let mut scratch = SolverScratch::new();
+            budgets
                 .iter()
                 .map(|&b| {
-                    // Uniform dispatch: the optimal DP and the baseline
-                    // answer the same (budget, metric) question through
-                    // the same interface.
                     let solvers: [&(dyn Thresholder + Sync); 2] = [&det, &l2];
-                    let tree = l2.tree();
-                    scope.spawn(move || {
-                        let [opt, base] = solvers.map(|s| s.threshold(b, metric).unwrap());
-                        let opt_syn = opt.synopsis.into_one("E7").unwrap();
-                        let bound = prop33::max_dropped_abs_1d(tree, &opt_syn);
-                        assert!(opt.objective <= base.objective + 1e-9);
-                        assert!(opt.objective >= bound - 1e-9, "Prop 3.3 violated");
-                        vec![
-                            b.to_string(),
-                            f(opt.objective),
-                            f(base.objective),
-                            f(bound),
-                            format!("{:.2}x", opt.objective / bound.max(1e-12)),
-                            format!("{:.2}x", base.objective / opt.objective.max(1e-12)),
-                        ]
-                    })
+                    let [opt, base] =
+                        solvers.map(|s| s.threshold_reusing(b, metric, &mut scratch).unwrap());
+                    budget_row(b, opt, base, l2.tree())
                 })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("budget worker panicked"))
                 .collect()
-        });
+        };
         md_table(
             &[
                 "B",
@@ -66,4 +85,24 @@ fn main() {
         println!();
     }
     println!("optimal ≤ greedy and optimal ≥ max dropped |coefficient| everywhere  ✓");
+}
+
+fn budget_row(
+    b: usize,
+    opt: wsyn_synopsis::ThresholdRun,
+    base: wsyn_synopsis::ThresholdRun,
+    tree: &wsyn_haar::ErrorTree1d,
+) -> Vec<String> {
+    let opt_syn = opt.synopsis.into_one("E7").unwrap();
+    let bound = prop33::max_dropped_abs_1d(tree, &opt_syn);
+    assert!(opt.objective <= base.objective + 1e-9);
+    assert!(opt.objective >= bound - 1e-9, "Prop 3.3 violated");
+    vec![
+        b.to_string(),
+        f(opt.objective),
+        f(base.objective),
+        f(bound),
+        format!("{:.2}x", opt.objective / bound.max(1e-12)),
+        format!("{:.2}x", base.objective / opt.objective.max(1e-12)),
+    ]
 }

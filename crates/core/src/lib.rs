@@ -16,6 +16,11 @@
 //! * [`RowArena`] / [`RowId`] — arena-allocated DP rows (a value and a
 //!   choice slice per node state) replacing per-row `Rc` clones: one
 //!   allocation pool per solve, `Copy` handles in the memo.
+//! * [`DpWorkspace`] — a reusable table+arena bundle for repeated runs:
+//!   B-sweeps keep the memo warm across budgets (states are keyed
+//!   `(node, budget, error)`, so smaller-budget runs hit existing
+//!   entries verbatim), and τ-sweeps / streaming rebuilds reuse the
+//!   allocations via a capacity-retaining `clear`.
 //! * [`DpStats`] — the unified statistics block every solver reports:
 //!   materialized states, leaf evaluations, hash probes, peak live
 //!   entries.
@@ -181,7 +186,9 @@ pub fn hash_state(key: u128) -> u64 {
 }
 
 /// An open-addressing (linear-probe) memo table keyed on a packed `u128`
-/// DP state. Insert-only by design — the DPs never remove entries.
+/// DP state. Insert-only *between clears* — the DPs never remove
+/// individual entries, but a workspace-owned table may be [`Self::clear`]ed
+/// wholesale and refilled for the next run while keeping its allocation.
 ///
 /// Keys and values live in parallel arrays so the probe walk streams a
 /// dense `u128` key array (four keys per cache line) instead of fat
@@ -335,6 +342,22 @@ impl<V> StateTable<V> {
         }
     }
 
+    /// Removes every entry while retaining the table's capacity.
+    ///
+    /// This is the reuse half of the workspace lifecycle: a cleared
+    /// table starts the next solve with zero entries but no fresh
+    /// allocation or rehash ramp-up. Between clears the table stays
+    /// insert-only, so the probe-displacement derivation in
+    /// [`Self::probes`] remains exact.
+    pub fn clear(&mut self) {
+        if self.len == 0 {
+            return;
+        }
+        self.keys.fill(EMPTY_KEY);
+        self.vals.fill_with(|| None);
+        self.len = 0;
+    }
+
     /// Iterates over `(key, value)` pairs in unspecified order.
     pub fn iter(&self) -> impl Iterator<Item = (u128, &V)> {
         self.keys
@@ -418,6 +441,132 @@ impl<V> RowArena<V> {
     pub fn elements(&self) -> usize {
         self.values.len()
     }
+
+    /// Drops every row while retaining the arena's capacity, so the
+    /// next solve reuses the same allocations. Outstanding [`RowId`]s
+    /// from before the clear are invalidated (they would index into
+    /// rows that no longer exist); the workspace lifecycle guarantees
+    /// no handle outlives the clear.
+    pub fn clear(&mut self) {
+        self.values.clear();
+        self.choices.clear();
+        self.rows.clear();
+    }
+}
+
+/// A reusable bundle of DP storage — one [`StateTable`] memo and one
+/// [`RowArena`] — that a solver threads through *repeated* runs instead
+/// of allocating fresh per call.
+///
+/// Two reuse regimes, both driven by the caller:
+///
+/// * **Warm memo** (no `clear` between runs): when consecutive runs
+///   solve the same instance at different budgets, the memo entries are
+///   shared verbatim — DP states are keyed `(node, budget, error)`, so
+///   a run at budget `B-1` hits every state a budget-`B` run already
+///   materialized. The owning solver is responsible for validating that
+///   the instance (coefficients, metric, split policy) is unchanged.
+/// * **Allocation reuse** (`clear` between runs): when the instance
+///   *does* change (τ-sweep rounding, streaming rebuild), `clear`
+///   empties both structures but keeps their capacity, skipping the
+///   rehash/growth ramp of a cold start.
+///
+/// The workspace also owns the `peak_live` statistic across its whole
+/// lifetime: once `clear` exists, "final memo size" is no longer "peak
+/// resident entries", so the peak is recorded here at clear time and
+/// combined with current occupancy on read.
+pub struct DpWorkspace<V, R = f64> {
+    table: StateTable<V>,
+    arena: RowArena<R>,
+    peak_live: usize,
+    clears: usize,
+}
+
+impl<V, R> Default for DpWorkspace<V, R> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<V, R> DpWorkspace<V, R> {
+    /// An empty workspace.
+    #[must_use]
+    pub fn new() -> Self {
+        DpWorkspace {
+            table: StateTable::new(),
+            arena: RowArena::new(),
+            peak_live: 0,
+            clears: 0,
+        }
+    }
+
+    /// The memo table.
+    #[must_use]
+    pub fn table(&self) -> &StateTable<V> {
+        &self.table
+    }
+
+    /// The memo table, mutably.
+    pub fn table_mut(&mut self) -> &mut StateTable<V> {
+        &mut self.table
+    }
+
+    /// The row arena.
+    #[must_use]
+    pub fn arena(&self) -> &RowArena<R> {
+        &self.arena
+    }
+
+    /// The row arena, mutably.
+    pub fn arena_mut(&mut self) -> &mut RowArena<R> {
+        &mut self.arena
+    }
+
+    /// Both halves mutably at once — for solvers that borrow the memo
+    /// and the arena simultaneously.
+    pub fn split_mut(&mut self) -> (&mut StateTable<V>, &mut RowArena<R>) {
+        (&mut self.table, &mut self.arena)
+    }
+
+    /// Empties the memo and the arena while retaining their capacity,
+    /// first folding the current occupancy into the lifetime peak.
+    pub fn clear(&mut self) {
+        self.peak_live = self
+            .peak_live
+            .max(self.table.len())
+            .max(self.arena.elements());
+        self.table.clear();
+        self.arena.clear();
+        self.clears += 1;
+    }
+
+    /// Peak number of live entries (memo entries or arena elements,
+    /// whichever is larger) over the workspace's whole lifetime,
+    /// including the current occupancy. This is the value solvers
+    /// should report as [`DpStats::peak_live`] for reused workspaces —
+    /// the per-run memo length understates the true high-water mark
+    /// once `clear` has run.
+    #[must_use]
+    pub fn peak_live(&self) -> usize {
+        self.peak_live
+            .max(self.table.len())
+            .max(self.arena.elements())
+    }
+
+    /// How many times [`Self::clear`] has run.
+    #[must_use]
+    pub fn clears(&self) -> usize {
+        self.clears
+    }
+}
+
+/// Number of hardware threads the host exposes, with a deterministic
+/// fallback of `1` when the query fails. Solvers use this to skip
+/// thread-spawn overhead entirely on single-core hosts, where the
+/// measured parallel path is a slowdown (BENCH_dp_core.json: 0.99×).
+#[must_use]
+pub fn host_parallelism() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
 }
 
 #[cfg(test)]
@@ -475,6 +624,77 @@ mod tests {
         assert_eq!(a.values(r3), &[] as &[f64]);
         assert_eq!(a.rows(), 3);
         assert_eq!(a.elements(), 3);
+    }
+
+    #[test]
+    fn table_clear_retains_capacity_and_resets_contents() {
+        let mut t: StateTable<u64> = StateTable::new();
+        for i in 0..1_000u64 {
+            t.insert(pack_state_1d(i as u32, 0, i), i);
+        }
+        let cap = t.keys.len();
+        t.clear();
+        assert_eq!(t.len(), 0);
+        assert!(t.is_empty());
+        assert_eq!(t.keys.len(), cap, "clear must keep capacity");
+        assert_eq!(t.probes(), 0);
+        for i in 0..1_000u64 {
+            assert_eq!(t.get(pack_state_1d(i as u32, 0, i)), None);
+        }
+        // Refill after clear behaves like a fresh table.
+        for i in 0..1_000u64 {
+            assert!(t.insert(pack_state_1d(i as u32, 1, i), i * 2).is_none());
+        }
+        assert_eq!(t.len(), 1_000);
+        assert_eq!(t.get(pack_state_1d(17, 1, 17)), Some(&34));
+    }
+
+    #[test]
+    fn arena_clear_retains_capacity() {
+        let mut a: RowArena<f64> = RowArena::new();
+        a.alloc(vec![1.0, 2.0, 3.0], vec![0, 1, 2]);
+        let cap = a.values.capacity();
+        a.clear();
+        assert_eq!(a.rows(), 0);
+        assert_eq!(a.elements(), 0);
+        assert!(a.values.capacity() >= cap.min(3));
+        let r = a.alloc(vec![9.0], vec![4]);
+        assert_eq!(a.values(r), &[9.0]);
+    }
+
+    #[test]
+    fn workspace_tracks_lifetime_peak_across_clears() {
+        let mut ws: DpWorkspace<u64> = DpWorkspace::new();
+        assert_eq!(ws.peak_live(), 0);
+        assert_eq!(ws.clears(), 0);
+        for i in 0..100u64 {
+            ws.table_mut().insert(i.into(), i);
+        }
+        assert_eq!(ws.peak_live(), 100);
+        ws.clear();
+        assert_eq!(ws.table().len(), 0);
+        assert_eq!(ws.clears(), 1);
+        // Peak survives the clear even though the table is empty now.
+        assert_eq!(ws.peak_live(), 100);
+        for i in 0..40u64 {
+            ws.table_mut().insert(i.into(), i);
+        }
+        // Smaller refill does not move the peak...
+        assert_eq!(ws.peak_live(), 100);
+        ws.arena_mut().alloc(vec![0.0; 150], vec![0; 150]);
+        // ...but a larger live set (arena elements count too) does,
+        // without needing a clear to record it.
+        assert_eq!(ws.peak_live(), 150);
+        let (table, arena) = ws.split_mut();
+        table.insert(1 << 64, 7);
+        arena.alloc(vec![1.0], vec![1]);
+        assert_eq!(ws.table().len(), 41);
+        assert_eq!(ws.arena().elements(), 151);
+    }
+
+    #[test]
+    fn host_parallelism_is_at_least_one() {
+        assert!(host_parallelism() >= 1);
     }
 
     #[test]
@@ -540,26 +760,55 @@ mod proptests {
         })
     }
 
+    /// An operation against the table: insert, lookup, or a wholesale
+    /// clear (the workspace-reuse lifecycle).
+    #[derive(Debug, Clone, Copy)]
+    enum Op {
+        Insert(u128, u64),
+        Get(u128),
+        Clear,
+    }
+
+    /// Insert/lookup arms are repeated so `Clear` stays rare (the
+    /// vendored `prop_oneof` has no weight syntax): long insert runs
+    /// are needed to cross growth boundaries between clears.
+    fn op_strategy() -> impl Strategy<Value = Op> {
+        let insert = || (key_strategy(), any::<u64>()).prop_map(|(k, v)| Op::Insert(k, v));
+        let get = || key_strategy().prop_map(Op::Get);
+        prop_oneof![
+            insert(),
+            insert(),
+            insert(),
+            insert(),
+            get(),
+            get(),
+            get(),
+            Just(Op::Clear),
+        ]
+    }
+
     proptest! {
         /// The open-addressing table is observationally equivalent to a
-        /// `BTreeMap` reference model under any interleaving of inserts
-        /// and lookups, across growth/rehash boundaries (tiny initial
-        /// capacity forces several), and its final iteration contents
-        /// match the model exactly.
+        /// `BTreeMap` reference model under any interleaving of inserts,
+        /// lookups, and clears, across growth/rehash boundaries (tiny
+        /// initial capacity forces several), and its final iteration
+        /// contents match the model exactly.
         #[test]
         fn state_table_matches_btreemap_model(
-            ops in proptest::collection::vec(
-                (key_strategy(), any::<u64>(), any::<bool>()),
-                0..400,
-            ),
+            ops in proptest::collection::vec(op_strategy(), 0..400),
         ) {
             let mut table: StateTable<u64> = StateTable::with_capacity(2);
             let mut model: BTreeMap<u128, u64> = BTreeMap::new();
-            for &(key, value, is_insert) in &ops {
-                if is_insert {
-                    prop_assert_eq!(table.insert(key, value), model.insert(key, value));
-                } else {
-                    prop_assert_eq!(table.get(key), model.get(&key));
+            for &op in &ops {
+                match op {
+                    Op::Insert(key, value) => {
+                        prop_assert_eq!(table.insert(key, value), model.insert(key, value));
+                    }
+                    Op::Get(key) => prop_assert_eq!(table.get(key), model.get(&key)),
+                    Op::Clear => {
+                        table.clear();
+                        model.clear();
+                    }
                 }
                 prop_assert_eq!(table.len(), model.len());
                 prop_assert_eq!(table.is_empty(), model.is_empty());

@@ -226,6 +226,39 @@ impl ErrorTree1d {
     pub fn leaves_under(&self, j: usize) -> std::ops::Range<usize> {
         self.support(j)
     }
+
+    /// Per-node subtree maxima of an arbitrary per-leaf value, in the
+    /// combined-array indexing of the incoming-error DPs: slot `n + i`
+    /// holds `leaf_vals[i]` itself, slot `j` (`1 <= j < n`) holds the
+    /// maximum of `leaf_vals` over `c_j`'s support, and slot `0` mirrors
+    /// slot `1` (the root's single child covers the whole domain).
+    ///
+    /// One `O(N)` bottom-up pass, computed once per metric. The
+    /// branch-and-bound kernel divides incoming error magnitudes by
+    /// these maxima to get admissible per-subtree lower bounds: a leaf's
+    /// contribution is `|e| / denom`, so dividing by the subtree's
+    /// *largest* denominator never overestimates any leaf's error.
+    ///
+    /// # Panics
+    /// Panics when `leaf_vals.len() != self.n()`.
+    #[must_use]
+    pub fn subtree_leaf_max(&self, leaf_vals: &[f64]) -> Vec<f64> {
+        let n = self.n();
+        assert_eq!(leaf_vals.len(), n, "one value per leaf");
+        let mut out = vec![0.0; 2 * n];
+        out[n..].copy_from_slice(leaf_vals);
+        for j in (1..n).rev() {
+            // Children of c_j live at combined slots 2j and 2j+1
+            // whether they are coefficients (2j < n) or leaves
+            // (slot n + (2j - n) == 2j).
+            let l = out[2 * j];
+            let r = out[2 * j + 1];
+            out[j] = if l >= r { l } else { r };
+        }
+        // Root: single child c_1 (or leaf slot 1 == n + 0 when n == 1).
+        out[0] = out[1];
+        out
+    }
 }
 
 #[cfg(test)]
@@ -381,6 +414,25 @@ mod proptests {
                 for (j, s) in t.path(i) {
                     prop_assert_eq!(t.sign(j, i), s);
                 }
+            }
+        }
+
+        #[test]
+        fn subtree_leaf_max_matches_naive_support_scan(data in pow2_vec()) {
+            let t = ErrorTree1d::from_data(&data).unwrap();
+            let n = data.len();
+            let vals: Vec<f64> = (0..n).map(|i| 1.0 + (i as f64) * 0.37 % 5.0).collect();
+            let got = t.subtree_leaf_max(&vals);
+            prop_assert_eq!(got.len(), 2 * n);
+            for (i, &v) in vals.iter().enumerate() {
+                prop_assert_eq!(got[n + i], v);
+            }
+            for (j, &combined) in got.iter().enumerate().take(n) {
+                let naive = t
+                    .support(j)
+                    .map(|i| vals[i])
+                    .fold(f64::NEG_INFINITY, f64::max);
+                prop_assert_eq!(combined, naive, "node {}", j);
             }
         }
 

@@ -31,7 +31,7 @@
 use wsyn_haar::{is_pow2, log2_exact, transform, ErrorTree1d, HaarError};
 use wsyn_synopsis::greedy::greedy_l2_1d;
 use wsyn_synopsis::one_dim::MinMaxErr;
-use wsyn_synopsis::{ErrorMetric, Synopsis1d, Thresholder};
+use wsyn_synopsis::{ErrorMetric, SolverScratch, Synopsis1d, Thresholder};
 
 /// Builds the thresholding algorithm [`AdaptiveMaxErrSynopsis`] re-runs on
 /// rebuild, from the *current* maintained data. A plain function pointer so
@@ -260,6 +260,13 @@ pub struct AdaptiveMaxErrSynopsis {
     rebuilds: u64,
     current: Synopsis1d,
     factory: ThresholderFactory,
+    /// Reusable solver storage threaded through every (re)build via
+    /// [`Thresholder::threshold_reusing`]. The factory builds a fresh
+    /// thresholder per rebuild (the data changed), so the 1-D DP
+    /// workspace inside never carries warm states across rebuilds — it
+    /// carries its *allocations*, skipping the memo growth ramp each
+    /// time.
+    scratch: SolverScratch,
 }
 
 impl AdaptiveMaxErrSynopsis {
@@ -302,7 +309,8 @@ impl AdaptiveMaxErrSynopsis {
         factory: ThresholderFactory,
     ) -> Result<Self, String> {
         assert!(tolerance >= 1.0, "tolerance must be >= 1");
-        let run = factory(tree.data())?.threshold(b, metric)?;
+        let mut scratch = SolverScratch::new();
+        let run = factory(tree.data())?.threshold_reusing(b, metric, &mut scratch)?;
         let current = run.synopsis.into_one("the rebuild policy")?;
         Ok(Self {
             tree,
@@ -314,6 +322,7 @@ impl AdaptiveMaxErrSynopsis {
             rebuilds: 0,
             current,
             factory,
+            scratch,
         })
     }
 
@@ -361,8 +370,11 @@ impl AdaptiveMaxErrSynopsis {
     /// accepted the same `(budget, metric)` at construction, so a refusal
     /// here indicates a non-deterministic factory).
     pub fn rebuild(&mut self) -> Result<(), String> {
-        let run =
-            (self.factory)(self.tree.data()).and_then(|t| t.threshold(self.b, self.metric))?;
+        let run = (self.factory)(self.tree.data())?.threshold_reusing(
+            self.b,
+            self.metric,
+            &mut self.scratch,
+        )?;
         self.built_objective = run.objective;
         self.current = run.synopsis.into_one("the rebuild policy")?;
         self.drift_abs = 0.0;

@@ -18,7 +18,7 @@
 //! extension: integer incoming errors, float values normalized at the
 //! leaves by `max{|d_i|, s}`.
 
-use wsyn_core::{narrow_u32, DpStats, RowArena, RowId, StateTable};
+use wsyn_core::{narrow_u32, DpStats, DpWorkspace, RowArena, RowId, StateTable};
 use wsyn_haar::int::{self, ScaledCoeffs};
 use wsyn_haar::nd::{NdArray, NdShape, NodeChildren};
 use wsyn_haar::{ErrorTreeNd, HaarError, NodeRef};
@@ -374,13 +374,31 @@ pub(crate) fn run_int_dp(
     forced: Option<&[bool]>,
     b: usize,
 ) -> IntDpOutcome {
+    run_int_dp_in(&mut DpWorkspace::new(), tree, coeff, forced, b)
+}
+
+/// [`run_int_dp`] running inside a caller-provided workspace. The DP
+/// states depend on the coefficient values (which differ per τ-sweep
+/// rounding), so the workspace is cleared at entry — this is allocation
+/// reuse, not warm-state reuse: repeated calls skip the memo/arena
+/// growth ramp. `stats.peak_live` reports this run's arena occupancy;
+/// sweeps get the lifetime peak by `merged()`-maxing per-run stats.
+pub(crate) fn run_int_dp_in(
+    ws: &mut DpWorkspace<RowId, i64>,
+    tree: &ErrorTreeNd,
+    coeff: &[i64],
+    forced: Option<&[bool]>,
+    b: usize,
+) -> IntDpOutcome {
+    ws.clear();
+    let (memo, arena) = ws.split_mut();
     let mut solver = IntSolver {
         tree,
         coeff,
         forced,
         b,
-        memo: StateTable::new(),
-        arena: RowArena::new(),
+        memo,
+        arena,
         states: 0,
         leaf_evals: 0,
     };
@@ -456,8 +474,10 @@ struct IntSolver<'a> {
     coeff: &'a [i64],
     forced: Option<&'a [bool]>,
     b: usize,
-    memo: StateTable<RowId>,
-    arena: RowArena<i64>,
+    /// Borrowed from the caller's [`DpWorkspace`] so repeated runs
+    /// (τ-sweeps) reuse the allocations.
+    memo: &'a mut StateTable<RowId>,
+    arena: &'a mut RowArena<i64>,
     states: usize,
     leaf_evals: usize,
 }

@@ -17,12 +17,12 @@
 //! (using Proposition 3.3's lower bound `OPT > τ'/2`). Running with
 //! `ε' = ε/4` therefore yields a `(1+ε)`-approximation.
 
-use wsyn_core::DpStats;
+use wsyn_core::{DpStats, DpWorkspace, RowId};
 use wsyn_haar::int::{self, ScaledCoeffs};
 use wsyn_haar::nd::{NdArray, NdShape};
 use wsyn_haar::{ErrorTreeNd, HaarError};
 
-use super::integer::run_int_dp;
+use super::integer::run_int_dp_in;
 use super::{NdThresholdResult, MAX_DIMS};
 use crate::metric::ErrorMetric;
 use crate::synopsis::SynopsisNd;
@@ -161,10 +161,20 @@ impl OnePlusEps {
         // additive scheme. A smaller K_τ only refines the truncation.
         let hops = ((1u64 << self.d) as f64) * f64::from(self.m.max(1));
         let kmax = i64::from(64 - (rz as u64).leading_zeros()); // ceil(log2 rz) + 1 cover
+                                                                // Thread spawn is pure overhead on a single-core host (measured
+                                                                // 0.99× in BENCH_dp_core.json) — fall back to the sequential
+                                                                // sweep there. Results are bit-identical either way.
+        let parallel = parallel && wsyn_core::host_parallelism() > 1;
         let outcomes: Vec<TauOutcome> = if parallel {
             std::thread::scope(|scope| {
                 let handles: Vec<_> = (0..=kmax)
-                    .map(|k| scope.spawn(move || self.solve_tau(b, eps_internal, hops, k)))
+                    .map(|k| {
+                        // Workspace reuse is per-thread; each τ runs on
+                        // its own thread, so each gets a fresh one.
+                        scope.spawn(move || {
+                            self.solve_tau(&mut DpWorkspace::new(), b, eps_internal, hops, k)
+                        })
+                    })
                     .collect();
                 handles
                     .into_iter()
@@ -172,8 +182,12 @@ impl OnePlusEps {
                     .collect()
             })
         } else {
+            // One workspace threaded through the whole sweep: each τ's
+            // DP has different truncated coefficients (no warm states),
+            // but the memo/arena allocations are reused across all τ.
+            let mut ws = DpWorkspace::new();
             (0..=kmax)
-                .map(|k| self.solve_tau(b, eps_internal, hops, k))
+                .map(|k| self.solve_tau(&mut ws, b, eps_internal, hops, k))
                 .collect()
         };
         // Deterministic merge in ascending-τ order; strict `<` keeps the
@@ -208,8 +222,18 @@ impl OnePlusEps {
         )
     }
 
-    /// Solves the truncated DP for one τ = 2^k.
-    fn solve_tau(&self, b: usize, eps_internal: f64, hops: f64, k: i64) -> TauOutcome {
+    /// Solves the truncated DP for one τ = 2^k, reusing `ws`'s
+    /// allocations (the workspace is cleared inside `run_int_dp_in` —
+    /// truncated coefficients differ per τ, so only capacity carries
+    /// over).
+    fn solve_tau(
+        &self,
+        ws: &mut DpWorkspace<RowId, i64>,
+        b: usize,
+        eps_internal: f64,
+        hops: f64,
+        k: i64,
+    ) -> TauOutcome {
         let tau = 1i64 << k;
         let k_tau = (eps_internal * tau as f64 / hops).max(f64::MIN_POSITIVE);
         let forced: Vec<bool> = self.scaled.coeffs.iter().map(|&c| c.abs() > tau).collect();
@@ -232,7 +256,7 @@ impl OnePlusEps {
             .iter()
             .map(|&c| (c as f64 / k_tau).floor() as i64)
             .collect();
-        let outcome = run_int_dp(&self.tree, &truncated, Some(&forced), b);
+        let outcome = run_int_dp_in(ws, &self.tree, &truncated, Some(&forced), b);
         let Some(dp_val) = outcome.value else {
             return TauOutcome {
                 report: TauReport {

@@ -9,7 +9,7 @@
 //! `S ⊆ path(c_j)` of ancestors retained in the synopsis; tabulating all
 //! `O(2^depth)` subsets per node yields `O(N² B log B)` time.
 //!
-//! Three interchangeable engines are provided (all provably return the same
+//! Four interchangeable engines are provided (all provably return the same
 //! optimal objective; tests assert this):
 //!
 //! * [`Engine::Dedup`] *(default)* — memoizes on the **incoming error**
@@ -19,7 +19,12 @@
 //!   equal `e` are *identical* subproblems and collapse into one state.
 //!   This is a pure deduplication of the paper's table (never more states,
 //!   often far fewer) and is also precisely the state the paper itself uses
-//!   for its multi-dimensional DPs in §3.2.
+//!   for its multi-dimensional DPs in §3.2. Runs as an iterative
+//!   (explicit-stack) kernel with certified-lossless branch-and-bound
+//!   pruning, and can reuse its memo across runs via [`DedupWorkspace`]
+//!   (see [`MinMaxErr::run_warm`]).
+//! * [`Engine::DedupExhaustive`] — the same kernel with pruning disabled;
+//!   ablation baseline asserting the pruned kernel's losslessness.
 //! * [`Engine::SubsetMask`] — the paper-faithful formulation, memoizing on
 //!   the ancestor-subset bitmask exactly as written in Figure 3. Quadratic
 //!   state blow-up; intended for validation and ablation.
@@ -45,6 +50,8 @@ mod bottom_up;
 mod dedup;
 mod subset;
 
+pub use dedup::DedupWorkspace;
+
 use std::sync::{Arc, Mutex};
 
 use wsyn_haar::{ErrorTree1d, HaarError};
@@ -55,9 +62,14 @@ use crate::synopsis::Synopsis1d;
 /// Which DP engine to run (see module docs).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Engine {
-    /// Incoming-error memoization (default; fastest).
+    /// Incoming-error memoization with branch-and-bound pruning
+    /// (default; fastest).
     #[default]
     Dedup,
+    /// The same iterative kernel as [`Engine::Dedup`] with pruning
+    /// disabled — the ablation baseline certifying that pruning is
+    /// lossless (identical objectives, synopses, and memo entries).
+    DedupExhaustive,
     /// Paper-faithful ancestor-subset bitmask tabulation.
     SubsetMask,
     /// Low-working-memory bottom-up tables with recompute traceback.
@@ -116,9 +128,27 @@ pub struct ThresholdResult {
 pub struct MinMaxErr {
     tree: ErrorTree1d,
     data: Vec<f64>,
-    /// Per-metric leaf-denominator vectors, computed once per metric and
-    /// shared across runs (B-sweeps re-run the same solver many times).
-    denom_cache: Mutex<Vec<(ErrorMetric, Arc<Vec<f64>>)>>,
+    /// Per-metric DP tables (leaf denominators + branch-and-bound
+    /// subtree bounds), computed once per metric and shared across runs
+    /// (B-sweeps re-run the same solver many times). The cached `Arc` is
+    /// also the identity token [`DedupWorkspace`] uses to validate warm
+    /// memos — one allocation per `(solver, metric)`, so pointer
+    /// equality implies same instance.
+    denom_cache: Mutex<Vec<(ErrorMetric, Arc<MetricTables>)>>,
+}
+
+/// Per-metric tables shared by the DP engines.
+#[derive(Debug)]
+pub(crate) struct MetricTables {
+    /// Per-leaf error denominator (`max{|d_i|, s}` for relative error,
+    /// `1` for absolute).
+    pub(crate) denom: Vec<f64>,
+    /// Per-node subtree *maximum* of `denom`, in combined-slot indexing
+    /// (see [`ErrorTree1d::subtree_leaf_max`]) — the admissible
+    /// branch-and-bound denominator: dividing an incoming error by the
+    /// subtree's largest leaf denominator never overestimates the
+    /// subtree optimum (DESIGN.md §9).
+    pub(crate) bound: Vec<f64>,
 }
 
 impl Clone for MinMaxErr {
@@ -184,40 +214,85 @@ impl MinMaxErr {
     /// objective (Theorem 3.1's equality — the deterministic guarantee
     /// is the *actual* error, not a bound).
     pub fn run_with(&self, b: usize, metric: ErrorMetric, config: Config) -> ThresholdResult {
-        let denom = self.denom(metric);
+        let tables = self.tables(metric);
         let result = match config.engine {
-            Engine::Dedup => dedup::run(&self.tree, &denom, b, config.split),
-            Engine::SubsetMask => subset::run(&self.tree, &self.data, &denom, b, config.split),
-            Engine::BottomUp => bottom_up::run(&self.tree, &denom, b, config.split),
+            Engine::Dedup | Engine::DedupExhaustive => {
+                // A fresh workspace per call keeps `run_with` cold by
+                // contract: ablation stats (states, leaf evals) describe
+                // exactly this run. Warm reuse is opt-in via `run_warm`.
+                let mut ws = DedupWorkspace::new();
+                let prune = matches!(config.engine, Engine::Dedup);
+                dedup::run(&self.tree, &tables, b, config.split, prune, &mut ws)
+            }
+            Engine::SubsetMask => {
+                subset::run(&self.tree, &self.data, &tables.denom, b, config.split)
+            }
+            Engine::BottomUp => bottom_up::run(&self.tree, &tables.denom, b, config.split),
         };
+        self.certify(&result, b, metric);
+        result
+    }
+
+    /// Runs the default pruned dedup kernel *warm*: the memo inside `ws`
+    /// is reused verbatim when `ws` was last used for this same solver,
+    /// metric, and split (otherwise it is cleared, retaining its
+    /// allocations). Sweeping budgets through one workspace makes each
+    /// run after the first nearly free — DP states are keyed
+    /// `(node, budget, e)` independently of the top-level budget, so any
+    /// sweep order is sound and descending order reuses the most.
+    ///
+    /// Stats caveat: `states`/`probes` describe the *accumulated*
+    /// resident memo and `peak_live` the workspace lifetime peak, not a
+    /// single cold run; `leaf_evals` counts this run only.
+    pub fn run_warm(
+        &self,
+        b: usize,
+        metric: ErrorMetric,
+        split: SplitSearch,
+        ws: &mut DedupWorkspace,
+    ) -> ThresholdResult {
+        let tables = self.tables(metric);
+        let result = dedup::run(&self.tree, &tables, b, split, true, ws);
+        self.certify(&result, b, metric);
+        result
+    }
+
+    /// Debug-build certification shared by every run path: the synopsis
+    /// the trace emits is reconstructed and its achieved maximum error
+    /// must equal the DP objective (Theorem 3.1's equality — the
+    /// deterministic guarantee is the *actual* error, not a bound).
+    fn certify(&self, result: &ThresholdResult, b: usize, metric: ErrorMetric) {
         debug_assert!(
             {
                 let achieved = result.synopsis.max_error(&self.data, metric);
                 (achieved - result.objective).abs() <= 1e-9 * (1.0 + result.objective.abs())
             },
             "MinMaxErr certification failed: reconstructed max error {} != DP objective {} \
-             (b = {b}, {metric:?}, {config:?})",
+             (b = {b}, {metric:?})",
             result.synopsis.max_error(&self.data, metric),
             result.objective,
         );
-        result
+        // Release builds: parameters are otherwise unused.
+        let _ = (b, metric);
     }
 
-    /// The per-leaf denominator vector for `metric`, computed once and
-    /// cached (metrics are few: a linear scan beats hashing here).
-    fn denom(&self, metric: ErrorMetric) -> Arc<Vec<f64>> {
+    /// The per-metric DP tables, computed once and cached (metrics are
+    /// few: a linear scan beats hashing here).
+    fn tables(&self, metric: ErrorMetric) -> Arc<MetricTables> {
         // The cache is append-only, so a poisoned lock still holds a
         // consistent value; recover it instead of propagating the panic.
         let mut cache = self
             .denom_cache
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner);
-        if let Some((_, d)) = cache.iter().find(|(m, _)| *m == metric) {
-            return Arc::clone(d);
+        if let Some((_, t)) = cache.iter().find(|(m, _)| *m == metric) {
+            return Arc::clone(t);
         }
-        let d: Arc<Vec<f64>> = Arc::new(self.data.iter().map(|&v| metric.denom(v)).collect());
-        cache.push((metric, Arc::clone(&d)));
-        d
+        let denom: Vec<f64> = self.data.iter().map(|&v| metric.denom(v)).collect();
+        let bound = self.tree.subtree_leaf_max(&denom);
+        let t = Arc::new(MetricTables { denom, bound });
+        cache.push((metric, Arc::clone(&t)));
+        t
     }
 }
 
@@ -304,7 +379,12 @@ mod tests {
 
     fn configs() -> Vec<Config> {
         let mut out = Vec::new();
-        for engine in [Engine::Dedup, Engine::SubsetMask, Engine::BottomUp] {
+        for engine in [
+            Engine::Dedup,
+            Engine::DedupExhaustive,
+            Engine::SubsetMask,
+            Engine::BottomUp,
+        ] {
             for split in [SplitSearch::Binary, SplitSearch::Linear] {
                 out.push(Config { engine, split });
             }
@@ -476,28 +556,115 @@ mod tests {
         let data: Vec<f64> = (0..16).map(|i| f64::from((i * 7) % 5)).collect();
         let solver = MinMaxErr::new(&data).unwrap();
         let metric = ErrorMetric::absolute();
-        let dedup = solver.run_with(
-            4,
-            metric,
-            Config {
-                engine: Engine::Dedup,
-                split: SplitSearch::Linear,
-            },
-        );
-        let subset = solver.run_with(
-            4,
-            metric,
-            Config {
-                engine: Engine::SubsetMask,
-                split: SplitSearch::Linear,
-            },
+        let run = |engine| {
+            solver.run_with(
+                4,
+                metric,
+                Config {
+                    engine,
+                    split: SplitSearch::Linear,
+                },
+            )
+        };
+        let dedup = run(Engine::Dedup);
+        let exhaustive = run(Engine::DedupExhaustive);
+        let subset = run(Engine::SubsetMask);
+        // Pruning can only skip work relative to the exhaustive kernel,
+        // which in turn only merges (never adds) paper states.
+        assert!(
+            dedup.stats.states <= exhaustive.stats.states,
+            "pruned {} vs exhaustive {}",
+            dedup.stats.states,
+            exhaustive.stats.states
         );
         assert!(
-            dedup.stats.states <= subset.stats.states,
+            dedup.stats.leaf_evals <= exhaustive.stats.leaf_evals,
+            "pruned {} vs exhaustive {} leaf evals",
+            dedup.stats.leaf_evals,
+            exhaustive.stats.leaf_evals
+        );
+        assert!(
+            exhaustive.stats.states <= subset.stats.states,
             "dedup {} vs subset {}",
-            dedup.stats.states,
+            exhaustive.stats.states,
             subset.stats.states
         );
+    }
+
+    /// Warm B-sweeps through one workspace return bit-identical results
+    /// to cold runs, in both sweep orders, for both metrics — and the
+    /// workspace's lifetime `peak_live` dominates every per-run memo.
+    #[test]
+    fn warm_sweep_is_bit_identical_to_cold_runs() {
+        let data: Vec<f64> = (0..32)
+            .map(|i| f64::from((i * 13 + 5) % 17) - 4.0)
+            .collect();
+        let solver = MinMaxErr::new(&data).unwrap();
+        for metric in [ErrorMetric::absolute(), ErrorMetric::relative(1.0)] {
+            for descending in [true, false] {
+                let mut budgets: Vec<usize> = (0..=12).collect();
+                if descending {
+                    budgets.reverse();
+                }
+                let mut ws = DedupWorkspace::new();
+                let mut max_states = 0usize;
+                for &b in &budgets {
+                    let warm = solver.run_warm(b, metric, SplitSearch::Binary, &mut ws);
+                    let cold = solver.run(b, metric);
+                    assert_eq!(
+                        warm.objective.to_bits(),
+                        cold.objective.to_bits(),
+                        "b={b} {metric:?} descending={descending}"
+                    );
+                    assert_eq!(
+                        warm.synopsis.indices(),
+                        cold.synopsis.indices(),
+                        "b={b} {metric:?} descending={descending}"
+                    );
+                    max_states = max_states.max(warm.stats.states);
+                    assert!(
+                        warm.stats.peak_live >= warm.stats.states,
+                        "peak_live must dominate the resident memo"
+                    );
+                }
+                // No clear happened during the sweep (same token).
+                assert_eq!(ws.clears(), 0, "{metric:?} descending={descending}");
+                assert_eq!(ws.peak_live(), max_states);
+            }
+        }
+    }
+
+    /// Switching metrics invalidates the workspace token: the memo is
+    /// cleared (allocation reuse, not state reuse) and results stay
+    /// correct; `peak_live` keeps the high-water mark across the clear.
+    #[test]
+    fn workspace_clears_on_metric_switch_and_tracks_lifetime_peak() {
+        let data: Vec<f64> = (0..16).map(|i| f64::from((i * 7 + 3) % 11)).collect();
+        let solver = MinMaxErr::new(&data).unwrap();
+        let mut ws = DedupWorkspace::new();
+        let r_abs = solver.run_warm(6, ErrorMetric::absolute(), SplitSearch::Binary, &mut ws);
+        let abs_states = ws.resident();
+        assert!(abs_states > 0);
+        assert_eq!(ws.clears(), 0);
+        let r_rel = solver.run_warm(6, ErrorMetric::relative(1.0), SplitSearch::Binary, &mut ws);
+        assert_eq!(ws.clears(), 1, "metric switch must clear the memo");
+        assert!(ws.peak_live() >= abs_states);
+        assert!(r_rel.stats.peak_live >= abs_states);
+        // Same-metric cold runs agree with both warm results.
+        assert_eq!(
+            r_abs.objective.to_bits(),
+            solver.run(6, ErrorMetric::absolute()).objective.to_bits()
+        );
+        assert_eq!(
+            r_rel.objective.to_bits(),
+            solver
+                .run(6, ErrorMetric::relative(1.0))
+                .objective
+                .to_bits()
+        );
+        // Split-policy switch is also a token change.
+        solver.run_warm(6, ErrorMetric::relative(1.0), SplitSearch::Linear, &mut ws);
+        assert_eq!(ws.clears(), 2, "split switch must clear the memo");
     }
 
     #[test]

@@ -65,7 +65,9 @@ pub(super) fn run(
         states: solver.memo.len(),
         leaf_evals: solver.leaf_evals,
         probes: solver.memo.probes(),
-        // Insert-only memo: final size == peak resident entries.
+        // This engine allocates a fresh memo per run and never clears
+        // it, so its final size really is its peak. (The dedup kernel's
+        // reusable workspace tracks the peak across clears instead.)
         peak_live: solver.memo.len(),
     };
     ThresholdResult {

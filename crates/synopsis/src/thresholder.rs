@@ -23,7 +23,7 @@ use crate::metric::ErrorMetric;
 use crate::multi_dim::additive::AdditiveScheme;
 use crate::multi_dim::integer::IntegerExact;
 use crate::multi_dim::oneplus::OnePlusEps;
-use crate::one_dim::MinMaxErr;
+use crate::one_dim::{DedupWorkspace, MinMaxErr, SplitSearch};
 use crate::synopsis::{Synopsis1d, SynopsisNd};
 
 /// Default approximation parameter used when an ε-parameterized scheme is
@@ -96,6 +96,52 @@ pub trait Thresholder {
     /// A human-readable message when this algorithm cannot serve the
     /// requested `(budget, metric)` combination.
     fn threshold(&self, b: usize, metric: ErrorMetric) -> Result<ThresholdRun, String>;
+
+    /// [`Thresholder::threshold`] with caller-provided reusable solver
+    /// storage. Callers that run many budgets or rebuilds (B-sweeps,
+    /// streaming) thread one [`SolverScratch`] through every call;
+    /// solvers with reusable state override this to exploit it (the
+    /// optimal 1-D DP reuses its warm memo / allocations), and the
+    /// default simply ignores the scratch. Results are identical to
+    /// [`Thresholder::threshold`] by contract.
+    ///
+    /// # Errors
+    /// Same conditions as [`Thresholder::threshold`].
+    fn threshold_reusing(
+        &self,
+        b: usize,
+        metric: ErrorMetric,
+        scratch: &mut SolverScratch,
+    ) -> Result<ThresholdRun, String> {
+        let _ = scratch;
+        self.threshold(b, metric)
+    }
+}
+
+/// Reusable solver storage for [`Thresholder::threshold_reusing`]:
+/// opaque scratch space a caller threads through repeated runs so
+/// solvers can keep warm memos / allocations between them. One scratch
+/// serves any mix of solvers — each solver validates the parts it uses
+/// (the 1-D DP workspace self-clears when the instance changes).
+#[derive(Default)]
+pub struct SolverScratch {
+    pub(crate) one_dim: DedupWorkspace,
+}
+
+impl SolverScratch {
+    /// An empty scratch.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl std::fmt::Debug for SolverScratch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SolverScratch")
+            .field("one_dim", &self.one_dim)
+            .finish()
+    }
 }
 
 impl Thresholder for MinMaxErr {
@@ -109,6 +155,20 @@ impl Thresholder for MinMaxErr {
 
     fn threshold(&self, b: usize, metric: ErrorMetric) -> Result<ThresholdRun, String> {
         let r = self.run(b, metric);
+        Ok(ThresholdRun {
+            synopsis: AnySynopsis::One(r.synopsis),
+            objective: r.objective,
+            stats: r.stats,
+        })
+    }
+
+    fn threshold_reusing(
+        &self,
+        b: usize,
+        metric: ErrorMetric,
+        scratch: &mut SolverScratch,
+    ) -> Result<ThresholdRun, String> {
+        let r = self.run_warm(b, metric, SplitSearch::default(), &mut scratch.one_dim);
         Ok(ThresholdRun {
             synopsis: AnySynopsis::One(r.synopsis),
             objective: r.objective,
@@ -271,6 +331,37 @@ mod tests {
             assert!(r.synopsis.len() <= 4, "{} overspent", s.name());
             assert!(r.objective.is_finite());
             assert!(r.synopsis.into_one("x").is_err(), "{} is N-D", s.name());
+        }
+    }
+
+    /// `threshold_reusing` must be result-identical to `threshold` for
+    /// every solver — bit-identical for the warm-memo MinMaxErr path,
+    /// across budgets, metrics, and a shared scratch.
+    #[test]
+    fn threshold_reusing_matches_threshold() {
+        let solvers: Vec<Box<dyn Thresholder>> = vec![
+            Box::new(MinMaxErr::new(&EXAMPLE).unwrap()),
+            Box::new(GreedyL2::new(&EXAMPLE).unwrap()),
+        ];
+        let mut scratch = SolverScratch::new();
+        for metric in [ErrorMetric::absolute(), ErrorMetric::relative(1.0)] {
+            for s in &solvers {
+                for b in (0..=8).rev() {
+                    let cold = s.threshold(b, metric).unwrap();
+                    let warm = s.threshold_reusing(b, metric, &mut scratch).unwrap();
+                    assert_eq!(
+                        warm.objective.to_bits(),
+                        cold.objective.to_bits(),
+                        "{} b={b} {metric:?}",
+                        s.name()
+                    );
+                    let (warm1, cold1) = (
+                        warm.synopsis.into_one("t").unwrap(),
+                        cold.synopsis.into_one("t").unwrap(),
+                    );
+                    assert_eq!(warm1.indices(), cold1.indices());
+                }
+            }
         }
     }
 

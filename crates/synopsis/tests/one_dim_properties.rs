@@ -3,11 +3,20 @@
 //! invariants — on fully random inputs via proptest.
 
 use proptest::prelude::*;
-use wsyn_synopsis::one_dim::{Config, Engine, MinMaxErr, SplitSearch};
+use wsyn_synopsis::one_dim::{Config, DedupWorkspace, Engine, MinMaxErr, SplitSearch};
 use wsyn_synopsis::{oracle, ErrorMetric};
 
 fn pow2_data() -> impl Strategy<Value = Vec<f64>> {
     (1u32..=4).prop_flat_map(|m| {
+        proptest::collection::vec((-50i32..=50).prop_map(f64::from), 1usize << m)
+    })
+}
+
+/// Integer-valued signals up to `N = 64`. Integer data keeps every
+/// engine's float computations dyadic-exact, so cross-engine equality
+/// can be asserted on exact bit patterns, not tolerances.
+fn pow2_data_large() -> impl Strategy<Value = Vec<f64>> {
+    (1u32..=6).prop_flat_map(|m| {
         proptest::collection::vec((-50i32..=50).prop_map(f64::from), 1usize << m)
     })
 }
@@ -102,5 +111,68 @@ proptest! {
         let o1 = MinMaxErr::new(&data).unwrap().run(b, metric).objective;
         let o2 = MinMaxErr::new(&doubled).unwrap().run(b, metric).objective;
         prop_assert!((o1 - o2).abs() < 1e-9, "{o1} vs doubled {o2}");
+    }
+}
+
+proptest! {
+    // Fewer cases: each one sweeps all budgets through three engines.
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The pruned, workspace-reused Dedup kernel returns **bit-identical**
+    /// objectives and retained sets vs. the fresh unpruned SubsetMask and
+    /// BottomUp engines, across both metrics, all budgets `0..=N`, and
+    /// both sweep orders (warm-memo soundness is sweep-order independent).
+    /// SubsetMask's quadratic state blow-up makes it the expensive
+    /// reference, so it checks a budget sample once `N > 16`; BottomUp
+    /// checks every budget.
+    #[test]
+    fn warm_pruned_dedup_bit_identical_to_fresh_unpruned_engines(
+        data in pow2_data_large(),
+        metric in metrics(),
+        descending in any::<bool>(),
+        split_linear in any::<bool>(),
+    ) {
+        let split = if split_linear { SplitSearch::Linear } else { SplitSearch::Binary };
+        let solver = MinMaxErr::new(&data).unwrap();
+        let n = data.len();
+        let mut budgets: Vec<usize> = (0..=n).collect();
+        if descending {
+            budgets.reverse();
+        }
+        let mut ws = DedupWorkspace::new();
+        for &b in &budgets {
+            let warm = solver.run_warm(b, metric, split, &mut ws);
+            let bottom_up = solver.run_with(b, metric, Config { engine: Engine::BottomUp, split });
+            prop_assert_eq!(
+                warm.objective.to_bits(),
+                bottom_up.objective.to_bits(),
+                "objective vs BottomUp: n={} b={} {:?} desc={}",
+                n, b, metric, descending
+            );
+            prop_assert_eq!(
+                warm.synopsis.indices(),
+                bottom_up.synopsis.indices(),
+                "retained set vs BottomUp: n={} b={} {:?} desc={}",
+                n, b, metric, descending
+            );
+            if n <= 16 || b % 7 == 0 {
+                let subset =
+                    solver.run_with(b, metric, Config { engine: Engine::SubsetMask, split });
+                prop_assert_eq!(
+                    warm.objective.to_bits(),
+                    subset.objective.to_bits(),
+                    "objective vs SubsetMask: n={} b={} {:?} desc={}",
+                    n, b, metric, descending
+                );
+                prop_assert_eq!(
+                    warm.synopsis.indices(),
+                    subset.synopsis.indices(),
+                    "retained set vs SubsetMask: n={} b={} {:?} desc={}",
+                    n, b, metric, descending
+                );
+            }
+        }
+        // The whole sweep shared one warm memo: no clears happened.
+        prop_assert_eq!(ws.clears(), 0);
     }
 }

@@ -20,7 +20,9 @@
 //! Scoping decisions (computed by [`Scope::classify`]):
 //!
 //! * Solver crates are `core`, `synopsis` (home of `MinMaxErr` and the
-//!   multi-dimensional schemes), `haar`, and `prob`.
+//!   multi-dimensional schemes), `haar`, `prob`, and `conform` (the
+//!   conformance harness certifies solver determinism, so it is held to
+//!   the same determinism bar — in scope, not exempt).
 //! * `#[cfg(test)]` modules, `#[test]` functions, and `tests/` /
 //!   `benches/` / `examples/` trees are exempt from `float-eq`,
 //!   `hash-collections`, `no-panic`, and `lossy-cast`: exact float
@@ -150,7 +152,7 @@ pub struct Scope {
 
 /// Crates whose solver paths carry the paper's deterministic guarantees.
 /// (`MinMaxErr` and the multi-dimensional schemes live in `synopsis`.)
-pub const SOLVER_CRATES: &[&str] = &["core", "synopsis", "haar", "prob"];
+pub const SOLVER_CRATES: &[&str] = &["core", "synopsis", "haar", "prob", "conform"];
 
 impl Scope {
     /// A scope with nothing enabled (vendor, non-Rust trees).
@@ -635,6 +637,8 @@ mod tests {
         assert!(s.solver && s.wall_clock && s.no_panic && s.safety && !s.test_path);
         let s = Scope::classify("crates/aqp/src/lib.rs");
         assert!(!s.solver && s.wall_clock && s.no_panic);
+        let s = Scope::classify("crates/conform/src/lib.rs");
+        assert!(s.solver && s.wall_clock && s.no_panic && !s.test_path);
         let s = Scope::classify("crates/bench/src/bin/exp_e5_scaling.rs");
         assert!(!s.wall_clock && !s.no_panic && s.safety);
         let s = Scope::classify("crates/cli/src/main.rs");

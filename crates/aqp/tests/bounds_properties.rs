@@ -1,0 +1,124 @@
+//! Property tests for `wsyn_aqp::bounds`: on random instances, the
+//! per-answer intervals derived from a synopsis's guaranteed maximum
+//! error must always contain the exact answer — for point queries under
+//! both metrics and for range sums of every span. This is the paper's
+//! headline claim for deterministic maximum-error synopses, checked
+//! against the reconstruction rather than trusted from the DP.
+
+use proptest::prelude::*;
+use wsyn_aqp::bounds::{point_absolute, point_relative, range_sum_absolute};
+use wsyn_aqp::QueryEngine1d;
+use wsyn_synopsis::one_dim::MinMaxErr;
+use wsyn_synopsis::ErrorMetric;
+
+/// Power-of-two-length integer-valued data (dyadic-exact arithmetic, so
+/// interval containment failures are genuine logic bugs, not rounding).
+fn pow2_data() -> impl Strategy<Value = Vec<f64>> {
+    (2u32..=5)
+        .prop_flat_map(|log_n| proptest::collection::vec(-50i32..=50, 1usize << log_n))
+        .prop_map(|v| v.into_iter().map(f64::from).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn absolute_point_bounds_contain_truth(
+        data in pow2_data(),
+        b_frac in 0.0f64..=1.0,
+    ) {
+        let n = data.len();
+        let b = ((n as f64) * b_frac) as usize;
+        let solver = MinMaxErr::new(&data).unwrap();
+        let r = solver.run(b, ErrorMetric::absolute());
+        let recon = r.synopsis.reconstruct();
+        for (i, (&d, &est)) in data.iter().zip(&recon).enumerate() {
+            let iv = point_absolute(est, r.objective);
+            prop_assert!(iv.lo <= iv.hi);
+            prop_assert!(
+                iv.contains(d),
+                "i={} b={}: {:?} excludes true value {} (est {}, e {})",
+                i, b, iv, d, est, r.objective
+            );
+        }
+    }
+
+    #[test]
+    fn relative_point_bounds_contain_truth(
+        data in pow2_data(),
+        b_frac in 0.0f64..=1.0,
+        s in prop_oneof![Just(0.5), Just(1.0), Just(4.0)],
+    ) {
+        let n = data.len();
+        let b = ((n as f64) * b_frac) as usize;
+        let solver = MinMaxErr::new(&data).unwrap();
+        let r = solver.run(b, ErrorMetric::relative(s));
+        let recon = r.synopsis.reconstruct();
+        for (i, (&d, &est)) in data.iter().zip(&recon).enumerate() {
+            let iv = point_relative(est, r.objective, s);
+            prop_assert!(
+                iv.contains(d),
+                "i={} b={} s={}: {:?} excludes true value {} (est {}, rho {})",
+                i, b, s, iv, d, est, r.objective
+            );
+        }
+    }
+
+    #[test]
+    fn range_sum_bounds_contain_truth(
+        data in pow2_data(),
+        b_frac in 0.0f64..=1.0,
+        span in (0.0f64..=1.0, 0.0f64..=1.0),
+    ) {
+        let n = data.len();
+        let b = ((n as f64) * b_frac) as usize;
+        let solver = MinMaxErr::new(&data).unwrap();
+        let r = solver.run(b, ErrorMetric::absolute());
+        let engine = QueryEngine1d::new(r.synopsis.clone());
+        // One arbitrary range plus every prefix — prefixes exercise the
+        // coefficient-domain walk's boundary cases at cost O(n).
+        let lo = ((n as f64) * span.0) as usize % n;
+        let hi = lo + (((n - lo) as f64) * span.1) as usize;
+        let mut ranges: Vec<(usize, usize)> = (0..=n).map(|e| (0, e)).collect();
+        ranges.push((lo, hi.min(n)));
+        for (lo, hi) in ranges {
+            let est = engine.range_sum(lo..hi);
+            let exact: f64 = data[lo..hi].iter().sum();
+            let iv = range_sum_absolute(est, r.objective, hi - lo);
+            prop_assert!(
+                iv.contains(exact),
+                "[{}, {}) b={}: {:?} excludes exact sum {} (est {})",
+                lo, hi, b, iv, exact, est
+            );
+        }
+    }
+
+    #[test]
+    fn range_sum_bounds_scale_with_span(
+        est in -100.0f64..=100.0,
+        e in 0.0f64..=10.0,
+        len in 0usize..=64,
+    ) {
+        // Structural invariants of the interval arithmetic itself.
+        let iv = range_sum_absolute(est, e, len);
+        prop_assert!(iv.contains(est));
+        prop_assert!((iv.width() - 2.0 * e * len as f64).abs() < 1e-9);
+        let wider = range_sum_absolute(est, e, len + 1);
+        prop_assert!(wider.width() >= iv.width());
+    }
+
+    #[test]
+    fn relative_bounds_tighten_with_rho(
+        est in -50.0f64..=50.0,
+        s in prop_oneof![Just(0.5), Just(1.0), Just(2.0)],
+        rho_lo in 0.0f64..0.5,
+        extra in 0.01f64..0.4,
+    ) {
+        // A weaker guarantee can only widen the interval, and every
+        // interval contains its own estimate projected to feasibility.
+        let tight = point_relative(est, rho_lo, s);
+        let loose = point_relative(est, rho_lo + extra, s);
+        prop_assert!(loose.lo <= tight.lo + 1e-9);
+        prop_assert!(loose.hi >= tight.hi - 1e-9);
+    }
+}

@@ -33,14 +33,9 @@ fn main() {
                 let solver = MinMaxErr::new(&data).unwrap();
                 for b in 0..=n.min(8) {
                     let opt = oracle::exhaustive_1d(solver.tree(), &data, b, metric).objective;
-                    for split in [SplitSearch::Binary, SplitSearch::Linear] {
+                    for split in SplitSearch::ALL {
                         let mut witness: Option<(u64, Vec<usize>)> = None;
-                        for engine in [
-                            Engine::Dedup,
-                            Engine::DedupExhaustive,
-                            Engine::SubsetMask,
-                            Engine::BottomUp,
-                        ] {
+                        for engine in Engine::ALL {
                             let r = solver.run_with(b, metric, Config { engine, split });
                             assert!(
                                 (r.objective - opt).abs() < 1e-9,

@@ -1,0 +1,72 @@
+//! # wsyn-conform — differential conformance harness
+//!
+//! PRs 1–3 unified six thresholding engines on one DP substrate; this
+//! crate certifies that the substrate actually delivers the paper's
+//! guarantees, instance by instance, instead of trusting spot checks:
+//!
+//! * [`gen`] — seeded adversarial instance generators over
+//!   `wsyn-datagen`: spikes, plateaus, zipf frequencies, sign-alternating
+//!   signals, and near-tie coefficient sets that stress float
+//!   tie-breaking, in one and multiple dimensions.
+//! * [`oracle`] — budget-bounded brute-force oracles: exact subset
+//!   enumeration over the non-zero coefficients (domains up to `N = 32`
+//!   and beyond, as long as `Σ_k C(nz, k)` stays under an evaluation
+//!   cap) with an exhaustive sweep over every requested budget.
+//! * [`checks`] — the differential drivers. Engines that are *exact
+//!   twins* (the eight 1-D `Engine` × `SplitSearch` configurations, warm
+//!   vs. cold workspaces, parallel vs. sequential τ-sweeps, streaming
+//!   rebuild vs. from-scratch) must agree **bit for bit** — identical
+//!   objective bit patterns and identical retained sets. Engines that
+//!   are *bounded approximations* must obey their theorem: Theorem 3.1
+//!   (1-D optimality vs. the oracle), Theorem 3.2 (`≤ OPT + εR`
+//!   additive, `≤ OPT + εR/s` relative), Theorem 3.4 (`≤ (1+ε)·OPT`),
+//!   and Proposition 3.3 (objective ≥ largest dropped `|coefficient|`).
+//! * [`corpus`] — the golden corpus: hand-rolled instances whose blessed
+//!   outputs live as JSON under `tests/corpus/`, checked bit-exactly.
+//! * [`shrink`] — greedy deterministic minimization of failing
+//!   instances before they are reported.
+//!
+//! The `wsyn-conform` binary exposes `check` (golden corpus), `bless`
+//! (rewrite the corpus), `sweep` (seeded differential rounds) and
+//! `shrink` (minimize an instance file). Everything is deterministic:
+//! seeded generators, no wall clock, no hash-order dependence — the
+//! harness is held to the same `wsyn-analyze` determinism bar as the
+//! solvers it certifies.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod checks;
+pub mod corpus;
+pub mod gen;
+pub mod oracle;
+pub mod shrink;
+
+/// A conformance violation: which check tripped, on what, and how.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Failure {
+    /// Stable identifier of the check (e.g. `"thm3.1-oracle"`,
+    /// `"exact-twin-bits"`).
+    pub check: String,
+    /// Name of the offending instance.
+    pub instance: String,
+    /// Human-readable description of the violation.
+    pub detail: String,
+}
+
+impl std::fmt::Display for Failure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}] {}: {}", self.check, self.instance, self.detail)
+    }
+}
+
+impl Failure {
+    /// Builds a failure record.
+    pub fn new(check: &str, instance: &str, detail: String) -> Self {
+        Failure {
+            check: check.to_string(),
+            instance: instance.to_string(),
+            detail,
+        }
+    }
+}

@@ -1,0 +1,187 @@
+//! `wsyn-conform` — the conformance harness CLI.
+//!
+//! ```text
+//! wsyn-conform check  [--corpus DIR]          golden corpus + differential suite
+//! wsyn-conform bless  [--corpus DIR]          rewrite the corpus expectations
+//! wsyn-conform sweep  [--seed N] [--rounds N] seeded differential sweep
+//! wsyn-conform shrink --file PATH             minimize a failing instance file
+//! ```
+//!
+//! Exit status 0 means every check passed. Failures print the check id,
+//! the offending instance (minimized by the shrinker where possible) and
+//! the violated bound. Everything is deterministic: a sweep is described
+//! entirely by `(seed, rounds)`, so CI failures replay locally verbatim.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use wsyn_conform::gen::{generate, Instance, Kind};
+use wsyn_conform::{checks, corpus, shrink, Failure};
+use wsyn_core::json::Value;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(msg) => {
+            eprintln!("wsyn-conform: {msg}");
+            eprintln!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  wsyn-conform check  [--corpus DIR]
+  wsyn-conform bless  [--corpus DIR]
+  wsyn-conform sweep  [--seed N] [--rounds N]
+  wsyn-conform shrink --file PATH";
+
+fn flag_value(args: &[String], flag: &str) -> Result<Option<String>, String> {
+    match args.iter().position(|a| a == flag) {
+        None => Ok(None),
+        Some(i) => args
+            .get(i + 1)
+            .map(|v| Some(v.clone()))
+            .ok_or_else(|| format!("{flag} needs a value")),
+    }
+}
+
+fn corpus_dir(args: &[String]) -> Result<PathBuf, String> {
+    Ok(flag_value(args, "--corpus")?.map_or_else(corpus::default_dir, PathBuf::from))
+}
+
+fn run(args: &[String]) -> Result<bool, String> {
+    let Some(cmd) = args.first() else {
+        return Err("missing command".to_string());
+    };
+    match cmd.as_str() {
+        "check" => cmd_check(&args[1..]),
+        "bless" => cmd_bless(&args[1..]),
+        "sweep" => cmd_sweep(&args[1..]),
+        "shrink" => cmd_shrink(&args[1..]),
+        other => Err(format!("unknown command `{other}`")),
+    }
+}
+
+/// Shrinks the failing instance (predicate: the differential suite still
+/// fails) and prints the failure plus the minimized reproducer.
+fn report_failure(failure: &Failure, inst: &Instance) {
+    println!("FAIL {failure}");
+    let minimized = shrink::shrink(inst, |c| checks::check_instance(c).is_err(), 2_000);
+    if let Err(min_failure) = checks::check_instance(&minimized) {
+        println!("minimized reproducer ({}):", min_failure.check);
+        println!("{}", minimized.to_json().pretty());
+    } else {
+        // The shrinker only visits failing variants, so reaching a
+        // passing minimum means the failure was outside check_instance
+        // (e.g. a golden-output mismatch); report the original.
+        println!("reproducer:");
+        println!("{}", inst.to_json().pretty());
+    }
+}
+
+fn cmd_check(args: &[String]) -> Result<bool, String> {
+    let dir = corpus_dir(args)?;
+    let docs = corpus::load_dir(&dir)?;
+    if docs.is_empty() {
+        return Err(format!(
+            "no corpus files in {} (run `bless` first)",
+            dir.display()
+        ));
+    }
+    let mut total = 0usize;
+    let mut thm32 = 0usize;
+    for (path, doc) in &docs {
+        match corpus::check_doc(doc) {
+            Ok(sum) => {
+                total += sum.checks;
+                thm32 += sum.thm32_vs_oracle;
+                println!(
+                    "ok   {} ({} checks, {} Thm 3.2 oracle certifications)",
+                    path.display(),
+                    sum.checks,
+                    sum.thm32_vs_oracle
+                );
+            }
+            Err(failure) => {
+                report_failure(&failure, &doc.instance);
+                return Ok(false);
+            }
+        }
+    }
+    println!(
+        "corpus clean: {} instances, {total} checks, {thm32} Theorem 3.2 bounds certified against the brute-force oracle",
+        docs.len()
+    );
+    Ok(true)
+}
+
+fn cmd_bless(args: &[String]) -> Result<bool, String> {
+    let dir = corpus_dir(args)?;
+    let written = corpus::bless_dir(&dir)?;
+    println!("blessed {written} corpus files into {}", dir.display());
+    Ok(true)
+}
+
+fn cmd_sweep(args: &[String]) -> Result<bool, String> {
+    let seed: u64 = flag_value(args, "--seed")?.map_or(Ok(2004), |v| {
+        v.parse().map_err(|e| format!("bad --seed `{v}`: {e}"))
+    })?;
+    let rounds: u64 = flag_value(args, "--rounds")?.map_or(Ok(8), |v| {
+        v.parse().map_err(|e| format!("bad --rounds `{v}`: {e}"))
+    })?;
+    let mut total = 0usize;
+    let mut instances = 0usize;
+    for round in 0..rounds {
+        for kind in Kind::ALL {
+            let inst = generate(kind, seed.wrapping_add(round));
+            match checks::check_instance(&inst) {
+                Ok(sum) => {
+                    total += sum.checks;
+                    instances += 1;
+                }
+                Err(failure) => {
+                    println!("(round {round}, kind {}, seed {seed})", kind.id());
+                    report_failure(&failure, &inst);
+                    return Ok(false);
+                }
+            }
+        }
+        println!(
+            "round {}/{rounds}: {instances} instances, {total} checks, all passing",
+            round + 1
+        );
+    }
+    println!("sweep clean: seed {seed}, {rounds} rounds, {instances} instances, {total} checks");
+    Ok(true)
+}
+
+fn cmd_shrink(args: &[String]) -> Result<bool, String> {
+    let Some(file) = flag_value(args, "--file")? else {
+        return Err("shrink needs --file PATH".to_string());
+    };
+    let text = std::fs::read_to_string(&file).map_err(|e| format!("cannot read {file}: {e}"))?;
+    let value = Value::parse(&text).map_err(|e| format!("{file}: {e}"))?;
+    // Accept either a bare instance or a full corpus doc.
+    let inst = match Instance::from_json(&value) {
+        Ok(inst) => inst,
+        Err(_) => corpus::doc_from_json(&value)
+            .map(|d| d.instance)
+            .map_err(|e| format!("{file}: neither an instance nor a corpus doc: {e}"))?,
+    };
+    match checks::check_instance(&inst) {
+        Ok(sum) => {
+            println!(
+                "instance passes ({} checks) — nothing to shrink",
+                sum.checks
+            );
+            Ok(true)
+        }
+        Err(failure) => {
+            report_failure(&failure, &inst);
+            Ok(false)
+        }
+    }
+}

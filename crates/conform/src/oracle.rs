@@ -1,0 +1,188 @@
+//! Budget-bounded brute-force oracles.
+//!
+//! The synopsis crate's [`wsyn_synopsis::oracle`] enumerates *every*
+//! subset of the non-zero coefficients as a bitmask, which caps it at 24
+//! coefficients regardless of budget. Conformance instances go up to
+//! `N = 32` (and beyond for sparse signals), but their oracle-checked
+//! budgets are small — so this module enumerates **combinations of size
+//! ≤ B** instead of the full power set: `Σ_{k≤B} C(nz, k)` evaluations,
+//! feasible for `nz = 32, B = 4` (≈ 42k) where `2^32` is not. One
+//! enumeration serves every requested budget (the exhaustive B-sweep):
+//! the per-size minima are prefix-minimized, since a larger budget can
+//! only do better.
+//!
+//! Retaining a zero coefficient never changes the reconstruction, so
+//! restricting to non-zero positions loses nothing — the minimum over
+//! these subsets *is* the global optimum.
+
+use wsyn_haar::{ErrorTree1d, ErrorTreeNd};
+use wsyn_synopsis::{ErrorMetric, Synopsis1d, SynopsisNd};
+
+/// Default evaluation cap: `C(32, 5) ≈ 2·10^5` fits with room to spare,
+/// `C(64, 6) ≈ 7·10^7` does not — the oracle refuses rather than stall.
+pub const DEFAULT_MAX_EVALS: u64 = 4_000_000;
+
+/// `C(n, k)` saturating at `u64::MAX`.
+fn binomial(n: u64, k: u64) -> u64 {
+    if k > n {
+        return 0;
+    }
+    let k = k.min(n - k);
+    let mut acc: u64 = 1;
+    for i in 0..k {
+        let num = n - i;
+        acc = match acc.checked_mul(num) {
+            Some(v) => v / (i + 1),
+            None => return u64::MAX,
+        };
+    }
+    acc
+}
+
+/// Advances `idx` to the next k-combination of `0..n` in lexicographic
+/// order; returns `false` after the last one.
+fn next_combination(idx: &mut [usize], n: usize) -> bool {
+    let k = idx.len();
+    let mut i = k;
+    while i > 0 {
+        i -= 1;
+        if idx[i] != i + n - k {
+            idx[i] += 1;
+            for j in i + 1..k {
+                idx[j] = idx[j - 1] + 1;
+            }
+            return true;
+        }
+    }
+    false
+}
+
+/// Exhaustively minimizes `eval` over all subsets of `nz` with size up
+/// to each requested budget. Returns one optimal objective per entry of
+/// `budgets` (same order), or `None` when the enumeration would exceed
+/// `max_evals` evaluations — the caller treats that as "oracle
+/// unavailable", never as a pass.
+///
+/// Ties are broken toward the lexicographically earliest subset of the
+/// smallest size (strict `<` improvement), mirroring the mask-order
+/// tie-break of [`wsyn_synopsis::oracle`].
+pub fn sweep<F: FnMut(&[usize]) -> f64>(
+    nz: &[usize],
+    budgets: &[usize],
+    max_evals: u64,
+    mut eval: F,
+) -> Option<Vec<f64>> {
+    let bmax = budgets.iter().copied().max().unwrap_or(0).min(nz.len());
+    let mut total: u64 = 0;
+    for k in 0..=bmax {
+        total = total.saturating_add(binomial(nz.len() as u64, k as u64));
+        if total > max_evals {
+            return None;
+        }
+    }
+    let mut best_by_k = vec![f64::INFINITY; bmax + 1];
+    best_by_k[0] = eval(&[]);
+    let mut subset: Vec<usize> = Vec::with_capacity(bmax);
+    for (k, slot) in best_by_k.iter_mut().enumerate().skip(1) {
+        let mut idx: Vec<usize> = (0..k).collect();
+        loop {
+            subset.clear();
+            subset.extend(idx.iter().map(|&i| nz[i]));
+            let v = eval(&subset);
+            if v < *slot {
+                *slot = v;
+            }
+            if !next_combination(&mut idx, nz.len()) {
+                break;
+            }
+        }
+    }
+    // A budget of b may use any size ≤ b: prefix-minimize.
+    let mut run = f64::INFINITY;
+    let prefix: Vec<f64> = best_by_k
+        .iter()
+        .map(|&v| {
+            if v < run {
+                run = v;
+            }
+            run
+        })
+        .collect();
+    Some(budgets.iter().map(|&b| prefix[b.min(bmax)]).collect())
+}
+
+/// Optimal 1-D objectives for every budget in `budgets` under `metric`,
+/// or `None` when the instance is too large for `max_evals`.
+pub fn optimal_1d(
+    tree: &ErrorTree1d,
+    data: &[f64],
+    budgets: &[usize],
+    metric: ErrorMetric,
+    max_evals: u64,
+) -> Option<Vec<f64>> {
+    let nz: Vec<usize> = (0..tree.n())
+        .filter(|&j| tree.coeff(j).abs() > 0.0)
+        .collect();
+    sweep(&nz, budgets, max_evals, |subset| {
+        Synopsis1d::from_indices(tree, subset).max_error(data, metric)
+    })
+}
+
+/// Optimal multi-dimensional objectives for every budget in `budgets`
+/// under `metric`, or `None` when too large for `max_evals`.
+pub fn optimal_nd(
+    tree: &ErrorTreeNd,
+    data: &[f64],
+    budgets: &[usize],
+    metric: ErrorMetric,
+    max_evals: u64,
+) -> Option<Vec<f64>> {
+    let coeffs = tree.coeffs().data();
+    let nz: Vec<usize> = (0..tree.n()).filter(|&p| coeffs[p].abs() > 0.0).collect();
+    sweep(&nz, budgets, max_evals, |subset| {
+        SynopsisNd::from_positions(tree, subset).max_error(data, metric)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binomial_basics() {
+        assert_eq!(binomial(32, 0), 1);
+        assert_eq!(binomial(32, 1), 32);
+        assert_eq!(binomial(32, 4), 35960);
+        assert_eq!(binomial(5, 7), 0);
+        assert_eq!(binomial(64, 32), u64::MAX); // saturates
+    }
+
+    #[test]
+    fn combinations_cover_all() {
+        let mut idx = vec![0usize, 1];
+        let mut seen = vec![(0usize, 1usize)];
+        while next_combination(&mut idx, 4) {
+            seen.push((idx[0], idx[1]));
+        }
+        assert_eq!(seen, vec![(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]);
+    }
+
+    #[test]
+    fn refuses_oversized_enumerations() {
+        let nz: Vec<usize> = (0..40).collect();
+        assert!(sweep(&nz, &[20], 1_000_000, |_| 0.0).is_none());
+        // Small budgets on the same instance are fine.
+        assert!(sweep(&nz, &[2], 1_000_000, |s| s.len() as f64).is_some());
+    }
+
+    #[test]
+    fn budget_sweep_is_monotone() {
+        let nz: Vec<usize> = (0..10).collect();
+        // Objective: 10 minus the subset size — bigger is better.
+        let out = sweep(&nz, &[0, 1, 2, 3], DEFAULT_MAX_EVALS, |s| {
+            10.0 - s.len() as f64
+        })
+        .unwrap();
+        assert_eq!(out, vec![10.0, 9.0, 8.0, 7.0]);
+    }
+}

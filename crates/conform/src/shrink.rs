@@ -1,0 +1,176 @@
+//! Greedy deterministic minimization of failing instances.
+//!
+//! A failing conformance check on a 32-cell instance with six budgets,
+//! two metrics and five updates is a poor bug report. The shrinker
+//! repeatedly proposes structurally smaller variants — halved domains,
+//! halved magnitudes, zeroed segments, single budgets/metrics, dropped
+//! updates — and keeps any variant on which the caller's predicate still
+//! fails, until no proposal makes progress (a fixed point).
+//!
+//! Determinism: proposals are generated and tried in a fixed order, and
+//! acceptance requires the instance's *size measure* to strictly
+//! decrease, so the process terminates and the same failing instance
+//! always shrinks to the same minimum.
+
+use crate::gen::Instance;
+
+/// Size measure driving termination: every accepted shrink must strictly
+/// decrease it. Weighs domain cells heavily (smaller domains simplify
+/// every later debugging step), then magnitudes, then harness knobs.
+#[must_use]
+pub fn measure(inst: &Instance) -> u64 {
+    let cells = inst.data.len() as u64;
+    let mass: u64 = inst.data.iter().map(|&v| v.unsigned_abs()).sum();
+    cells * 1_000_000
+        + mass * 10
+        + inst.budgets.len() as u64
+        + inst.metrics.len() as u64
+        + inst.updates.len() as u64
+}
+
+/// All shrink proposals for `inst`, most aggressive first.
+fn proposals(inst: &Instance) -> Vec<Instance> {
+    let mut out = Vec::new();
+    let n = inst.data.len();
+    // 1-D domain halving (front half, back half).
+    if inst.shape.len() == 1 && n >= 4 {
+        for (tag, half) in [
+            ("front", &inst.data[..n / 2]),
+            ("back", &inst.data[n / 2..]),
+        ] {
+            let mut v = inst.clone();
+            v.shape = vec![n / 2];
+            v.data = half.to_vec();
+            v.budgets = inst
+                .budgets
+                .iter()
+                .map(|&b| b.min(n / 2))
+                .collect::<Vec<_>>();
+            v.budgets.dedup();
+            v.updates.retain(|&(i, _)| i < n / 2);
+            v.name = format!("{}-{tag}", inst.name);
+            out.push(v);
+        }
+    }
+    // Halve every magnitude (rounds toward zero).
+    if inst.data.iter().any(|&x| x != 0) {
+        let mut v = inst.clone();
+        for x in &mut v.data {
+            *x /= 2;
+        }
+        out.push(v);
+    }
+    // Zero out each quarter of the domain.
+    if n >= 4 {
+        let q = n / 4;
+        for quarter in 0..4usize {
+            let lo = quarter * q;
+            let hi = if quarter == 3 { n } else { lo + q };
+            if inst.data[lo..hi].iter().all(|&x| x == 0) {
+                continue;
+            }
+            let mut v = inst.clone();
+            for x in &mut v.data[lo..hi] {
+                *x = 0;
+            }
+            out.push(v);
+        }
+    }
+    // Single budget / single metric.
+    if inst.budgets.len() > 1 {
+        for &b in &inst.budgets {
+            let mut v = inst.clone();
+            v.budgets = vec![b];
+            out.push(v);
+        }
+    }
+    if inst.metrics.len() > 1 {
+        for &m in &inst.metrics {
+            let mut v = inst.clone();
+            v.metrics = vec![m];
+            out.push(v);
+        }
+    }
+    // Drop updates entirely, then halve the list.
+    if !inst.updates.is_empty() {
+        let mut v = inst.clone();
+        v.updates.clear();
+        out.push(v);
+        if inst.updates.len() > 1 {
+            let mut v = inst.clone();
+            v.updates.truncate(inst.updates.len() / 2);
+            out.push(v);
+        }
+    }
+    out
+}
+
+/// Shrinks a failing instance to a local minimum on which `still_fails`
+/// still returns `true`. If the input does not fail the predicate, it is
+/// returned unchanged. The predicate is called at most `max_tries`
+/// times (conformance checks are not free).
+pub fn shrink<F: FnMut(&Instance) -> bool>(
+    inst: &Instance,
+    mut still_fails: F,
+    max_tries: usize,
+) -> Instance {
+    if !still_fails(inst) {
+        return inst.clone();
+    }
+    let mut current = inst.clone();
+    let mut tries = 0usize;
+    'outer: loop {
+        let m = measure(&current);
+        for cand in proposals(&current) {
+            if measure(&cand) >= m || cand.validate().is_err() {
+                continue;
+            }
+            if tries >= max_tries {
+                break 'outer;
+            }
+            tries += 1;
+            if still_fails(&cand) {
+                current = cand;
+                continue 'outer;
+            }
+        }
+        break; // no proposal both shrinks and still fails
+    }
+    current
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{generate, Kind};
+
+    #[test]
+    fn shrink_is_identity_on_passing_instances() {
+        let inst = generate(Kind::Spikes, 1);
+        let out = shrink(&inst, |_| false, 1000);
+        assert_eq!(out, inst);
+    }
+
+    #[test]
+    fn shrink_minimizes_while_preserving_predicate() {
+        let inst = generate(Kind::Spikes, 2); // n = 16, has a |v| >= 60 spike
+        assert!(inst.data.iter().any(|&v| v.abs() >= 60));
+        let out = shrink(&inst, |c| c.data.iter().any(|&v| v.abs() >= 60), 10_000);
+        assert!(out.data.iter().any(|&v| v.abs() >= 60));
+        assert!(measure(&out) < measure(&inst));
+        // Fully minimized: 2 cells, one spike, everything else stripped.
+        assert_eq!(out.data.len(), 2);
+        assert_eq!(out.budgets.len(), 1);
+        assert_eq!(out.metrics.len(), 1);
+        assert!(out.updates.is_empty());
+    }
+
+    #[test]
+    fn shrink_is_deterministic() {
+        let inst = generate(Kind::Zipf, 7);
+        let pred = |c: &Instance| c.data.iter().map(|&v| v.abs()).sum::<i64>() >= 20;
+        let a = shrink(&inst, pred, 10_000);
+        let b = shrink(&inst, pred, 10_000);
+        assert_eq!(a, b);
+    }
+}

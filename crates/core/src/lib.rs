@@ -61,6 +61,37 @@ impl DpStats {
             peak_live: self.peak_live.max(other.peak_live),
         }
     }
+
+    /// Serializes the counters as a JSON object with a stable field
+    /// order — the persistence hook the conformance harness uses to
+    /// record per-run DP statistics next to golden solver outputs.
+    #[must_use]
+    pub fn to_json(&self) -> json::Value {
+        json::object(vec![
+            ("states", json::Value::Number(self.states as f64)),
+            ("leaf_evals", json::Value::Number(self.leaf_evals as f64)),
+            ("probes", json::Value::Number(self.probes as f64)),
+            ("peak_live", json::Value::Number(self.peak_live as f64)),
+        ])
+    }
+
+    /// Parses counters serialized by [`DpStats::to_json`].
+    ///
+    /// # Errors
+    /// Names the first missing or non-numeric field.
+    pub fn from_json(v: &json::Value) -> Result<DpStats, String> {
+        let field = |name: &str| {
+            v.get(name)
+                .and_then(json::Value::as_usize)
+                .ok_or_else(|| format!("DpStats: missing or non-numeric field `{name}`"))
+        };
+        Ok(DpStats {
+            states: field("states")?,
+            leaf_evals: field("leaf_evals")?,
+            probes: field("probes")?,
+            peak_live: field("peak_live")?,
+        })
+    }
 }
 
 /// Packs a one-dimensional DP state `(node id, budget, error bits)` into
@@ -572,6 +603,25 @@ pub fn host_parallelism() -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn dp_stats_json_roundtrip() {
+        let s = DpStats {
+            states: 12,
+            leaf_evals: 345,
+            probes: 6,
+            peak_live: 78,
+        };
+        let v = s.to_json();
+        assert_eq!(DpStats::from_json(&v).unwrap(), s);
+        // Survives a serialize → parse cycle (as persisted on disk).
+        let reparsed = json::Value::parse(&v.pretty()).unwrap();
+        assert_eq!(DpStats::from_json(&reparsed).unwrap(), s);
+        // Missing fields are named.
+        let err = DpStats::from_json(&json::object(vec![("states", json::Value::Number(1.0))]))
+            .unwrap_err();
+        assert!(err.contains("leaf_evals"), "{err}");
+    }
 
     #[test]
     fn table_roundtrips_and_counts() {

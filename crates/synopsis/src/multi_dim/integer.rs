@@ -824,6 +824,124 @@ mod tests {
 }
 
 #[cfg(test)]
+mod warm_sweep_tests {
+    //! Warm-vs-cold bit-identity for the multi-dimensional τ-sweep: one
+    //! `DpWorkspace` threaded through every τ via [`run_int_dp_in`] must
+    //! produce results identical to a fresh workspace per τ
+    //! ([`run_int_dp`]). This is the N-D analogue of the 1-D
+    //! `run_warm` proptest — the workspace is cleared at entry, so only
+    //! allocation capacity carries over, never DP state.
+    //!
+    //! `probes` and `peak_live` are deliberately NOT compared: both are
+    //! capacity-dependent (a warm table retains the previous τ's larger
+    //! capacity, changing probe displacement and arena occupancy
+    //! legitimately) while `value`/`retained`/`states`/`leaf_evals` are
+    //! functions of the DP alone.
+
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Replicates [`crate::multi_dim::OnePlusEps`]'s per-τ truncation:
+    /// `K_τ = ε/4 · τ / (2^D·m)`, force-retain `|c| > τ`, truncate to
+    /// `⌊c / K_τ⌋`.
+    fn tau_instance(solver: &IntegerExact, eps: f64, k: i64) -> (Vec<i64>, Vec<bool>) {
+        let d = solver.tree.ndims();
+        let hops = ((1u64 << d) as f64) * f64::from(solver.tree.levels().max(1));
+        let tau = 1i64 << k;
+        let k_tau = (eps / 4.0 * tau as f64 / hops).max(f64::MIN_POSITIVE);
+        let forced: Vec<bool> = solver
+            .scaled
+            .coeffs
+            .iter()
+            .map(|&c| c.abs() > tau)
+            .collect();
+        let truncated: Vec<i64> = solver
+            .scaled
+            .coeffs
+            .iter()
+            .map(|&c| (c as f64 / k_tau).floor() as i64)
+            .collect();
+        (truncated, forced)
+    }
+
+    fn shapes() -> impl Strategy<Value = NdShape> {
+        prop_oneof![
+            Just(NdShape::new(vec![8]).unwrap()),
+            Just(NdShape::hypercube(4, 2).unwrap()),
+            Just(NdShape::hypercube(2, 3).unwrap()),
+        ]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        #[test]
+        fn warm_tau_sweep_bit_identical_to_cold(
+            shape in shapes(),
+            seed_vals in proptest::collection::vec(-60i64..=60, 8),
+            b in 0usize..=6,
+            eps in prop_oneof![Just(0.5), Just(0.1)],
+        ) {
+            let n = shape.len();
+            let data: Vec<i64> = (0..n).map(|i| seed_vals[i % seed_vals.len()]).collect();
+            let solver = IntegerExact::new(&shape, &data).unwrap();
+            let rz = solver.rz();
+            prop_assume!(rz > 0);
+            let kmax = i64::from(64 - (rz as u64).leading_zeros());
+            // One workspace threaded through the entire ascending sweep…
+            let mut ws = DpWorkspace::new();
+            for k in 0..=kmax {
+                let (truncated, forced) = tau_instance(&solver, eps, k);
+                let warm = run_int_dp_in(&mut ws, &solver.tree, &truncated, Some(&forced), b);
+                // …versus a fresh workspace for the same τ.
+                let cold = run_int_dp(&solver.tree, &truncated, Some(&forced), b);
+                prop_assert_eq!(warm.value, cold.value, "k={} b={}", k, b);
+                prop_assert_eq!(warm.retained, cold.retained, "k={} b={}", k, b);
+                prop_assert_eq!(warm.states, cold.states, "k={} b={}", k, b);
+                prop_assert_eq!(
+                    warm.stats.leaf_evals,
+                    cold.stats.leaf_evals,
+                    "k={} b={}", k, b
+                );
+            }
+        }
+
+        #[test]
+        fn warm_sweep_order_independent(
+            seed_vals in proptest::collection::vec(-60i64..=60, 16),
+            b in 1usize..=5,
+        ) {
+            // Descending-τ reuse must match ascending-τ reuse: the clear at
+            // entry makes each run independent of sweep direction.
+            let shape = NdShape::hypercube(4, 2).unwrap();
+            let solver = IntegerExact::new(&shape, &seed_vals).unwrap();
+            let rz = solver.rz();
+            prop_assume!(rz > 0);
+            let kmax = i64::from(64 - (rz as u64).leading_zeros());
+            let mut ws_up = DpWorkspace::new();
+            let mut ws_down = DpWorkspace::new();
+            let up: Vec<_> = (0..=kmax)
+                .map(|k| {
+                    let (t, f) = tau_instance(&solver, 0.25, k);
+                    let o = run_int_dp_in(&mut ws_up, &solver.tree, &t, Some(&f), b);
+                    (o.value, o.retained, o.states)
+                })
+                .collect();
+            let down: Vec<_> = (0..=kmax)
+                .rev()
+                .map(|k| {
+                    let (t, f) = tau_instance(&solver, 0.25, k);
+                    let o = run_int_dp_in(&mut ws_down, &solver.tree, &t, Some(&f), b);
+                    (o.value, o.retained, o.states)
+                })
+                .collect();
+            let down_reversed: Vec<_> = down.into_iter().rev().collect();
+            prop_assert_eq!(up, down_reversed);
+        }
+    }
+}
+
+#[cfg(test)]
 mod rel_tests {
     use super::*;
     use crate::oracle;

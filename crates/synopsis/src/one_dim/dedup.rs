@@ -314,6 +314,30 @@ impl Kernel<'_> {
                         best_b = lo - 1;
                     }
                 }
+                // Leftmost tie-break, matching `Linear` and the shared
+                // [`super::best_split`]: the minimizer set is contiguous
+                // and its left edge is the smallest allotment with
+                // `f <= best`. Runs after the floor cut — the cut only
+                // certifies `best` is optimal, not that it is leftmost.
+                if best_b > 0 {
+                    let mut llo = 0usize;
+                    let mut lhi = best_b;
+                    while llo < lhi {
+                        let mid = llo + (lhi - llo) / 2;
+                        if f(self, mid)? <= best {
+                            lhi = mid;
+                        } else {
+                            llo = mid + 1;
+                        }
+                    }
+                    if llo != best_b {
+                        best_b = llo;
+                        // Equal to `best` by construction; re-evaluating
+                        // materializes both children's memo entries at the
+                        // chosen split so traceback can replay it.
+                        best = vmax(f(self, best_b)?, g(self, best_b)?);
+                    }
+                }
                 Ok((best, narrow_u32(best_b)))
             }
         }

@@ -95,6 +95,75 @@ pub struct Config {
     pub split: SplitSearch,
 }
 
+impl Engine {
+    /// Every engine, in documentation order — the enumeration driven by
+    /// the differential-conformance harness and the E4/E5 ablations.
+    pub const ALL: [Engine; 4] = [
+        Engine::Dedup,
+        Engine::DedupExhaustive,
+        Engine::SubsetMask,
+        Engine::BottomUp,
+    ];
+
+    /// Stable kebab-case identifier (conformance reports, corpus files).
+    #[must_use]
+    pub const fn id(self) -> &'static str {
+        match self {
+            Engine::Dedup => "dedup",
+            Engine::DedupExhaustive => "dedup-exhaustive",
+            Engine::SubsetMask => "subset-mask",
+            Engine::BottomUp => "bottom-up",
+        }
+    }
+}
+
+impl SplitSearch {
+    /// Both split strategies, in documentation order.
+    pub const ALL: [SplitSearch; 2] = [SplitSearch::Binary, SplitSearch::Linear];
+
+    /// Stable identifier.
+    #[must_use]
+    pub const fn id(self) -> &'static str {
+        match self {
+            SplitSearch::Binary => "binary",
+            SplitSearch::Linear => "linear",
+        }
+    }
+}
+
+impl Config {
+    /// The full engine × split-search matrix, engine-major in the
+    /// [`Engine::ALL`] / [`SplitSearch::ALL`] orders. All eight
+    /// configurations are exact twins: they return bit-identical
+    /// objectives and retained sets (the conformance harness asserts
+    /// this on every instance it touches).
+    pub const ALL: [Config; 8] = {
+        let mut out = [Config {
+            engine: Engine::Dedup,
+            split: SplitSearch::Binary,
+        }; 8];
+        let mut i = 0;
+        while i < 4 {
+            let mut j = 0;
+            while j < 2 {
+                out[i * 2 + j] = Config {
+                    engine: Engine::ALL[i],
+                    split: SplitSearch::ALL[j],
+                };
+                j += 1;
+            }
+            i += 1;
+        }
+        out
+    };
+
+    /// Stable `"<engine>/<split>"` identifier.
+    #[must_use]
+    pub fn id(self) -> String {
+        format!("{}/{}", self.engine.id(), self.split.id())
+    }
+}
+
 /// Instrumentation counters from a DP run (ablation reporting) — the
 /// workspace-wide statistics block from [`wsyn_core`].
 pub use wsyn_core::DpStats;
@@ -304,7 +373,12 @@ impl MinMaxErr {
 /// Shared by all engines. `Binary` performs the paper's `O(log B)` search
 /// for the crossover allotment; `Linear` scans all `B + 1` splits. Both are
 /// exact under the monotonicity invariant (asserted in debug builds by the
-/// callers' tests).
+/// callers' tests), and both break ties identically: when several splits
+/// attain the optimum, the *smallest* `b'` is returned. Monotonicity makes
+/// the minimizer set of `max(f, g)` a contiguous interval
+/// (`{b' : f(b') <= best}` is a suffix, `{b' : g(b') <= best}` a prefix),
+/// so `Binary` recovers its left edge with one extra `O(log B)` search over
+/// `f` alone — keeping every `Config` an exact twin, retained sets included.
 /// The closures receive a shared mutable context `ctx` (the DP solver), so
 /// recursive memoized lookups can run inside the search. Generic over the
 /// value type (`f64` for the float DPs, `i64` for the integer DPs of
@@ -364,6 +438,28 @@ where
                     best_b = lo - 1;
                 }
             }
+            // Tie-break to the leftmost optimal split, matching `Linear`'s
+            // strict-`<` scan. `best_b` is a minimizer, so the smallest b'
+            // with f(b') <= best also has g(b') <= g(best_b) <= best.
+            if best_b > 0 {
+                let mut llo = 0usize;
+                let mut lhi = best_b;
+                while llo < lhi {
+                    let mid = llo + (lhi - llo) / 2;
+                    if f(ctx, mid) <= best {
+                        lhi = mid;
+                    } else {
+                        llo = mid + 1;
+                    }
+                }
+                if llo != best_b {
+                    best_b = llo;
+                    // Equal to `best` by the interval argument above; the
+                    // re-evaluation materializes both children's memo rows
+                    // at the chosen split so traceback can replay it.
+                    best = vmax(f(ctx, best_b), g(ctx, best_b));
+                }
+            }
             (best, best_b)
         }
     }
@@ -390,6 +486,48 @@ mod tests {
             }
         }
         out
+    }
+
+    /// Binary and Linear split searches must agree on *which* split wins,
+    /// not just on the optimal value: both pick the leftmost minimizer of
+    /// `max(f, g)`. Exercised over every monotone step-function pair on a
+    /// small budget so every plateau shape (ties at the crossover, flat
+    /// valleys, all-infeasible rows) is covered.
+    #[test]
+    fn best_split_tie_breaks_identically_across_searches() {
+        const B: usize = 6;
+        // All non-increasing f (and non-decreasing g, reversed f) with
+        // values in {0, 1, 2, MAX}: thresholds t1 <= t2 <= t3 where the
+        // value steps down.
+        let mut profiles: Vec<[i64; B + 1]> = Vec::new();
+        for t1 in 0..=B + 1 {
+            for t2 in t1..=B + 1 {
+                for t3 in t2..=B + 1 {
+                    let mut p = [0i64; B + 1];
+                    for (i, slot) in p.iter_mut().enumerate() {
+                        *slot = if i < t1 {
+                            i64::MAX
+                        } else if i < t2 {
+                            2
+                        } else if i < t3 {
+                            1
+                        } else {
+                            0
+                        };
+                    }
+                    profiles.push(p);
+                }
+            }
+        }
+        for fv in &profiles {
+            for gv in &profiles {
+                let f = |_: &mut (), bp: usize| fv[bp];
+                let g = |_: &mut (), bp: usize| gv[B - bp];
+                let lin = best_split(&mut (), B, SplitSearch::Linear, f, g);
+                let bin = best_split(&mut (), B, SplitSearch::Binary, f, g);
+                assert_eq!(lin, bin, "f={fv:?} g(rev)={gv:?}");
+            }
+        }
     }
 
     #[test]

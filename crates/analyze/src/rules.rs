@@ -151,8 +151,9 @@ pub struct Scope {
 }
 
 /// Crates whose solver paths carry the paper's deterministic guarantees.
-/// (`MinMaxErr` and the multi-dimensional schemes live in `synopsis`.)
-pub const SOLVER_CRATES: &[&str] = &["core", "synopsis", "haar", "prob", "conform"];
+/// (`MinMaxErr` and the multi-dimensional schemes live in `synopsis`;
+/// `obs` feeds deterministic run reports from those same paths.)
+pub const SOLVER_CRATES: &[&str] = &["core", "synopsis", "haar", "prob", "conform", "obs"];
 
 impl Scope {
     /// A scope with nothing enabled (vendor, non-Rust trees).

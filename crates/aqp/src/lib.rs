@@ -24,8 +24,9 @@ pub mod bounds;
 
 use std::ops::Range;
 
+use wsyn_core::WsynError;
 use wsyn_haar::{transform, HaarError};
-use wsyn_synopsis::{ErrorMetric, Synopsis1d, SynopsisNd, Thresholder};
+use wsyn_synopsis::{ErrorMetric, RunParams, Synopsis1d, SynopsisNd, Thresholder};
 
 /// Query engine over a one-dimensional wavelet synopsis.
 #[derive(Debug, Clone)]
@@ -307,8 +308,24 @@ pub fn engine_from_thresholder(
     thresholder: &dyn Thresholder,
     b: usize,
     metric: ErrorMetric,
-) -> Result<(QueryEngine1d, f64), String> {
-    let run = thresholder.threshold(b, metric)?;
+) -> Result<(QueryEngine1d, f64), WsynError> {
+    engine_with_params(thresholder, &RunParams::new(b, metric))
+}
+
+/// As [`engine_from_thresholder`], with full [`RunParams`] control — in
+/// particular an observability collector: the solver's spans land under
+/// an `aqp_build` scope, so a run report shows synopsis construction as
+/// a phase of engine building.
+///
+/// # Errors
+/// Propagates the thresholder's refusal, or reports a non-1-D synopsis.
+pub fn engine_with_params(
+    thresholder: &dyn Thresholder,
+    params: &RunParams,
+) -> Result<(QueryEngine1d, f64), WsynError> {
+    let _span = params.obs.span("aqp_build");
+    let run = thresholder.threshold_with(params)?;
+    params.obs.add("retained", run.synopsis.len());
     let synopsis = run.synopsis.into_one("a 1-D query engine")?;
     Ok((QueryEngine1d::new(synopsis), run.objective))
 }

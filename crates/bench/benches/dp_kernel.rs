@@ -4,7 +4,7 @@
 //! `BENCH_dp_kernel.json` at the repo root so the perf trajectory
 //! accumulates across PRs.
 //!
-//! Four comparisons:
+//! Five comparisons:
 //!
 //! 1. **headline** — a descending B-sweep answered by one warm
 //!    `DedupWorkspace` with pruning, vs. the same sweep answered by the
@@ -18,7 +18,16 @@
 //! 4. **identity** — the E4 harness shape (seeded integer instances,
 //!    N ≤ 16, all budgets, both metrics): the pruned warm kernel must be
 //!    **bitwise** identical — objective bits and retained coefficient
-//!    set — to the fresh unpruned `SubsetMask` and `BottomUp` engines.
+//!    set — to the fresh unpruned `SubsetMask` and `BottomUp` engines;
+//! 5. **observability** — the same cold sweep through raw `run_with`,
+//!    `Thresholder::threshold_with` with the no-op collector, and with a
+//!    live recording collector: both trait paths must stay within 5% of
+//!    the raw kernel (collection hooks sit at phase boundaries only).
+//!
+//! Setting `WSYN_BENCH_SKIP_HEADLINE_GATE` skips the 1.5× headline
+//! assertion (comparison 1) for heavily loaded or throttled hosts where
+//! interleaved wall-clock ratios are unreliable; every bit-identity
+//! check and the observability gates still run.
 //!
 //! Run with `cargo bench --bench dp_kernel`. Numbers are medians of
 //! several interleaved runs; the JSON records `host_cpus` and the sweep
@@ -31,8 +40,10 @@ use rand::{Rng, SeedableRng};
 use wsyn_core::json::{object, Value};
 use wsyn_datagen::{zipf, ZipfPlacement};
 use wsyn_haar::ErrorTree1d;
+use wsyn_obs::Collector;
 use wsyn_synopsis::one_dim::{Config, DedupWorkspace, Engine, MinMaxErr, SplitSearch};
-use wsyn_synopsis::ErrorMetric;
+use wsyn_synopsis::thresholder::RunParams;
+use wsyn_synopsis::{ErrorMetric, Thresholder};
 
 /// A structural copy of the previous PR's dedup kernel: recursive
 /// descent, `StateTable` memo keyed on `(node, budget, error-bits)`,
@@ -242,10 +253,12 @@ fn main() {
     println!("headline B-sweep (E5, N = {n}, B = {budgets:?}):");
     println!("  recursive cold-per-budget : {baseline_ms:.2} ms");
     println!("  B&B + warm workspace      : {warm_ms:.2} ms  ({headline_speedup:.2}x)");
-    assert!(
-        headline_speedup >= 1.5,
-        "acceptance gate: need >= 1.5x over the recursive baseline, got {headline_speedup:.2}x"
-    );
+    if std::env::var_os("WSYN_BENCH_SKIP_HEADLINE_GATE").is_none() {
+        assert!(
+            headline_speedup >= 1.5,
+            "acceptance gate: need >= 1.5x over the recursive baseline, got {headline_speedup:.2}x"
+        );
+    }
 
     // ── 2. Pruned vs unpruned, cold, largest budget ───────────────────
     let b_top = budgets[0];
@@ -350,6 +363,41 @@ fn main() {
     }
     println!("identity harness: {identity_checks} bitwise engine agreements  ✓");
 
+    // ── 5. Observability overhead: the redesigned trait + collection ──
+    // The same cold B-sweep three ways: raw `run_with` (no trait, no
+    // collector), `threshold_with` carrying the no-op collector, and
+    // `threshold_with` carrying a live recording collector. Collection
+    // hooks sit at phase boundaries only, so both trait paths must stay
+    // within 5% of the raw kernel (the no-op one within measurement
+    // noise of it).
+    let direct_sweep = || {
+        for &b in &budgets {
+            std::hint::black_box(solver.run(b, metric).objective);
+        }
+    };
+    let sweep_with = |obs: &Collector| {
+        for &b in &budgets {
+            let params = RunParams::new(b, metric).obs(obs.clone());
+            std::hint::black_box(solver.threshold_with(&params).unwrap().objective);
+        }
+    };
+    let (noop_ms, direct_ms, noop_ratio) =
+        compare_ms(reps, || sweep_with(&Collector::noop()), direct_sweep);
+    let (recording_ms, _, recording_ratio) =
+        compare_ms(reps, || sweep_with(&Collector::recording()), direct_sweep);
+    println!("observability overhead (cold sweep, trait dispatch + collection):");
+    println!("  raw run_with          : {direct_ms:.2} ms");
+    println!("  threshold_with (noop) : {noop_ms:.2} ms  ({noop_ratio:.3}x)");
+    println!("  threshold_with (rec)  : {recording_ms:.2} ms  ({recording_ratio:.3}x)");
+    assert!(
+        noop_ratio <= 1.05,
+        "acceptance gate: no-op collection must be free, got {noop_ratio:.3}x over raw"
+    );
+    assert!(
+        recording_ratio <= 1.05,
+        "acceptance gate: live collection must cost <= 5%, got {recording_ratio:.3}x over raw"
+    );
+
     let mode = if host_cpus > 1 {
         "parallel budget rows"
     } else {
@@ -405,6 +453,16 @@ fn main() {
             ]),
         ),
         ("identity_checks", Value::Number(identity_checks as f64)),
+        (
+            "observability",
+            object(vec![
+                ("direct_ms", Value::Number(direct_ms)),
+                ("noop_ms", Value::Number(noop_ms)),
+                ("recording_ms", Value::Number(recording_ms)),
+                ("noop_ratio", Value::Number(noop_ratio)),
+                ("recording_ratio", Value::Number(recording_ratio)),
+            ]),
+        ),
     ]);
     // The bench usually runs from the workspace root under `cargo bench`;
     // resolve the root from the manifest dir so any cwd works.

@@ -3,9 +3,10 @@
 use wsyn_aqp::{bounds, QueryEngine1d};
 use wsyn_datagen as datagen;
 use wsyn_haar::transform;
+use wsyn_obs::Collector;
 use wsyn_prob::{MinRelBias, MinRelVar};
 use wsyn_synopsis::one_dim::MinMaxErr;
-use wsyn_synopsis::thresholder::GreedyL2;
+use wsyn_synopsis::thresholder::{GreedyL2, RunParams};
 use wsyn_synopsis::{rmse, ErrorMetric, Thresholder};
 
 use crate::args::{parse_metric, Args};
@@ -20,6 +21,7 @@ commands:
   transform  --input FILE
   build      --input FILE --budget B [--metric abs|rel:S]
              [--algo minmax|greedy|minrelvar|minrelbias] --out FILE
+             [--report FILE]   (write a JSON run report: spans + counters)
   eval       --synopsis FILE --input FILE [--metric abs|rel:S]
   query      --synopsis FILE  point <i> | range <lo> <hi> | avg <lo> <hi>
 
@@ -90,13 +92,14 @@ fn transform_cmd(a: &Args) -> Result<(), String> {
 }
 
 fn build(a: &Args) -> Result<(), String> {
-    a.ensure_known(&["input", "budget", "metric", "algo", "out"])?;
+    a.ensure_known(&["input", "budget", "metric", "algo", "out", "report"])?;
     let data = io::read_data(a.req("input")?)?;
     let budget: usize = a.req_parse("budget")?;
     let metric_spec = a.opt("metric").unwrap_or("rel:1.0").to_string();
     let metric = parse_metric(&metric_spec)?;
     let algo = a.opt("algo").unwrap_or("minmax");
     let out = a.req("out")?;
+    let report_path = a.opt("report").map(str::to_string);
     // Every algorithm answers the same (budget, metric) question; build the
     // right solver and drive it through the uniform trait.
     let thresholder: Box<dyn Thresholder> = match algo {
@@ -106,8 +109,20 @@ fn build(a: &Args) -> Result<(), String> {
         "minrelbias" => Box::new(MinRelBias::new(&data).map_err(|e| e.to_string())?),
         other => return Err(format!("unknown --algo '{other}'")),
     };
-    let run = thresholder.threshold(budget, metric)?;
-    let synopsis = run.synopsis.into_one("the CLI")?;
+    // Collection is free unless a report was asked for (no-op collector).
+    let obs = if report_path.is_some() {
+        Collector::recording()
+    } else {
+        Collector::noop()
+    };
+    let params = RunParams::new(budget, metric).obs(obs.clone());
+    let run = thresholder
+        .threshold_with(&params)
+        .map_err(|e| e.to_string())?;
+    let synopsis = run
+        .synopsis
+        .into_one("the CLI")
+        .map_err(|e| e.to_string())?;
     if thresholder.has_guarantee() {
         println!(
             "{}: retained {} coefficients, guaranteed max error {:.6}",
@@ -141,6 +156,14 @@ fn build(a: &Args) -> Result<(), String> {
     io::ensure_parent(out)?;
     io::write_synopsis(out, &doc)?;
     println!("wrote synopsis to {out}");
+    if let Some(path) = report_path {
+        let report = obs
+            .report(wsyn_obs::run_meta(thresholder.name(), budget, &metric_spec))
+            .ok_or_else(|| "recording collector lost".to_string())?;
+        io::ensure_parent(&path)?;
+        std::fs::write(&path, report.render()).map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("wrote run report to {path}");
+    }
     Ok(())
 }
 
@@ -329,6 +352,36 @@ mod tests {
             &format!("{dir}/abs.json"),
         ]))
         .is_err());
+    }
+
+    #[test]
+    fn build_report_is_deterministic_and_nonempty() {
+        let dir = tmpdir("report");
+        let data_path = format!("{dir}/data.txt");
+        crate::io::write_data(&data_path, &[2.0, 2.0, 0.0, 2.0, 3.0, 5.0, 4.0, 4.0]).unwrap();
+        let mut renders = Vec::new();
+        for round in 0..2 {
+            let syn_path = format!("{dir}/syn{round}.json");
+            let rep_path = format!("{dir}/rep{round}.json");
+            dispatch(&v(&[
+                "build", "--input", &data_path, "--budget", "3", "--metric", "abs", "--algo",
+                "minmax", "--out", &syn_path, "--report", &rep_path,
+            ]))
+            .unwrap();
+            let text = std::fs::read_to_string(&rep_path).unwrap();
+            let value = wsyn_core::json::Value::parse(&text).unwrap();
+            let report = wsyn_obs::Report::from_json(&value).unwrap();
+            assert_eq!(report.root.name, wsyn_obs::ROOT_SPAN);
+            assert!(
+                !report.root.children.is_empty(),
+                "span tree must be non-empty"
+            );
+            renders.push(report.strip_timing().render());
+        }
+        assert_eq!(
+            renders[0], renders[1],
+            "untimed reports must be byte-identical"
+        );
     }
 
     #[test]

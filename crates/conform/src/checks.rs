@@ -30,12 +30,13 @@
 
 use wsyn_core::DpStats;
 use wsyn_haar::nd::{NdArray, NdShape};
+use wsyn_obs::Collector;
 use wsyn_stream::AdaptiveMaxErrSynopsis;
 use wsyn_synopsis::multi_dim::additive::AdditiveScheme;
 use wsyn_synopsis::multi_dim::integer::IntegerExact;
 use wsyn_synopsis::multi_dim::oneplus::OnePlusEps;
 use wsyn_synopsis::one_dim::{Config, DedupWorkspace, MinMaxErr, SplitSearch};
-use wsyn_synopsis::thresholder::GreedyL2;
+use wsyn_synopsis::thresholder::{GreedyL2, RunParams};
 use wsyn_synopsis::{ErrorMetric, Thresholder};
 
 use crate::gen::{Instance, MetricSpec};
@@ -77,15 +78,48 @@ macro_rules! ensure {
 /// # Errors
 /// The first failing check, with enough detail to reproduce it.
 pub fn check_instance(inst: &Instance) -> Result<CheckSummary, Failure> {
+    check_instance_observed(inst, &Collector::noop())
+}
+
+/// Wraps one check family in an observability span, recording how many
+/// assertions the family evaluated.
+macro_rules! observed {
+    ($obs:expr, $name:literal, $sum:expr, $call:expr) => {{
+        let span = $obs.span($name);
+        let before = $sum.checks;
+        $call?;
+        $obs.add("checks", $sum.checks - before);
+        drop(span);
+    }};
+}
+
+/// [`check_instance`], with each check family recorded as a span on
+/// `obs` (one span per family, carrying a `checks` counter). The no-op
+/// collector makes this identical to [`check_instance`].
+///
+/// # Errors
+/// The first failing check, with enough detail to reproduce it.
+pub fn check_instance_observed(inst: &Instance, obs: &Collector) -> Result<CheckSummary, Failure> {
     inst.validate()
         .map_err(|e| Failure::new("instance-shape", &inst.name, e))?;
     let mut sum = CheckSummary::default();
     if inst.shape.len() == 1 {
-        check_one_dim(inst, &mut sum)?;
-        check_stream_rebuild(inst, &mut sum)?;
-        check_aqp_bounds(inst, &mut sum)?;
+        observed!(obs, "one_dim", sum, check_one_dim(inst, &mut sum));
+        observed!(
+            obs,
+            "stream_rebuild",
+            sum,
+            check_stream_rebuild(inst, &mut sum)
+        );
+        observed!(obs, "aqp_bounds", sum, check_aqp_bounds(inst, &mut sum));
+        observed!(
+            obs,
+            "report_determinism",
+            sum,
+            check_report_determinism(inst, &mut sum)
+        );
     }
-    check_schemes(inst, &mut sum)?;
+    observed!(obs, "schemes", sum, check_schemes(inst, &mut sum));
     Ok(sum)
 }
 
@@ -238,7 +272,7 @@ fn check_one_dim(inst: &Instance, sum: &mut CheckSummary) -> Result<(), Failure>
             );
             let greedy_run = greedy
                 .threshold(b, metric)
-                .map_err(|e| Failure::new("greedy-run", name, e))?;
+                .map_err(|e| Failure::new("greedy-run", name, e.to_string()))?;
             ensure!(
                 sum,
                 greedy_run.objective >= wobj - 1e-9,
@@ -273,15 +307,15 @@ fn check_stream_rebuild(inst: &Instance, sum: &mut CheckSummary) -> Result<(), F
     for &spec in &inst.metrics {
         let metric = spec.metric();
         let mut adaptive = AdaptiveMaxErrSynopsis::new(&data, b, metric, 2.0)
-            .map_err(|e| Failure::new("stream-build", name, e))?;
+            .map_err(|e| Failure::new("stream-build", name, e.to_string()))?;
         for &(i, d) in &inst.updates {
             adaptive
                 .update(i, d as f64)
-                .map_err(|e| Failure::new("stream-update", name, e))?;
+                .map_err(|e| Failure::new("stream-update", name, e.to_string()))?;
         }
         adaptive
             .rebuild()
-            .map_err(|e| Failure::new("stream-rebuild", name, e))?;
+            .map_err(|e| Failure::new("stream-rebuild", name, e.to_string()))?;
         let fresh = MinMaxErr::new(adaptive.tree().data())
             .map_err(|e| Failure::new("stream-rebuild", name, e.to_string()))?
             .run(b, metric);
@@ -305,6 +339,51 @@ fn check_stream_rebuild(inst: &Instance, sum: &mut CheckSummary) -> Result<(), F
             spec.id(),
             adaptive.synopsis().indices(),
             fresh.synopsis.indices()
+        );
+    }
+    Ok(())
+}
+
+/// Observability: two identical runs of the same solver on the same
+/// instance must produce byte-identical untimed run reports (spans,
+/// counters, gauges, and serialization order are all deterministic).
+fn check_report_determinism(inst: &Instance, sum: &mut CheckSummary) -> Result<(), Failure> {
+    let name = &inst.name;
+    let data = data_f64(inst);
+    let n = data.len();
+    let b = inst
+        .budgets
+        .iter()
+        .copied()
+        .filter(|&b| b >= 1 && b < n)
+        .max()
+        .unwrap_or(1);
+    for &spec in &inst.metrics {
+        let metric = spec.metric();
+        let render_once = || -> Result<String, Failure> {
+            let obs = Collector::recording();
+            let solver = MinMaxErr::new(&data)
+                .map_err(|e| Failure::new("report-run", name, e.to_string()))?;
+            let params = RunParams::new(b, metric).obs(obs.clone());
+            solver
+                .threshold_with(&params)
+                .map_err(|e| Failure::new("report-run", name, e.to_string()))?;
+            let report = obs
+                .report(wsyn_obs::run_meta("minmax", b, &spec.id()))
+                .ok_or_else(|| {
+                    Failure::new("report-run", name, "recording collector lost".to_string())
+                })?;
+            Ok(report.strip_timing().render())
+        };
+        let first = render_once()?;
+        let second = render_once()?;
+        ensure!(
+            sum,
+            first == second,
+            "report-byte-identity",
+            name,
+            "b={b} {}: two identical runs rendered different untimed reports\n--- first ---\n{first}\n--- second ---\n{second}",
+            spec.id()
         );
     }
     Ok(())

@@ -184,7 +184,21 @@ pub fn doc_from_json(v: &Value) -> Result<CorpusDoc, String> {
 /// # Errors
 /// The first violated expectation or differential check.
 pub fn check_doc(doc: &CorpusDoc) -> Result<CheckSummary, Failure> {
+    check_doc_observed(doc, &wsyn_obs::Collector::noop())
+}
+
+/// [`check_doc`], recording one span per check family on `obs` (see
+/// [`checks::check_instance_observed`]). Golden-output comparisons are
+/// recorded under a `golden` span.
+///
+/// # Errors
+/// The first violated expectation or differential check.
+pub fn check_doc_observed(
+    doc: &CorpusDoc,
+    obs: &wsyn_obs::Collector,
+) -> Result<CheckSummary, Failure> {
     let name = &doc.instance.name;
+    let golden_span = obs.span("golden");
     let recomputed = compute_expected(&doc.instance)?;
     if recomputed.len() != doc.expected.len() {
         return Err(Failure::new(
@@ -244,7 +258,10 @@ pub fn check_doc(doc: &CorpusDoc) -> Result<CheckSummary, Failure> {
             ));
         }
     }
-    let mut sum = checks::check_instance(&doc.instance)?;
+    obs.add("outputs", doc.expected.len());
+    obs.add("checks", 3 * doc.expected.len());
+    drop(golden_span);
+    let mut sum = checks::check_instance_observed(&doc.instance, obs)?;
     sum.checks += 3 * doc.expected.len(); // layout, objective bits, retained set
     Ok(sum)
 }

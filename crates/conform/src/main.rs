@@ -1,11 +1,15 @@
 //! `wsyn-conform` — the conformance harness CLI.
 //!
 //! ```text
-//! wsyn-conform check  [--corpus DIR]          golden corpus + differential suite
-//! wsyn-conform bless  [--corpus DIR]          rewrite the corpus expectations
-//! wsyn-conform sweep  [--seed N] [--rounds N] seeded differential sweep
-//! wsyn-conform shrink --file PATH             minimize a failing instance file
+//! wsyn-conform check  [--corpus DIR] [--report PATH]   golden corpus + differential suite
+//! wsyn-conform bless  [--corpus DIR]                   rewrite the corpus expectations
+//! wsyn-conform sweep  [--seed N] [--rounds N]          seeded differential sweep
+//! wsyn-conform shrink --file PATH                      minimize a failing instance file
 //! ```
+//!
+//! `check` prints one span line per corpus doc (the per-family span tree
+//! recorded by the observability layer) and, with `--report PATH`,
+//! writes the full JSON run report for the whole pass.
 //!
 //! Exit status 0 means every check passed. Failures print the check id,
 //! the offending instance (minimized by the shrinker where possible) and
@@ -18,6 +22,8 @@ use std::process::ExitCode;
 use wsyn_conform::gen::{generate, Instance, Kind};
 use wsyn_conform::{checks, corpus, shrink, Failure};
 use wsyn_core::json::Value;
+use wsyn_core::WsynError;
+use wsyn_obs::{Collector, SpanNode};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -33,35 +39,35 @@ fn main() -> ExitCode {
 }
 
 const USAGE: &str = "usage:
-  wsyn-conform check  [--corpus DIR]
+  wsyn-conform check  [--corpus DIR] [--report PATH]
   wsyn-conform bless  [--corpus DIR]
   wsyn-conform sweep  [--seed N] [--rounds N]
   wsyn-conform shrink --file PATH";
 
-fn flag_value(args: &[String], flag: &str) -> Result<Option<String>, String> {
+fn flag_value(args: &[String], flag: &str) -> Result<Option<String>, WsynError> {
     match args.iter().position(|a| a == flag) {
         None => Ok(None),
         Some(i) => args
             .get(i + 1)
             .map(|v| Some(v.clone()))
-            .ok_or_else(|| format!("{flag} needs a value")),
+            .ok_or_else(|| WsynError::invalid(format!("{flag} needs a value"))),
     }
 }
 
-fn corpus_dir(args: &[String]) -> Result<PathBuf, String> {
+fn corpus_dir(args: &[String]) -> Result<PathBuf, WsynError> {
     Ok(flag_value(args, "--corpus")?.map_or_else(corpus::default_dir, PathBuf::from))
 }
 
-fn run(args: &[String]) -> Result<bool, String> {
+fn run(args: &[String]) -> Result<bool, WsynError> {
     let Some(cmd) = args.first() else {
-        return Err("missing command".to_string());
+        return Err(WsynError::invalid("missing command"));
     };
     match cmd.as_str() {
         "check" => cmd_check(&args[1..]),
         "bless" => cmd_bless(&args[1..]),
         "sweep" => cmd_sweep(&args[1..]),
         "shrink" => cmd_shrink(&args[1..]),
-        other => Err(format!("unknown command `{other}`")),
+        other => Err(WsynError::invalid(format!("unknown command `{other}`"))),
     }
 }
 
@@ -82,19 +88,42 @@ fn report_failure(failure: &Failure, inst: &Instance) {
     }
 }
 
-fn cmd_check(args: &[String]) -> Result<bool, String> {
+/// One line per child span of a doc's tree:
+/// `name{counter=v,...}` with nested children in parentheses.
+fn span_line(node: &SpanNode) -> String {
+    let mut parts: Vec<String> = node
+        .counters
+        .iter()
+        .map(|(k, v)| format!("{k}={v}"))
+        .chain(node.gauges.iter().map(|(k, v)| format!("{k}^={v}")))
+        .collect();
+    let kids: Vec<String> = node.children.iter().map(span_line).collect();
+    if !kids.is_empty() {
+        parts.push(format!("({})", kids.join(" ")));
+    }
+    if parts.is_empty() {
+        node.name.clone()
+    } else {
+        format!("{}{{{}}}", node.name, parts.join(","))
+    }
+}
+
+fn cmd_check(args: &[String]) -> Result<bool, WsynError> {
     let dir = corpus_dir(args)?;
+    let report_path = flag_value(args, "--report")?;
     let docs = corpus::load_dir(&dir)?;
     if docs.is_empty() {
-        return Err(format!(
+        return Err(WsynError::invalid(format!(
             "no corpus files in {} (run `bless` first)",
             dir.display()
-        ));
+        )));
     }
+    let obs = Collector::recording();
     let mut total = 0usize;
     let mut thm32 = 0usize;
     for (path, doc) in &docs {
-        match corpus::check_doc(doc) {
+        let doc_obs = Collector::recording();
+        match corpus::check_doc_observed(doc, &doc_obs) {
             Ok(sum) => {
                 total += sum.checks;
                 thm32 += sum.thm32_vs_oracle;
@@ -104,6 +133,18 @@ fn cmd_check(args: &[String]) -> Result<bool, String> {
                     sum.checks,
                     sum.thm32_vs_oracle
                 );
+                if let Some(mut tree) = doc_obs.into_root() {
+                    tree.name = doc.instance.name.clone();
+                    println!(
+                        "     spans: {}",
+                        tree.children
+                            .iter()
+                            .map(span_line)
+                            .collect::<Vec<_>>()
+                            .join(" ")
+                    );
+                    obs.attach(tree);
+                }
             }
             Err(failure) => {
                 report_failure(&failure, &doc.instance);
@@ -115,22 +156,38 @@ fn cmd_check(args: &[String]) -> Result<bool, String> {
         "corpus clean: {} instances, {total} checks, {thm32} Theorem 3.2 bounds certified against the brute-force oracle",
         docs.len()
     );
+    if let Some(path) = report_path {
+        let meta = vec![
+            (
+                "tool".to_string(),
+                Value::String("wsyn-conform check".to_string()),
+            ),
+            ("instances".to_string(), Value::Number(docs.len() as f64)),
+        ];
+        let report = obs
+            .report(meta)
+            .ok_or_else(|| WsynError::invalid("recording collector lost"))?;
+        std::fs::write(&path, report.render()).map_err(|e| WsynError::io(&path, e.to_string()))?;
+        println!("report written to {path}");
+    }
     Ok(true)
 }
 
-fn cmd_bless(args: &[String]) -> Result<bool, String> {
+fn cmd_bless(args: &[String]) -> Result<bool, WsynError> {
     let dir = corpus_dir(args)?;
     let written = corpus::bless_dir(&dir)?;
     println!("blessed {written} corpus files into {}", dir.display());
     Ok(true)
 }
 
-fn cmd_sweep(args: &[String]) -> Result<bool, String> {
+fn cmd_sweep(args: &[String]) -> Result<bool, WsynError> {
     let seed: u64 = flag_value(args, "--seed")?.map_or(Ok(2004), |v| {
-        v.parse().map_err(|e| format!("bad --seed `{v}`: {e}"))
+        v.parse()
+            .map_err(|e| WsynError::invalid(format!("bad --seed `{v}`: {e}")))
     })?;
     let rounds: u64 = flag_value(args, "--rounds")?.map_or(Ok(8), |v| {
-        v.parse().map_err(|e| format!("bad --rounds `{v}`: {e}"))
+        v.parse()
+            .map_err(|e| WsynError::invalid(format!("bad --rounds `{v}`: {e}")))
     })?;
     let mut total = 0usize;
     let mut instances = 0usize;
@@ -158,18 +215,20 @@ fn cmd_sweep(args: &[String]) -> Result<bool, String> {
     Ok(true)
 }
 
-fn cmd_shrink(args: &[String]) -> Result<bool, String> {
+fn cmd_shrink(args: &[String]) -> Result<bool, WsynError> {
     let Some(file) = flag_value(args, "--file")? else {
-        return Err("shrink needs --file PATH".to_string());
+        return Err(WsynError::invalid("shrink needs --file PATH"));
     };
-    let text = std::fs::read_to_string(&file).map_err(|e| format!("cannot read {file}: {e}"))?;
-    let value = Value::parse(&text).map_err(|e| format!("{file}: {e}"))?;
+    let text = std::fs::read_to_string(&file).map_err(|e| WsynError::io(&file, e.to_string()))?;
+    let value = Value::parse(&text).map_err(|e| WsynError::io(&file, e))?;
     // Accept either a bare instance or a full corpus doc.
     let inst = match Instance::from_json(&value) {
         Ok(inst) => inst,
         Err(_) => corpus::doc_from_json(&value)
             .map(|d| d.instance)
-            .map_err(|e| format!("{file}: neither an instance nor a corpus doc: {e}"))?,
+            .map_err(|e| {
+                WsynError::io(&file, format!("neither an instance nor a corpus doc: {e}"))
+            })?,
     };
     match checks::check_instance(&inst) {
         Ok(sum) => {

@@ -1,0 +1,156 @@
+//! The workspace-wide typed error.
+//!
+//! Every dispatch surface above the solvers — the [`Thresholder`] trait,
+//! the CLI, the AQP builders, the conformance harness plumbing — used to
+//! return `Result<_, String>`. [`WsynError`] replaces that: a small
+//! closed set of failure categories callers can match on, each carrying
+//! the human-readable detail the old strings held.
+//!
+//! The crate is dependency-free by policy (DESIGN.md §6), so variants
+//! carry rendered text rather than foreign error types; the
+//! `From<HaarError>` conversion lives in `wsyn-haar` (the crate that
+//! owns the type) and maps into [`WsynError::Transform`].
+//!
+//! [`Thresholder`]: https://docs.rs/wsyn-synopsis
+
+use std::fmt;
+
+/// A failure anywhere in the wavelet-synopsis workspace.
+///
+/// Marked `#[non_exhaustive]`: new failure categories may be added
+/// without a breaking release, so downstream `match`es need a wildcard
+/// arm.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum WsynError {
+    /// A solver was asked for a `(budget, metric)` combination it is not
+    /// defined for (e.g. the `(1+ε)` scheme under a relative metric).
+    Unsupported {
+        /// Stable solver identifier (`Thresholder::name`).
+        solver: String,
+        /// Why the combination is refused.
+        reason: String,
+    },
+    /// A consumer needed a synopsis of the other dimensionality (e.g. a
+    /// 1-D query engine handed a multi-dimensional synopsis).
+    DimensionMismatch {
+        /// The consumer that refused the synopsis.
+        what: String,
+    },
+    /// Wavelet transform or error-tree construction failed; carries the
+    /// rendered `HaarError` (see the `From<HaarError>` impl in
+    /// `wsyn-haar`).
+    Transform(String),
+    /// Malformed input: CLI arguments, JSON documents, corpus files.
+    Invalid(String),
+    /// Filesystem I/O failed.
+    Io {
+        /// The path involved.
+        path: String,
+        /// The rendered OS error.
+        message: String,
+    },
+}
+
+impl WsynError {
+    /// An [`WsynError::Unsupported`] refusal from `solver`.
+    #[must_use]
+    pub fn unsupported(solver: impl Into<String>, reason: impl Into<String>) -> WsynError {
+        WsynError::Unsupported {
+            solver: solver.into(),
+            reason: reason.into(),
+        }
+    }
+
+    /// A [`WsynError::DimensionMismatch`] naming the refusing consumer.
+    #[must_use]
+    pub fn dimension_mismatch(what: impl Into<String>) -> WsynError {
+        WsynError::DimensionMismatch { what: what.into() }
+    }
+
+    /// A [`WsynError::Invalid`] with the given detail.
+    #[must_use]
+    pub fn invalid(detail: impl Into<String>) -> WsynError {
+        WsynError::Invalid(detail.into())
+    }
+
+    /// A [`WsynError::Io`] for `path`.
+    #[must_use]
+    pub fn io(path: impl Into<String>, message: impl Into<String>) -> WsynError {
+        WsynError::Io {
+            path: path.into(),
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for WsynError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WsynError::Unsupported { solver, reason } => write!(f, "{solver}: {reason}"),
+            WsynError::DimensionMismatch { what } => {
+                write!(f, "{what} requires a one-dimensional synopsis")
+            }
+            WsynError::Transform(detail) => write!(f, "wavelet transform: {detail}"),
+            WsynError::Invalid(detail) => write!(f, "{detail}"),
+            WsynError::Io { path, message } => write!(f, "{path}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for WsynError {}
+
+/// Migration aid for surfaces that still produce `String` errors (CLI
+/// argument parsing, JSON decoding): the text becomes
+/// [`WsynError::Invalid`], so `?` keeps working across the boundary.
+impl From<String> for WsynError {
+    fn from(detail: String) -> WsynError {
+        WsynError::Invalid(detail)
+    }
+}
+
+impl From<&str> for WsynError {
+    fn from(detail: &str) -> WsynError {
+        WsynError::Invalid(detail.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(
+            WsynError::unsupported("oneplus", "absolute-error only").to_string(),
+            "oneplus: absolute-error only"
+        );
+        assert_eq!(
+            WsynError::dimension_mismatch("the CLI").to_string(),
+            "the CLI requires a one-dimensional synopsis"
+        );
+        assert_eq!(
+            WsynError::Transform("input is empty".to_string()).to_string(),
+            "wavelet transform: input is empty"
+        );
+        assert_eq!(WsynError::invalid("bad flag").to_string(), "bad flag");
+        assert_eq!(
+            WsynError::io("corpus/x.json", "not found").to_string(),
+            "corpus/x.json: not found"
+        );
+    }
+
+    #[test]
+    fn string_conversion_feeds_invalid() {
+        let e: WsynError = format!("bad --seed `{}`", "x").into();
+        assert_eq!(e, WsynError::Invalid("bad --seed `x`".to_string()));
+        let e: WsynError = "plain".into();
+        assert_eq!(e.to_string(), "plain");
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn takes(_: &dyn std::error::Error) {}
+        takes(&WsynError::invalid("x"));
+    }
+}

@@ -33,7 +33,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod error;
 pub mod json;
+
+pub use error::WsynError;
 
 /// Unified statistics block reported by every DP solver in the workspace.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]

@@ -54,3 +54,13 @@ impl fmt::Display for HaarError {
 }
 
 impl std::error::Error for HaarError {}
+
+/// Lifts a transform failure into the workspace-wide error. The
+/// conversion lives here rather than in `wsyn-core` because core is
+/// dependency-free by policy and cannot name [`HaarError`]; the rendered
+/// message is preserved verbatim in [`WsynError::Transform`].
+impl From<HaarError> for wsyn_core::WsynError {
+    fn from(err: HaarError) -> wsyn_core::WsynError {
+        wsyn_core::WsynError::Transform(err.to_string())
+    }
+}

@@ -41,13 +41,12 @@ use wsyn_core::{is_zero, narrow_u32, pack_state_1d, DpStats, StateTable};
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use wsyn_core::WsynError;
 use wsyn_haar::{ErrorTree1d, HaarError};
-use wsyn_synopsis::thresholder::{AnySynopsis, ThresholdRun, Thresholder};
+use wsyn_synopsis::thresholder::{AnySynopsis, RunParams, ThresholdRun, Thresholder};
 use wsyn_synopsis::{ErrorMetric, Synopsis1d};
 
-/// Fractional-storage quantization used when a baseline is driven through
-/// the parameterless [`Thresholder`] interface (E6's setting).
-pub const DEFAULT_Q: usize = 6;
+pub use wsyn_synopsis::thresholder::DEFAULT_Q;
 
 /// A fractional-storage assignment over the coefficients of a
 /// one-dimensional error tree: the output of [`MinRelVar`] / [`MinRelBias`]
@@ -441,27 +440,38 @@ impl MinRelBias {
 }
 
 /// Drives a probabilistic baseline through the uniform [`Thresholder`]
-/// interface: computes the fractional-storage assignment with the default
-/// quantization [`DEFAULT_Q`] and draws **one** synopsis with a fixed seed,
-/// so repeated calls are deterministic. The reported objective is the
+/// interface: computes the fractional-storage assignment with the
+/// requested quantization (`params.q`, default
+/// [`DEFAULT_Q`]) and draws **one** synopsis with a fixed seed, so
+/// repeated calls are deterministic. The reported objective is the
 /// measured maximum error of that draw (these baselines guarantee nothing
 /// about the maximum error — the point of the comparison).
 fn threshold_via_assignment(
     data: &[f64],
     assign: impl Fn(usize, usize, f64) -> ProbAssignment,
-    b: usize,
-    metric: ErrorMetric,
-    name: &str,
-) -> Result<ThresholdRun, String> {
-    let ErrorMetric::Relative { sanity } = metric else {
-        return Err(format!(
-            "{name} minimizes relative-error objectives only (use --metric rel:S)"
+    params: &RunParams,
+    name: &'static str,
+) -> Result<ThresholdRun, WsynError> {
+    let ErrorMetric::Relative { sanity } = params.metric else {
+        return Err(WsynError::unsupported(
+            name,
+            "minimizes relative-error objectives only (use --metric rel:S)",
         ));
     };
-    let a = assign(b, DEFAULT_Q, sanity);
-    let mut rng = StdRng::seed_from_u64(0);
-    let synopsis = a.draw(&mut rng);
-    let objective = synopsis.max_error(data, metric);
+    let _run = params.obs.span(name);
+    let a = {
+        let _assign = params.obs.span("assign_dp");
+        let a = assign(params.budget, params.q, sanity);
+        params.obs.record_dp_stats(&a.dp_stats());
+        a
+    };
+    let synopsis = {
+        let _draw = params.obs.span("rounding_draw");
+        let mut rng = StdRng::seed_from_u64(0);
+        a.draw(&mut rng)
+    };
+    params.obs.add("retained", synopsis.len());
+    let objective = synopsis.max_error(data, params.metric);
     Ok(ThresholdRun {
         synopsis: AnySynopsis::One(synopsis),
         objective,
@@ -474,13 +484,12 @@ impl Thresholder for MinRelVar {
         "minrelvar"
     }
 
-    fn threshold(&self, b: usize, metric: ErrorMetric) -> Result<ThresholdRun, String> {
+    fn threshold_with(&self, params: &RunParams) -> Result<ThresholdRun, WsynError> {
         threshold_via_assignment(
             &self.data,
             |b, q, s| self.assign(b, q, s),
-            b,
-            metric,
-            "MinRelVar",
+            params,
+            "minrelvar",
         )
     }
 }
@@ -490,13 +499,12 @@ impl Thresholder for MinRelBias {
         "minrelbias"
     }
 
-    fn threshold(&self, b: usize, metric: ErrorMetric) -> Result<ThresholdRun, String> {
+    fn threshold_with(&self, params: &RunParams) -> Result<ThresholdRun, WsynError> {
         threshold_via_assignment(
             &self.data,
             |b, q, s| self.assign(b, q, s),
-            b,
-            metric,
-            "MinRelBias",
+            params,
+            "minrelbias",
         )
     }
 }

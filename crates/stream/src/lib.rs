@@ -28,21 +28,23 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use wsyn_core::WsynError;
 use wsyn_haar::{is_pow2, log2_exact, transform, ErrorTree1d, HaarError};
+use wsyn_obs::Collector;
 use wsyn_synopsis::greedy::greedy_l2_1d;
 use wsyn_synopsis::one_dim::MinMaxErr;
-use wsyn_synopsis::{ErrorMetric, SolverScratch, Synopsis1d, Thresholder};
+use wsyn_synopsis::{ErrorMetric, RunParams, SolverScratch, Synopsis1d, Thresholder};
 
 /// Builds the thresholding algorithm [`AdaptiveMaxErrSynopsis`] re-runs on
 /// rebuild, from the *current* maintained data. A plain function pointer so
 /// the policy stays `Debug` and trivially copyable; the produced algorithm
 /// should provide a max-error guarantee for the drift bound to be
 /// meaningful.
-pub type ThresholderFactory = fn(&[f64]) -> Result<Box<dyn Thresholder>, String>;
+pub type ThresholderFactory = fn(&[f64]) -> Result<Box<dyn Thresholder>, WsynError>;
 
 /// The default rebuild factory: the optimal 1-D `MinMaxErr` DP.
-fn minmax_factory(data: &[f64]) -> Result<Box<dyn Thresholder>, String> {
-    Ok(Box::new(MinMaxErr::new(data).map_err(|e| e.to_string())?))
+fn minmax_factory(data: &[f64]) -> Result<Box<dyn Thresholder>, WsynError> {
+    Ok(Box::new(MinMaxErr::new(data)?))
 }
 
 /// Exact dynamic maintenance of a 1-D Haar coefficient array under point
@@ -261,12 +263,15 @@ pub struct AdaptiveMaxErrSynopsis {
     current: Synopsis1d,
     factory: ThresholderFactory,
     /// Reusable solver storage threaded through every (re)build via
-    /// [`Thresholder::threshold_reusing`]. The factory builds a fresh
-    /// thresholder per rebuild (the data changed), so the 1-D DP
+    /// [`Thresholder::threshold_with_reusing`]. The factory builds a
+    /// fresh thresholder per rebuild (the data changed), so the 1-D DP
     /// workspace inside never carries warm states across rebuilds — it
     /// carries its *allocations*, skipping the memo growth ramp each
     /// time.
     scratch: SolverScratch,
+    /// Observability collector every (re)build records into; the no-op
+    /// collector (zero cost) unless [`Self::set_obs`] installs one.
+    obs: Collector,
 }
 
 impl AdaptiveMaxErrSynopsis {
@@ -277,8 +282,8 @@ impl AdaptiveMaxErrSynopsis {
     /// guarantee may have doubled).
     ///
     /// # Errors
-    /// Describes the failure: an invalid domain ([`HaarError`] rendered as
-    /// text) or the default thresholder's refusal.
+    /// Describes the failure: an invalid domain
+    /// ([`WsynError::Transform`]) or the default thresholder's refusal.
     ///
     /// # Panics
     /// Panics when `tolerance < 1`.
@@ -287,8 +292,8 @@ impl AdaptiveMaxErrSynopsis {
         b: usize,
         metric: ErrorMetric,
         tolerance: f64,
-    ) -> Result<Self, String> {
-        let tree = DynamicErrorTree::new(data).map_err(|e| e.to_string())?;
+    ) -> Result<Self, WsynError> {
+        let tree = DynamicErrorTree::new(data)?;
         Self::with_factory(tree, b, metric, tolerance, minmax_factory)
     }
 
@@ -307,7 +312,7 @@ impl AdaptiveMaxErrSynopsis {
         metric: ErrorMetric,
         tolerance: f64,
         factory: ThresholderFactory,
-    ) -> Result<Self, String> {
+    ) -> Result<Self, WsynError> {
         assert!(tolerance >= 1.0, "tolerance must be >= 1");
         let mut scratch = SolverScratch::new();
         let run = factory(tree.data())?.threshold_reusing(b, metric, &mut scratch)?;
@@ -323,7 +328,15 @@ impl AdaptiveMaxErrSynopsis {
             current,
             factory,
             scratch,
+            obs: Collector::noop(),
         })
+    }
+
+    /// Installs an observability collector: every subsequent rebuild
+    /// records a `rebuild` span (with the triggering drift and the
+    /// rebuilt objective's DP counters) into it.
+    pub fn set_obs(&mut self, obs: Collector) {
+        self.obs = obs;
     }
 
     /// Applies an update, rebuilding if the guarantee degraded past the
@@ -332,7 +345,7 @@ impl AdaptiveMaxErrSynopsis {
     /// # Errors
     /// Propagates the factory's or the thresholder's refusal from a
     /// triggered rebuild.
-    pub fn update(&mut self, i: usize, delta: f64) -> Result<bool, String> {
+    pub fn update(&mut self, i: usize, delta: f64) -> Result<bool, WsynError> {
         self.tree.update(i, delta);
         self.drift_abs += delta.abs();
         let degraded = match self.metric {
@@ -369,12 +382,12 @@ impl AdaptiveMaxErrSynopsis {
     /// Propagates the factory's or the thresholder's refusal (the factory
     /// accepted the same `(budget, metric)` at construction, so a refusal
     /// here indicates a non-deterministic factory).
-    pub fn rebuild(&mut self) -> Result<(), String> {
-        let run = (self.factory)(self.tree.data())?.threshold_reusing(
-            self.b,
-            self.metric,
-            &mut self.scratch,
-        )?;
+    pub fn rebuild(&mut self) -> Result<(), WsynError> {
+        let _span = self.obs.span("rebuild");
+        self.obs.add("rebuilds", 1);
+        let params = RunParams::new(self.b, self.metric).obs(self.obs.clone());
+        let run =
+            (self.factory)(self.tree.data())?.threshold_with_reusing(&params, &mut self.scratch)?;
         self.built_objective = run.objective;
         self.current = run.synopsis.into_one("the rebuild policy")?;
         self.drift_abs = 0.0;

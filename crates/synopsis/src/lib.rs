@@ -44,4 +44,4 @@ pub mod thresholder;
 
 pub use metric::{rmse, ErrorMetric};
 pub use synopsis::{Synopsis1d, SynopsisNd};
-pub use thresholder::{AnySynopsis, SolverScratch, ThresholdRun, Thresholder};
+pub use thresholder::{AnySynopsis, RunParams, SolverScratch, ThresholdRun, Thresholder};

@@ -10,6 +10,13 @@
 //! The thresholding objective is `max_i err_i` over the whole domain.
 
 /// Target maximum-error metric for synopsis construction.
+///
+/// Deliberately **not** `#[non_exhaustive]`: solvers, the AQP bound
+/// derivations, and the CLI all dispatch exhaustively on the metric, and
+/// a wildcard arm that silently mis-serves a future metric would be a
+/// correctness hazard (wrong guarantees, not a compile error). A new
+/// metric is a semver-breaking addition on purpose — every dispatch
+/// site must prove it handles the new objective.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum ErrorMetric {
     /// Maximum relative error with sanity bound `s > 0`.

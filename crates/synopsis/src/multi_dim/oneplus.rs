@@ -21,6 +21,7 @@ use wsyn_core::{DpStats, DpWorkspace, RowId};
 use wsyn_haar::int::{self, ScaledCoeffs};
 use wsyn_haar::nd::{NdArray, NdShape};
 use wsyn_haar::{ErrorTreeNd, HaarError};
+use wsyn_obs::{Collector, SpanNode};
 
 use super::integer::run_int_dp_in;
 use super::{NdThresholdResult, MAX_DIMS};
@@ -58,6 +59,30 @@ struct TauOutcome {
     /// `(true error, retained positions, dp objective in data units)`.
     selected: Option<(f64, Vec<usize>, f64)>,
     stats: DpStats,
+}
+
+impl TauOutcome {
+    /// The observability subtree for this τ: a `tau` span carrying the
+    /// threshold, the forced-set size, feasibility, and the DP counters.
+    fn span_node(&self) -> SpanNode {
+        let mut node = SpanNode::new("tau");
+        let c = &mut node.counters;
+        c.insert(
+            "tau".to_string(),
+            usize::try_from(self.report.tau).unwrap_or(usize::MAX),
+        );
+        c.insert("forced".to_string(), self.report.forced);
+        c.insert(
+            "feasible".to_string(),
+            usize::from(self.report.true_objective.is_some()),
+        );
+        c.insert("states".to_string(), self.stats.states);
+        c.insert("leaf_evals".to_string(), self.stats.leaf_evals);
+        c.insert("probes".to_string(), self.stats.probes);
+        node.gauges
+            .insert("peak_live".to_string(), self.stats.peak_live);
+        node
+    }
 }
 
 impl OnePlusEps {
@@ -109,6 +134,19 @@ impl OnePlusEps {
         result
     }
 
+    /// As [`Self::run`], recording the sweep into an observability
+    /// collector: a `tau_sweep` span whose children are one `tau` span
+    /// per threshold tried, carrying that τ's forced-set size and DP
+    /// counters. Children are attached in ascending-τ order during the
+    /// deterministic merge, so the recorded tree is identical whether
+    /// the sweep ran parallel or sequential.
+    ///
+    /// # Panics
+    /// Panics when `epsilon` is not strictly positive.
+    pub fn run_observed(&self, b: usize, epsilon: f64, obs: &Collector) -> NdThresholdResult {
+        self.sweep(b, epsilon, true, obs).0
+    }
+
     /// As [`Self::run`], additionally returning per-τ diagnostics.
     ///
     /// The τ values are independent subproblems, so they run on one scoped
@@ -120,7 +158,7 @@ impl OnePlusEps {
     /// # Panics
     /// Panics when `epsilon` is not strictly positive.
     pub fn run_with_reports(&self, b: usize, epsilon: f64) -> (NdThresholdResult, Vec<TauReport>) {
-        self.sweep(b, epsilon, true)
+        self.sweep(b, epsilon, true, &Collector::noop())
     }
 
     /// Sequential reference sweep: same results as
@@ -134,10 +172,16 @@ impl OnePlusEps {
         b: usize,
         epsilon: f64,
     ) -> (NdThresholdResult, Vec<TauReport>) {
-        self.sweep(b, epsilon, false)
+        self.sweep(b, epsilon, false, &Collector::noop())
     }
 
-    fn sweep(&self, b: usize, epsilon: f64, parallel: bool) -> (NdThresholdResult, Vec<TauReport>) {
+    fn sweep(
+        &self,
+        b: usize,
+        epsilon: f64,
+        parallel: bool,
+        obs: &Collector,
+    ) -> (NdThresholdResult, Vec<TauReport>) {
         assert!(epsilon > 0.0, "epsilon must be positive");
         let eps_internal = epsilon / 4.0;
         let rz = self.rz();
@@ -192,10 +236,17 @@ impl OnePlusEps {
         };
         // Deterministic merge in ascending-τ order; strict `<` keeps the
         // smallest τ on ties, matching the sequential loop bit-for-bit.
+        // Per-τ observability subtrees are built *here*, from the merged
+        // outcomes, so the recorded tree is independent of worker
+        // scheduling: parallel and sequential sweeps report identically.
+        let sweep_span = obs.span("tau_sweep");
         let mut reports = Vec::with_capacity(outcomes.len());
         let mut stats = DpStats::default();
         let mut best: Option<(f64, Vec<usize>, f64)> = None;
         for outcome in outcomes {
+            if obs.is_enabled() {
+                obs.attach(outcome.span_node());
+            }
             reports.push(outcome.report);
             stats = stats.merged(outcome.stats);
             if let Some((true_err, positions, dp_units)) = outcome.selected {
@@ -204,6 +255,8 @@ impl OnePlusEps {
                 }
             }
         }
+        obs.add("taus", reports.len());
+        drop(sweep_span);
         let (true_objective, positions, dp_objective) =
             // The largest tau in the sweep forces no coefficient, so that
             // run is always feasible and `best` is always populated.

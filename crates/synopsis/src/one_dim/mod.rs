@@ -60,6 +60,13 @@ use crate::metric::ErrorMetric;
 use crate::synopsis::Synopsis1d;
 
 /// Which DP engine to run (see module docs).
+///
+/// Deliberately **not** `#[non_exhaustive]`: [`Engine::ALL`] is a public
+/// contract — the conformance harness and the ablation binaries iterate
+/// it and exhaustively match on every variant, and the exact-twin
+/// guarantee is quantified over *all* engines. Adding an engine is a
+/// semver-breaking event by design: every exhaustive match (and every
+/// bit-identity claim) must be revisited, not silently wildcarded.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Engine {
     /// Incoming-error memoization with branch-and-bound pruning
@@ -77,6 +84,10 @@ pub enum Engine {
 }
 
 /// How to locate the optimal budget split between two child subtrees.
+///
+/// Not `#[non_exhaustive]`, for the same reason as [`Engine`]:
+/// [`SplitSearch::ALL`] spans the engine × split matrix of
+/// [`Config::ALL`], whose exact-twin contract enumerates every variant.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum SplitSearch {
     /// The paper's `O(log B)` binary search over the crossover allotment.
@@ -158,6 +169,12 @@ impl Config {
     };
 
     /// Stable `"<engine>/<split>"` identifier.
+    ///
+    /// **Stability guarantee:** these identifiers are persisted — in
+    /// blessed conformance corpus files, benchmark JSON, and
+    /// observability run reports — so they are never renamed or
+    /// repurposed. A new configuration gets a new id; an existing id
+    /// refers to the same configuration forever.
     #[must_use]
     pub fn id(self) -> String {
         format!("{}/{}", self.engine.id(), self.split.id())

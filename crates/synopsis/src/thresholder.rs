@@ -9,29 +9,137 @@
 //! experiment binaries can hold a `Box<dyn Thresholder>` instead of
 //! dispatching with bespoke match arms per algorithm.
 //!
-//! Solvers that need extra parameters (approximation ε, quantization `q`)
-//! expose them through their inherent constructors/methods; the trait
-//! impls use the documented defaults. A combination a solver cannot serve
-//! (e.g. `OnePlusEps` under a relative metric) returns `Err` rather than
+//! The required method is [`Thresholder::threshold_with`], which takes a
+//! [`RunParams`]: budget and metric plus the tuning knobs solvers used
+//! to hard-code (approximation `ε`, quantization `q`, the budget-split
+//! search strategy) and an observability [`Collector`] slot. The
+//! parameterless [`Thresholder::threshold`] /
+//! [`Thresholder::threshold_reusing`] remain as thin wrappers over
+//! default parameters, so existing callers migrate incrementally.
+//! A combination a solver cannot serve (e.g. `OnePlusEps` under a
+//! relative metric) returns [`WsynError::Unsupported`] rather than
 //! silently substituting a different computation.
 
-use wsyn_core::DpStats;
+use wsyn_core::{DpStats, WsynError};
 use wsyn_haar::{ErrorTree1d, HaarError};
+use wsyn_obs::Collector;
 
 use crate::greedy::greedy_l2_1d;
 use crate::metric::ErrorMetric;
 use crate::multi_dim::additive::AdditiveScheme;
 use crate::multi_dim::integer::IntegerExact;
 use crate::multi_dim::oneplus::OnePlusEps;
-use crate::one_dim::{DedupWorkspace, MinMaxErr, SplitSearch};
+use crate::one_dim::{Config, DedupWorkspace, Engine, MinMaxErr, SplitSearch};
 use crate::synopsis::{Synopsis1d, SynopsisNd};
 
 /// Default approximation parameter used when an ε-parameterized scheme is
 /// driven through the parameterless [`Thresholder`] interface.
 pub const DEFAULT_EPS: f64 = 0.1;
 
-/// A synopsis of either dimensionality, as produced by a [`Thresholder`].
+/// Default fractional-storage quantization for the probabilistic
+/// baselines when driven through the parameterless interface (E6's
+/// setting; `wsyn-prob` re-exports this).
+pub const DEFAULT_Q: usize = 6;
+
+/// Parameters for one thresholding run: the `(budget, metric)` pair every
+/// solver needs, the tuning knobs that used to be hard-coded per impl,
+/// and an observability [`Collector`] slot (no-op by default, so
+/// uninstrumented runs pay nothing).
+///
+/// Built with chainable setters:
+///
+/// ```
+/// use wsyn_synopsis::thresholder::RunParams;
+/// use wsyn_synopsis::ErrorMetric;
+/// let params = RunParams::new(8, ErrorMetric::absolute()).eps(0.05);
+/// assert_eq!(params.budget, 8);
+/// ```
 #[derive(Debug, Clone)]
+pub struct RunParams {
+    /// Space budget `B` (maximum retained coefficients).
+    pub budget: usize,
+    /// Target maximum-error metric.
+    pub metric: ErrorMetric,
+    /// Approximation parameter for the ε-schemes ([`AdditiveScheme`],
+    /// [`OnePlusEps`]); ignored by exact solvers.
+    pub eps: f64,
+    /// Fractional-storage quantization for the probabilistic baselines;
+    /// ignored by the deterministic solvers.
+    pub q: usize,
+    /// Budget-split search strategy for the 1-D DP; ignored by solvers
+    /// without a split search.
+    pub split_search: SplitSearch,
+    /// Observability collector; [`Collector::noop`] unless the caller
+    /// wants a run report.
+    pub obs: Collector,
+}
+
+impl RunParams {
+    /// Parameters with the documented defaults: `eps` =
+    /// [`DEFAULT_EPS`], `q` = [`DEFAULT_Q`], binary split search, no-op
+    /// collector.
+    #[must_use]
+    pub fn new(budget: usize, metric: ErrorMetric) -> RunParams {
+        RunParams {
+            budget,
+            metric,
+            eps: DEFAULT_EPS,
+            q: DEFAULT_Q,
+            split_search: SplitSearch::default(),
+            obs: Collector::noop(),
+        }
+    }
+
+    /// Sets the approximation parameter ε.
+    #[must_use]
+    pub fn eps(mut self, eps: f64) -> RunParams {
+        self.eps = eps;
+        self
+    }
+
+    /// Sets the probabilistic-baseline quantization `q`.
+    #[must_use]
+    pub fn q(mut self, q: usize) -> RunParams {
+        self.q = q;
+        self
+    }
+
+    /// Switches the metric to relative error with sanity bound `s`
+    /// (footnote 2 of the paper).
+    ///
+    /// # Panics
+    /// Panics when `sanity` is not strictly positive and finite (see
+    /// [`ErrorMetric::relative`]).
+    #[must_use]
+    pub fn sanity_bound(mut self, sanity: f64) -> RunParams {
+        self.metric = ErrorMetric::relative(sanity);
+        self
+    }
+
+    /// Sets the budget-split search strategy for the 1-D DP.
+    #[must_use]
+    pub fn split_search(mut self, split: SplitSearch) -> RunParams {
+        self.split_search = split;
+        self
+    }
+
+    /// Installs an observability collector; pass
+    /// [`Collector::recording`] to capture a span tree for a run report.
+    #[must_use]
+    pub fn obs(mut self, obs: Collector) -> RunParams {
+        self.obs = obs;
+        self
+    }
+}
+
+/// A synopsis of either dimensionality, as produced by a [`Thresholder`].
+///
+/// Marked `#[non_exhaustive]`: future dimensionality-specialized
+/// representations may be added without a breaking release, so matches
+/// outside this crate need a wildcard arm (or go through
+/// [`AnySynopsis::into_one`]).
+#[derive(Debug, Clone)]
+#[non_exhaustive]
 pub enum AnySynopsis {
     /// A one-dimensional synopsis.
     One(Synopsis1d),
@@ -53,12 +161,16 @@ impl AnySynopsis {
         self.len() == 0
     }
 
-    /// The one-dimensional synopsis, or an error naming `what` when the
-    /// run produced a multi-dimensional one.
-    pub fn into_one(self, what: &str) -> Result<Synopsis1d, String> {
+    /// The one-dimensional synopsis, or a
+    /// [`WsynError::DimensionMismatch`] naming `what` when the run
+    /// produced a multi-dimensional one.
+    ///
+    /// # Errors
+    /// [`WsynError::DimensionMismatch`] for a non-1-D synopsis.
+    pub fn into_one(self, what: &str) -> Result<Synopsis1d, WsynError> {
         match self {
             AnySynopsis::One(s) => Ok(s),
-            AnySynopsis::Nd(_) => Err(format!("{what} requires a one-dimensional synopsis")),
+            _ => Err(WsynError::dimension_mismatch(what)),
         }
     }
 }
@@ -79,46 +191,72 @@ pub struct ThresholdRun {
 }
 
 /// A thresholding algorithm: built once over a dataset, then run for any
-/// `(budget, metric)` pair.
+/// [`RunParams`].
 pub trait Thresholder {
     /// Stable algorithm identifier (used in CLI output and JSON docs).
     fn name(&self) -> &'static str;
 
-    /// Whether [`Thresholder::threshold`]'s objective is a *guarantee*
-    /// (a bound the algorithm proves) rather than a measured value.
+    /// Whether the reported objective is a *guarantee* (a bound the
+    /// algorithm proves) rather than a measured value.
     fn has_guarantee(&self) -> bool {
         false
     }
 
-    /// Selects at most `b` coefficients for the given metric.
+    /// Selects at most `params.budget` coefficients for `params.metric`,
+    /// honouring the tuning knobs in `params` and recording spans and
+    /// counters into `params.obs`.
     ///
     /// # Errors
-    /// A human-readable message when this algorithm cannot serve the
-    /// requested `(budget, metric)` combination.
-    fn threshold(&self, b: usize, metric: ErrorMetric) -> Result<ThresholdRun, String>;
+    /// [`WsynError::Unsupported`] when this algorithm cannot serve the
+    /// requested parameter combination.
+    fn threshold_with(&self, params: &RunParams) -> Result<ThresholdRun, WsynError>;
+
+    /// [`Thresholder::threshold_with`] with caller-provided reusable
+    /// solver storage. Callers that run many budgets or rebuilds
+    /// (B-sweeps, streaming) thread one [`SolverScratch`] through every
+    /// call; solvers with reusable state override this to exploit it
+    /// (the optimal 1-D DP reuses its warm memo / allocations), and the
+    /// default simply ignores the scratch. Results are identical to
+    /// [`Thresholder::threshold_with`] by contract.
+    ///
+    /// # Errors
+    /// Same conditions as [`Thresholder::threshold_with`].
+    fn threshold_with_reusing(
+        &self,
+        params: &RunParams,
+        scratch: &mut SolverScratch,
+    ) -> Result<ThresholdRun, WsynError> {
+        let _ = scratch;
+        self.threshold_with(params)
+    }
+
+    /// Selects at most `b` coefficients for the given metric with
+    /// default parameters — a thin wrapper over
+    /// [`Thresholder::threshold_with`].
+    ///
+    /// # Errors
+    /// Same conditions as [`Thresholder::threshold_with`].
+    fn threshold(&self, b: usize, metric: ErrorMetric) -> Result<ThresholdRun, WsynError> {
+        self.threshold_with(&RunParams::new(b, metric))
+    }
 
     /// [`Thresholder::threshold`] with caller-provided reusable solver
-    /// storage. Callers that run many budgets or rebuilds (B-sweeps,
-    /// streaming) thread one [`SolverScratch`] through every call;
-    /// solvers with reusable state override this to exploit it (the
-    /// optimal 1-D DP reuses its warm memo / allocations), and the
-    /// default simply ignores the scratch. Results are identical to
-    /// [`Thresholder::threshold`] by contract.
+    /// storage — a thin wrapper over
+    /// [`Thresholder::threshold_with_reusing`].
     ///
     /// # Errors
-    /// Same conditions as [`Thresholder::threshold`].
+    /// Same conditions as [`Thresholder::threshold_with`].
     fn threshold_reusing(
         &self,
         b: usize,
         metric: ErrorMetric,
         scratch: &mut SolverScratch,
-    ) -> Result<ThresholdRun, String> {
-        let _ = scratch;
-        self.threshold(b, metric)
+    ) -> Result<ThresholdRun, WsynError> {
+        self.threshold_with_reusing(&RunParams::new(b, metric), scratch)
     }
 }
 
-/// Reusable solver storage for [`Thresholder::threshold_reusing`]:
+/// Reusable solver storage for [`Thresholder::threshold_with_reusing`]:
 /// opaque scratch space a caller threads through repeated runs so
 /// solvers can keep warm memos / allocations between them. One scratch
 /// serves any mix of solvers — each solver validates the parts it uses
@@ -153,8 +291,23 @@ impl Thresholder for MinMaxErr {
         true
     }
 
-    fn threshold(&self, b: usize, metric: ErrorMetric) -> Result<ThresholdRun, String> {
-        let r = self.run(b, metric);
+    fn threshold_with(&self, params: &RunParams) -> Result<ThresholdRun, WsynError> {
+        let _run = params.obs.span("minmax");
+        let r = {
+            let _dp = params.obs.span("dp");
+            // A fresh cold run by contract: stats describe exactly this
+            // run (warm reuse is opt-in via `threshold_with_reusing`).
+            let r = self.run_with(
+                params.budget,
+                params.metric,
+                Config {
+                    engine: Engine::Dedup,
+                    split: params.split_search,
+                },
+            );
+            params.obs.record_dp_stats(&r.stats);
+            r
+        };
         Ok(ThresholdRun {
             synopsis: AnySynopsis::One(r.synopsis),
             objective: r.objective,
@@ -162,13 +315,23 @@ impl Thresholder for MinMaxErr {
         })
     }
 
-    fn threshold_reusing(
+    fn threshold_with_reusing(
         &self,
-        b: usize,
-        metric: ErrorMetric,
+        params: &RunParams,
         scratch: &mut SolverScratch,
-    ) -> Result<ThresholdRun, String> {
-        let r = self.run_warm(b, metric, SplitSearch::default(), &mut scratch.one_dim);
+    ) -> Result<ThresholdRun, WsynError> {
+        let _run = params.obs.span("minmax");
+        let r = {
+            let _dp = params.obs.span("dp");
+            let r = self.run_warm(
+                params.budget,
+                params.metric,
+                params.split_search,
+                &mut scratch.one_dim,
+            );
+            params.obs.record_dp_stats(&r.stats);
+            r
+        };
         Ok(ThresholdRun {
             synopsis: AnySynopsis::One(r.synopsis),
             objective: r.objective,
@@ -209,9 +372,17 @@ impl Thresholder for GreedyL2 {
         "greedy"
     }
 
-    fn threshold(&self, b: usize, metric: ErrorMetric) -> Result<ThresholdRun, String> {
-        let synopsis = greedy_l2_1d(&self.tree, b);
-        let objective = synopsis.max_error(&self.data, metric);
+    fn threshold_with(&self, params: &RunParams) -> Result<ThresholdRun, WsynError> {
+        let _run = params.obs.span("greedy");
+        let synopsis = {
+            let _select = params.obs.span("select");
+            greedy_l2_1d(&self.tree, params.budget)
+        };
+        let objective = {
+            let _measure = params.obs.span("measure_error");
+            synopsis.max_error(&self.data, params.metric)
+        };
+        params.obs.add("retained", synopsis.len());
         Ok(ThresholdRun {
             synopsis: AnySynopsis::One(synopsis),
             objective,
@@ -225,8 +396,14 @@ impl Thresholder for AdditiveScheme {
         "additive"
     }
 
-    fn threshold(&self, b: usize, metric: ErrorMetric) -> Result<ThresholdRun, String> {
-        let r = self.run(b, metric, DEFAULT_EPS);
+    fn threshold_with(&self, params: &RunParams) -> Result<ThresholdRun, WsynError> {
+        let _run = params.obs.span("additive");
+        let r = {
+            let _dp = params.obs.span("rounded_dp");
+            let r = self.run(params.budget, params.metric, params.eps);
+            params.obs.record_dp_stats(&r.stats);
+            r
+        };
         Ok(ThresholdRun {
             synopsis: AnySynopsis::Nd(r.synopsis),
             objective: r.true_objective,
@@ -244,10 +421,16 @@ impl Thresholder for IntegerExact {
         true
     }
 
-    fn threshold(&self, b: usize, metric: ErrorMetric) -> Result<ThresholdRun, String> {
-        let r = match metric {
-            ErrorMetric::Absolute => self.run(b),
-            ErrorMetric::Relative { sanity } => self.run_relative(b, sanity),
+    fn threshold_with(&self, params: &RunParams) -> Result<ThresholdRun, WsynError> {
+        let _run = params.obs.span("integer_exact");
+        let r = {
+            let _dp = params.obs.span("int_dp");
+            let r = match params.metric {
+                ErrorMetric::Absolute => self.run(params.budget),
+                ErrorMetric::Relative { sanity } => self.run_relative(params.budget, sanity),
+            };
+            params.obs.record_dp_stats(&r.stats);
+            r
         };
         Ok(ThresholdRun {
             synopsis: AnySynopsis::Nd(r.synopsis),
@@ -262,13 +445,16 @@ impl Thresholder for OnePlusEps {
         "oneplus"
     }
 
-    fn threshold(&self, b: usize, metric: ErrorMetric) -> Result<ThresholdRun, String> {
-        if !matches!(metric, ErrorMetric::Absolute) {
-            return Err(
-                "the (1+ε) scheme is defined for the absolute-error metric only (§3.2.2)".into(),
-            );
+    fn threshold_with(&self, params: &RunParams) -> Result<ThresholdRun, WsynError> {
+        if !matches!(params.metric, ErrorMetric::Absolute) {
+            return Err(WsynError::unsupported(
+                self.name(),
+                "the (1+ε) scheme is defined for the absolute-error metric only (§3.2.2)",
+            ));
         }
-        let r = self.run(b, DEFAULT_EPS);
+        let _run = params.obs.span("oneplus");
+        let r = self.run_observed(params.budget, params.eps, &params.obs);
+        params.obs.record_dp_stats(&r.stats);
         Ok(ThresholdRun {
             synopsis: AnySynopsis::Nd(r.synopsis),
             objective: r.true_objective,
@@ -371,6 +557,76 @@ mod tests {
         let shape = NdShape::hypercube(4, 2).unwrap();
         let ints: Vec<i64> = (0..16).collect();
         let s = OnePlusEps::new(&shape, &ints).unwrap();
-        assert!(s.threshold(4, ErrorMetric::relative(1.0)).is_err());
+        let err = s.threshold(4, ErrorMetric::relative(1.0)).unwrap_err();
+        assert!(
+            matches!(&err, WsynError::Unsupported { solver, .. } if solver == "oneplus"),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn run_params_builder() {
+        let p = RunParams::new(8, ErrorMetric::absolute())
+            .eps(0.25)
+            .q(4)
+            .split_search(crate::one_dim::SplitSearch::Linear)
+            .sanity_bound(2.0);
+        assert_eq!(p.budget, 8);
+        assert_eq!(p.eps, 0.25);
+        assert_eq!(p.q, 4);
+        assert_eq!(p.split_search, crate::one_dim::SplitSearch::Linear);
+        assert_eq!(p.metric, ErrorMetric::Relative { sanity: 2.0 });
+        assert!(!p.obs.is_enabled());
+    }
+
+    /// Acceptance criterion: every solver run through `threshold_with`
+    /// with a recording collector yields a report with a **non-empty**
+    /// span tree, and two identical runs serialize byte-identically.
+    #[test]
+    fn every_solver_emits_a_nonempty_span_tree() {
+        use wsyn_haar::nd::{NdArray, NdShape};
+        let shape = NdShape::hypercube(4, 2).unwrap();
+        let vals: Vec<f64> = (0..16).map(|i| f64::from((i * 3 + 1) % 7)).collect();
+        let ints: Vec<i64> = vals.iter().map(|&v| v as i64).collect();
+        let arr = NdArray::new(shape.clone(), vals.clone()).unwrap();
+        let solvers: Vec<Box<dyn Thresholder>> = vec![
+            Box::new(MinMaxErr::new(&EXAMPLE).unwrap()),
+            Box::new(GreedyL2::new(&EXAMPLE).unwrap()),
+            Box::new(AdditiveScheme::new(&arr).unwrap()),
+            Box::new(IntegerExact::new(&shape, &ints).unwrap()),
+            Box::new(OnePlusEps::new(&shape, &ints).unwrap()),
+        ];
+        for s in &solvers {
+            let render = || {
+                let obs = wsyn_obs::Collector::recording();
+                let params = RunParams::new(4, ErrorMetric::absolute()).obs(obs.clone());
+                s.threshold_with(&params).unwrap();
+                let report = obs
+                    .report(wsyn_obs::run_meta(s.name(), 4, "abs"))
+                    .expect("recording collector yields a report");
+                assert!(
+                    !report.root.children.is_empty(),
+                    "{}: empty span tree",
+                    s.name()
+                );
+                report.strip_timing().render()
+            };
+            assert_eq!(render(), render(), "{}: report not deterministic", s.name());
+        }
+    }
+
+    /// The scratch-reusing path records into the collector too.
+    #[test]
+    fn reusing_path_records_spans() {
+        let s = MinMaxErr::new(&EXAMPLE).unwrap();
+        let mut scratch = SolverScratch::new();
+        let obs = wsyn_obs::Collector::recording();
+        let params = RunParams::new(3, ErrorMetric::absolute()).obs(obs.clone());
+        s.threshold_with_reusing(&params, &mut scratch).unwrap();
+        drop(params); // release the clone RunParams holds
+        let root = obs.into_root().unwrap();
+        assert_eq!(root.children[0].name, "minmax");
+        assert_eq!(root.children[0].children[0].name, "dp");
+        assert!(root.children[0].children[0].counters.contains_key("states"));
     }
 }

@@ -636,6 +636,10 @@ mod tests {
     fn scope_classification() {
         let s = Scope::classify("crates/synopsis/src/one_dim/dedup.rs");
         assert!(s.solver && s.wall_clock && s.no_panic && s.safety && !s.test_path);
+        // The thread pool carries the determinism contract for every
+        // parallel path, so it gets the full solver rule set.
+        let s = Scope::classify("crates/core/src/pool.rs");
+        assert!(s.solver && s.wall_clock && s.no_panic && s.safety && !s.test_path);
         let s = Scope::classify("crates/aqp/src/lib.rs");
         assert!(!s.solver && s.wall_clock && s.no_panic);
         let s = Scope::classify("crates/conform/src/lib.rs");

@@ -9,16 +9,19 @@
 //! per-draw spread (E8 quantifies the spread).
 //!
 //! The budgets of a sweep are independent DP runs over shared immutable
-//! solvers, so each budget row is computed on its own thread
-//! (`std::thread::scope`); rows are joined in budget order, keeping the
-//! output deterministic. On a single-core host, spawning threads only adds
-//! overhead, so the sweep instead runs sequentially through one warm
-//! `DedupWorkspace` — larger budgets seed the memo for smaller ones. Both
-//! modes produce identical numbers (warm reuse is bitwise lossless).
+//! solvers, so each budget row is one item on the process-wide
+//! [`Pool`] (`wsyn_core::Pool`), whose `map_indexed` returns rows in
+//! budget order, keeping the output deterministic. When the pool
+//! resolves to a single thread (1-CPU host, `WSYN_POOL_THREADS=1`, or
+//! the min-work floor), the sweep instead runs sequentially through one
+//! warm `DedupWorkspace` — larger budgets seed the memo for smaller
+//! ones. Both modes produce identical numbers (warm reuse is bitwise
+//! lossless).
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use wsyn_bench::{f, md_table, workloads_1d};
+use wsyn_core::Pool;
 use wsyn_haar::ErrorTree1d;
 use wsyn_prob::{MinRelBias, MinRelVar};
 use wsyn_synopsis::greedy::greedy_l2_1d;
@@ -33,16 +36,17 @@ fn main() {
     let draws = 20u64;
     let budgets = [8usize, 16, 24, 32];
 
-    let cores = wsyn_core::host_parallelism();
-    let parallel = cores > 1;
+    let pool = Pool::new();
+    let parallel = pool.is_parallel_for(budgets.len());
     println!("## E6 — max relative error vs budget (N = {n}, sanity s = {sanity})\n");
     println!(
-        "sweep mode: {} (host parallelism = {cores})\n",
+        "sweep mode: {} (pool threads = {})\n",
         if parallel {
             "parallel budget rows"
         } else {
             "sequential warm-workspace"
-        }
+        },
+        pool.threads_for(budgets.len())
     );
     for (name, data) in workloads_1d(n) {
         println!("### workload: {name}\n");
@@ -51,21 +55,9 @@ fn main() {
         let mrv = MinRelVar::new(&data).unwrap();
         let mrb = MinRelBias::new(&data).unwrap();
         let rows: Vec<Vec<String>> = if parallel {
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = budgets
-                    .iter()
-                    .map(|&b| {
-                        let (tree, det, mrv, mrb, data) = (&tree, &det, &mrv, &mrb, &data);
-                        scope.spawn(move || {
-                            let opt = det.run(b, metric).objective;
-                            budget_row(b, opt, tree, data, metric, q, sanity, draws, mrv, mrb)
-                        })
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("budget worker panicked"))
-                    .collect()
+            pool.map_indexed(budgets.to_vec(), |_, b| {
+                let opt = det.run(b, metric).objective;
+                budget_row(b, opt, &tree, &data, metric, q, sanity, draws, &mrv, &mrb)
             })
         } else {
             // One warm memo serves the whole sweep; each budget after the

@@ -28,7 +28,7 @@
 //! Every interval the AQP layer derives from a guarantee must contain
 //! the exact answer (point and range-sum queries).
 
-use wsyn_core::DpStats;
+use wsyn_core::{DpStats, Pool};
 use wsyn_haar::nd::{NdArray, NdShape};
 use wsyn_obs::Collector;
 use wsyn_stream::AdaptiveMaxErrSynopsis;
@@ -120,6 +120,12 @@ pub fn check_instance_observed(inst: &Instance, obs: &Collector) -> Result<Check
         );
     }
     observed!(obs, "schemes", sum, check_schemes(inst, &mut sum));
+    observed!(
+        obs,
+        "parallel_identity",
+        sum,
+        check_parallel_identity(inst, &mut sum)
+    );
     Ok(sum)
 }
 
@@ -450,6 +456,109 @@ fn check_aqp_bounds(inst: &Instance, sum: &mut CheckSummary) -> Result<(), Failu
             }
         }
     }
+    Ok(())
+}
+
+/// Pool-parallel execution is invisible in results: every pool-driven
+/// solve is an exact twin of the sequential reference at thread counts
+/// 1, 2, and 4 (forced via [`Pool::with_threads`], so real threads run
+/// even on a 1-CPU host), its `DpStats` are identical at every thread
+/// count (the decomposition depends only on the instance, never on the
+/// pool), and the τ-sweep's recorded observability report renders to
+/// byte-identical text at 1 and 4 threads.
+fn check_parallel_identity(inst: &Instance, sum: &mut CheckSummary) -> Result<(), Failure> {
+    let name = &inst.name;
+    let data = data_f64(inst);
+    if inst.shape.len() == 1 {
+        let solver =
+            MinMaxErr::new(&data).map_err(|e| Failure::new("build-1d", name, e.to_string()))?;
+        for &spec in &inst.metrics {
+            let metric = spec.metric();
+            for &b in &inst.budgets {
+                let seq = solver.run(b, metric);
+                let mut prev: Option<DpStats> = None;
+                for threads in [1usize, 2, 4] {
+                    let r = solver.run_parallel(b, metric, &Pool::with_threads(threads));
+                    sum.stats = sum.stats.merged(r.stats);
+                    ensure!(
+                        sum,
+                        r.objective.to_bits() == seq.objective.to_bits()
+                            && r.synopsis.indices() == seq.synopsis.indices(),
+                        "pool-parallel-bits",
+                        name,
+                        "b={b} {} threads={threads}: {} vs sequential {}",
+                        spec.id(),
+                        r.objective,
+                        seq.objective
+                    );
+                    if let Some(p) = &prev {
+                        ensure!(
+                            sum,
+                            r.stats == *p,
+                            "pool-stats-invariant",
+                            name,
+                            "b={b} {} threads={threads}: stats depend on the thread count",
+                            spec.id()
+                        );
+                    }
+                    prev = Some(r.stats);
+                }
+            }
+        }
+    }
+    // τ-sweep through explicit pools, on one representative budget.
+    let shape = NdShape::new(inst.shape.clone())
+        .map_err(|e| Failure::new("build-nd", name, e.to_string()))?;
+    let oneplus = OnePlusEps::new(&shape, &inst.data)
+        .map_err(|e| Failure::new("build-nd", name, e.to_string()))?;
+    let n = inst.n();
+    let b = inst
+        .budgets
+        .iter()
+        .copied()
+        .filter(|&b| b >= 1 && b <= n / 2)
+        .max()
+        .unwrap_or(1);
+    let seq = oneplus.run_with_reports_sequential(b, 0.5).0;
+    for threads in [2usize, 4] {
+        let par = oneplus.run_with_pool(b, 0.5, &Pool::with_threads(threads));
+        sum.stats = sum.stats.merged(par.stats);
+        ensure!(
+            sum,
+            par.true_objective.to_bits() == seq.true_objective.to_bits()
+                && par.dp_objective.to_bits() == seq.dp_objective.to_bits()
+                && par.synopsis == seq.synopsis
+                && par.stats == seq.stats,
+            "pool-tau-sweep-bits",
+            name,
+            "b={b} threads={threads}: {} vs sequential {}",
+            par.true_objective,
+            seq.true_objective
+        );
+    }
+    let render = |threads: usize| -> Result<String, Failure> {
+        let obs = Collector::recording();
+        oneplus.run_observed_with_pool(b, 0.5, &Pool::with_threads(threads), &obs);
+        let report = obs
+            .report(wsyn_obs::run_meta("oneplus", b, "abs"))
+            .ok_or_else(|| {
+                Failure::new(
+                    "pool-report-run",
+                    name,
+                    "recording collector lost".to_string(),
+                )
+            })?;
+        Ok(report.strip_timing().render())
+    };
+    let one = render(1)?;
+    let four = render(4)?;
+    ensure!(
+        sum,
+        one == four,
+        "pool-report-byte-identity",
+        name,
+        "b={b}: τ-sweep reports differ between 1 and 4 threads\n--- 1 thread ---\n{one}\n--- 4 threads ---\n{four}"
+    );
     Ok(())
 }
 

@@ -35,8 +35,10 @@
 
 pub mod error;
 pub mod json;
+pub mod pool;
 
 pub use error::WsynError;
+pub use pool::Pool;
 
 /// Unified statistics block reported by every DP solver in the workspace.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -595,9 +597,13 @@ impl<V, R> DpWorkspace<V, R> {
 }
 
 /// Number of hardware threads the host exposes, with a deterministic
-/// fallback of `1` when the query fails. Solvers use this to skip
-/// thread-spawn overhead entirely on single-core hosts, where the
-/// measured parallel path is a slowdown (BENCH_dp_core.json: 0.99×).
+/// fallback of `1` when the query fails. This is the *host* half of the
+/// thread-count policy; call sites should not consult it directly but
+/// go through [`pool::configured_threads`] / [`Pool`], which layer the
+/// `WSYN_POOL_THREADS` override and the min-work floor on top so every
+/// layer agrees (single-core hosts skip thread-spawn overhead entirely
+/// — the measured parallel path there is a slowdown, BENCH_dp_core.json:
+/// 0.99×).
 #[must_use]
 pub fn host_parallelism() -> usize {
     std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)

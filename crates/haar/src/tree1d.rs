@@ -15,8 +15,23 @@
 //! otherwise. An ancestor coefficient therefore contributes with a *fixed*
 //! sign to every leaf of a given subtree — the observation underlying the
 //! incoming-error dynamic programs of §3.
+//!
+//! ## Layout
+//!
+//! The tree is stored struct-of-arrays: four flat slices indexed by `j`
+//! (coefficient values, levels, support starts, support ends), all
+//! precomputed once at construction. Structural queries are single
+//! branch-free slice reads, and the hot consumers — the branch-and-bound
+//! kernel's leaf evaluations and [`ErrorTree1d::subtree_leaf_max`] —
+//! become linear scans over contiguous memory instead of per-node
+//! formula re-derivation. The slices are exposed read-only
+//! ([`ErrorTree1d::coeffs`], [`ErrorTree1d::levels_u8`],
+//! [`ErrorTree1d::support_starts`], [`ErrorTree1d::support_ends`]); the
+//! per-node accessors keep their historical signatures and read from
+//! the same arrays, so the two views can never diverge.
 
 use crate::{is_pow2, log2_exact, transform, HaarError};
+use wsyn_core::{narrow_u32, narrow_u8};
 
 /// The two children of an internal error-tree node.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -33,11 +48,26 @@ pub enum Children {
 
 /// One-dimensional Haar error tree over `N = 2^m` data values.
 ///
-/// Stores the unnormalized coefficient array; all structural queries
-/// (children, paths, signs, supports) are `O(1)` or `O(log N)`.
+/// Struct-of-arrays storage (module docs): the unnormalized coefficient
+/// array plus precomputed per-node levels and support bounds as flat
+/// slices. All structural queries are `O(1)` slice reads; paths are
+/// `O(log N)`.
+///
+/// Invariants (established at construction, relied on by the slice
+/// consumers):
+///
+/// * all four arrays have length `N`, a power of two with `N < 2^32`;
+/// * `levels[j] == transform::level(j)` (so `levels` is non-decreasing
+///   and `levels[j] ≤ 31`);
+/// * `support_starts[j]..support_ends[j]` is exactly the §2.1 support
+///   of `c_j`: `0..N` for `j ≤ 1`, else
+///   `(j - 2^l)·N/2^l .. (j - 2^l + 1)·N/2^l` with `l = levels[j]`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ErrorTree1d {
     coeffs: Vec<f64>,
+    levels: Vec<u8>,
+    sup_start: Vec<u32>,
+    sup_end: Vec<u32>,
 }
 
 impl ErrorTree1d {
@@ -46,12 +76,11 @@ impl ErrorTree1d {
     /// # Errors
     /// Propagates [`HaarError`] for empty / non-power-of-two input.
     pub fn from_data(data: &[f64]) -> Result<Self, HaarError> {
-        Ok(Self {
-            coeffs: transform::forward(data)?,
-        })
+        Self::from_coeffs(transform::forward(data)?)
     }
 
-    /// Wraps an existing unnormalized coefficient array.
+    /// Wraps an existing unnormalized coefficient array and precomputes
+    /// the structural SoA slices.
     ///
     /// # Errors
     /// [`HaarError`] if the length is empty or not a power of two.
@@ -59,10 +88,35 @@ impl ErrorTree1d {
         if coeffs.is_empty() {
             return Err(HaarError::Empty);
         }
-        if !is_pow2(coeffs.len()) {
-            return Err(HaarError::NotPowerOfTwo { len: coeffs.len() });
+        let n = coeffs.len();
+        if !is_pow2(n) {
+            return Err(HaarError::NotPowerOfTwo { len: n });
         }
-        Ok(Self { coeffs })
+        let n_u32 = narrow_u32(n);
+        let mut levels = Vec::with_capacity(n);
+        let mut sup_start = Vec::with_capacity(n);
+        let mut sup_end = Vec::with_capacity(n);
+        for j in 0..n {
+            if j <= 1 {
+                // c_0 and c_1 sit at level 0 and support the whole domain.
+                levels.push(0);
+                sup_start.push(0);
+                sup_end.push(n_u32);
+            } else {
+                let l = transform::level(j);
+                let width = n >> l;
+                let pos = j - (1usize << l);
+                levels.push(narrow_u8(l as usize));
+                sup_start.push(narrow_u32(pos * width));
+                sup_end.push(narrow_u32((pos + 1) * width));
+            }
+        }
+        Ok(Self {
+            coeffs,
+            levels,
+            sup_start,
+            sup_end,
+        })
     }
 
     /// Domain size `N` (number of data values == number of coefficients).
@@ -77,10 +131,31 @@ impl ErrorTree1d {
         log2_exact(self.n())
     }
 
-    /// The unnormalized coefficient array `W_A`.
+    /// The unnormalized coefficient array `W_A` (SoA slice).
     #[inline]
     pub fn coeffs(&self) -> &[f64] {
         &self.coeffs
+    }
+
+    /// Per-node resolution levels as a flat slice (`levels_u8()[j] ==
+    /// transform::level(j)`, which fits a `u8` for any `N < 2^32`).
+    #[inline]
+    pub fn levels_u8(&self) -> &[u8] {
+        &self.levels
+    }
+
+    /// Per-node support starts as a flat slice
+    /// (`support_starts()[j] == support(j).start`).
+    #[inline]
+    pub fn support_starts(&self) -> &[u32] {
+        &self.sup_start
+    }
+
+    /// Per-node support ends as a flat slice
+    /// (`support_ends()[j] == support(j).end`).
+    #[inline]
+    pub fn support_ends(&self) -> &[u32] {
+        &self.sup_end
     }
 
     /// Value of coefficient `c_j`.
@@ -92,7 +167,7 @@ impl ErrorTree1d {
     /// Resolution level of coefficient `c_j` (see [`transform::level`]).
     #[inline]
     pub fn level(&self, j: usize) -> u32 {
-        transform::level(j)
+        u32::from(self.levels[j])
     }
 
     /// Children of internal node `c_j`.
@@ -134,17 +209,11 @@ impl ErrorTree1d {
     /// indices whose reconstruction involves `c_j`.
     ///
     /// `c_0` and `c_1` support the whole domain; `c_j` (`j >= 2`) at level
-    /// `l` supports `(j - 2^l) * N/2^l .. (j - 2^l + 1) * N/2^l`.
+    /// `l` supports `(j - 2^l) * N/2^l .. (j - 2^l + 1) * N/2^l`. A pair
+    /// of branch-free SoA reads.
+    #[inline]
     pub fn support(&self, j: usize) -> std::ops::Range<usize> {
-        let n = self.n();
-        debug_assert!(j < n);
-        if j <= 1 {
-            return 0..n;
-        }
-        let l = transform::level(j);
-        let width = n >> l;
-        let pos = j - (1 << l);
-        pos * width..(pos + 1) * width
+        self.sup_start[j] as usize..self.sup_end[j] as usize
     }
 
     /// Sign of coefficient `c_j`'s contribution to data value `d_i`
@@ -166,6 +235,23 @@ impl ErrorTree1d {
         }
     }
 
+    /// Non-allocating ancestor walk of leaf `d_i`: yields the same
+    /// `(coefficient index, sign)` pairs as [`Self::path`], root first,
+    /// without building a `Vec`. This is the form the per-query
+    /// consumers (AQP point queries, streaming point updates) iterate.
+    ///
+    /// # Panics
+    /// Panics if `i >= N`.
+    pub fn path_iter(&self, i: usize) -> PathIter {
+        let n = self.n();
+        assert!(i < n, "leaf index {i} out of range (N = {n})");
+        PathIter {
+            i,
+            m: self.levels(),
+            pos: 0,
+        }
+    }
+
     /// Ancestor path of leaf `d_i`: the coefficient indices on the path from
     /// the root down to (and including) the finest coefficient covering
     /// `d_i`, together with the contribution sign of each. Ordered root
@@ -173,33 +259,15 @@ impl ErrorTree1d {
     ///
     /// Unlike the paper's `path(u)` (which drops zero coefficients because
     /// they can never be usefully retained), this method returns *all*
-    /// structural ancestors; filter on [`Self::coeff`] if needed.
+    /// structural ancestors; filter on [`Self::coeff`] if needed. Allocates
+    /// — prefer [`Self::path_iter`] on hot paths.
     pub fn path(&self, i: usize) -> Vec<(usize, f64)> {
-        let n = self.n();
-        assert!(i < n, "leaf index {i} out of range (N = {n})");
-        let mut out = Vec::with_capacity(self.levels() as usize + 1);
-        out.push((0, 1.0));
-        if n == 1 {
-            return out;
-        }
-        // Descend from c_1: at level l the covering coefficient is
-        // 2^l + (i >> (m - l)) and the sign is determined by bit (m - l - 1).
-        let m = self.levels();
-        for l in 0..m {
-            let j = (1usize << l) + (i >> (m - l));
-            let sign = if (i >> (m - l - 1)) & 1 == 0 {
-                1.0
-            } else {
-                -1.0
-            };
-            out.push((j, sign));
-        }
-        out
+        self.path_iter(i).collect()
     }
 
     /// Reconstructs data value `d_i` via Equation (1) (`O(log N)`).
     pub fn reconstruct(&self, i: usize) -> f64 {
-        self.path(i).iter().map(|&(j, s)| s * self.coeffs[j]).sum()
+        self.path_iter(i).map(|(j, s)| s * self.coeffs[j]).sum()
     }
 
     /// Reconstructs the full data vector (`O(N)` via the inverse transform).
@@ -213,10 +281,9 @@ impl ErrorTree1d {
     /// coefficients, supplied as a predicate over coefficient indices.
     /// Dropped coefficients are treated as zero (§2.3).
     pub fn reconstruct_with<F: Fn(usize) -> bool>(&self, i: usize, retained: F) -> f64 {
-        self.path(i)
-            .iter()
-            .filter(|&&(j, _)| retained(j))
-            .map(|&(j, s)| s * self.coeffs[j])
+        self.path_iter(i)
+            .filter(|&(j, _)| retained(j))
+            .map(|(j, s)| s * self.coeffs[j])
             .sum()
     }
 
@@ -233,7 +300,8 @@ impl ErrorTree1d {
     /// maximum of `leaf_vals` over `c_j`'s support, and slot `0` mirrors
     /// slot `1` (the root's single child covers the whole domain).
     ///
-    /// One `O(N)` bottom-up pass, computed once per metric. The
+    /// One `O(N)` bottom-up pass over the flat combined array — a
+    /// branch-light linear scan, computed once per metric. The
     /// branch-and-bound kernel divides incoming error magnitudes by
     /// these maxima to get admissible per-subtree lower bounds: a leaf's
     /// contribution is `|e| / denom`, so dividing by the subtree's
@@ -260,6 +328,52 @@ impl ErrorTree1d {
         out
     }
 }
+
+/// Iterator over the ancestor path of one leaf (see
+/// [`ErrorTree1d::path_iter`]): `(coefficient index, sign)` pairs, root
+/// first, `log2 N + 1` items.
+#[derive(Debug, Clone)]
+pub struct PathIter {
+    /// Leaf (data) index being walked.
+    i: usize,
+    /// `log2 N`.
+    m: u32,
+    /// Next emission: `0` is the root, `1 + l` is level `l`'s covering
+    /// coefficient.
+    pos: u32,
+}
+
+impl Iterator for PathIter {
+    type Item = (usize, f64);
+
+    fn next(&mut self) -> Option<(usize, f64)> {
+        if self.pos == 0 {
+            self.pos = 1;
+            return Some((0, 1.0));
+        }
+        let l = self.pos - 1;
+        if l >= self.m {
+            return None;
+        }
+        self.pos += 1;
+        // At level l the covering coefficient is 2^l + (i >> (m - l))
+        // and the sign is determined by bit (m - l - 1).
+        let j = (1usize << l) + (self.i >> (self.m - l));
+        let sign = if (self.i >> (self.m - l - 1)) & 1 == 0 {
+            1.0
+        } else {
+            -1.0
+        };
+        Some((j, sign))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let left = (self.m + 1 - self.pos.min(self.m + 1)) as usize;
+        (left, Some(left))
+    }
+}
+
+impl ExactSizeIterator for PathIter {}
 
 #[cfg(test)]
 mod tests {
@@ -330,6 +444,17 @@ mod tests {
     }
 
     #[test]
+    fn soa_slices_expose_the_same_structure() {
+        let t = tree();
+        assert_eq!(t.levels_u8(), &[0, 0, 1, 1, 2, 2, 2, 2]);
+        assert_eq!(t.support_starts(), &[0, 0, 0, 4, 0, 2, 4, 6]);
+        assert_eq!(t.support_ends(), &[8, 8, 4, 8, 2, 4, 6, 8]);
+        for j in 0..8 {
+            assert_eq!(t.level(j), transform::level(j), "c_{j}");
+        }
+    }
+
+    #[test]
     fn signs_flip_at_support_midpoint() {
         let t = tree();
         assert_eq!(t.sign(1, 0), 1.0);
@@ -349,6 +474,9 @@ mod tests {
         assert_eq!(t.children(0), Children::RootLeaf(0));
         assert_eq!(t.path(0), vec![(0, 1.0)]);
         assert_eq!(t.reconstruct(0), 5.0);
+        assert_eq!(t.levels_u8(), &[0]);
+        assert_eq!(t.support_starts(), &[0]);
+        assert_eq!(t.support_ends(), &[1]);
     }
 
     #[test]
@@ -375,6 +503,8 @@ mod tests {
             let t = ErrorTree1d::from_coeffs(vec![1.0; n]).unwrap();
             for i in 0..n {
                 assert_eq!(t.path(i).len(), m as usize + 1);
+                let it = t.path_iter(i);
+                assert_eq!(it.len(), m as usize + 1); // ExactSizeIterator
             }
         }
     }
@@ -393,6 +523,18 @@ mod proptests {
 
     fn pow2_vec() -> impl Strategy<Value = Vec<f64>> {
         (0u32..=7).prop_flat_map(|m| proptest::collection::vec(-1e5f64..1e5, 1usize << m))
+    }
+
+    /// Support of `c_j` by the §2.1 formula — the pre-SoA per-call
+    /// computation, kept as the oracle for the precomputed slices.
+    fn formula_support(n: usize, j: usize) -> std::ops::Range<usize> {
+        if j <= 1 {
+            return 0..n;
+        }
+        let l = transform::level(j);
+        let width = n >> l;
+        let pos = j - (1 << l);
+        pos * width..(pos + 1) * width
     }
 
     proptest! {
@@ -414,6 +556,35 @@ mod proptests {
                 for (j, s) in t.path(i) {
                     prop_assert_eq!(t.sign(j, i), s);
                 }
+            }
+        }
+
+        #[test]
+        fn soa_layout_reproduces_formula_accessors(data in pow2_vec()) {
+            // The SoA arrays must be indistinguishable from the old
+            // per-call formula layout: level via transform::level,
+            // support via the §2.1 arithmetic, coeff via the transform.
+            let t = ErrorTree1d::from_data(&data).unwrap();
+            let n = data.len();
+            let forward = transform::forward(&data).unwrap();
+            prop_assert_eq!(t.coeffs(), forward.as_slice());
+            for (j, &w) in forward.iter().enumerate() {
+                prop_assert_eq!(t.coeff(j).to_bits(), w.to_bits());
+                prop_assert_eq!(t.level(j), transform::level(j), "level c_{}", j);
+                prop_assert_eq!(u32::from(t.levels_u8()[j]), transform::level(j));
+                let sup = formula_support(n, j);
+                prop_assert_eq!(t.support(j), sup.clone(), "support c_{}", j);
+                prop_assert_eq!(t.support_starts()[j] as usize, sup.start);
+                prop_assert_eq!(t.support_ends()[j] as usize, sup.end);
+            }
+        }
+
+        #[test]
+        fn path_iter_matches_path(data in pow2_vec()) {
+            let t = ErrorTree1d::from_data(&data).unwrap();
+            for i in 0..data.len() {
+                let collected: Vec<(usize, f64)> = t.path_iter(i).collect();
+                prop_assert_eq!(collected, t.path(i));
             }
         }
 

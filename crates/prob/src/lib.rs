@@ -129,7 +129,7 @@ fn max_normalized_path_sum(data: &[f64], sanity: f64, contrib: &[f64], f: fn(f64
     let mut worst = 0.0f64;
     for (i, &d) in data.iter().enumerate() {
         let mut sum = 0.0;
-        for (j, _) in tree.path(i) {
+        for (j, _) in tree.path_iter(i) {
             let c = tree.coeff(j);
             if is_zero(c) {
                 continue;

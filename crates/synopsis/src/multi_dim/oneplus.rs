@@ -17,7 +17,7 @@
 //! (using Proposition 3.3's lower bound `OPT > τ'/2`). Running with
 //! `ε' = ε/4` therefore yields a `(1+ε)`-approximation.
 
-use wsyn_core::{DpStats, DpWorkspace, RowId};
+use wsyn_core::{DpStats, DpWorkspace, Pool, RowId};
 use wsyn_haar::int::{self, ScaledCoeffs};
 use wsyn_haar::nd::{NdArray, NdShape};
 use wsyn_haar::{ErrorTreeNd, HaarError};
@@ -144,13 +144,13 @@ impl OnePlusEps {
     /// # Panics
     /// Panics when `epsilon` is not strictly positive.
     pub fn run_observed(&self, b: usize, epsilon: f64, obs: &Collector) -> NdThresholdResult {
-        self.sweep(b, epsilon, true, obs).0
+        self.sweep(b, epsilon, &Pool::new(), obs).0
     }
 
     /// As [`Self::run`], additionally returning per-τ diagnostics.
     ///
-    /// The τ values are independent subproblems, so they run on one scoped
-    /// thread each ([`std::thread::scope`]); the merge is performed in
+    /// The τ values are independent subproblems, so they fan out through
+    /// the process-default [`Pool`]; the merge is performed in
     /// ascending-τ order with a strict `<` comparison, which makes the
     /// result bit-identical to [`Self::run_with_reports_sequential`]
     /// (ties go to the smallest τ in both).
@@ -158,7 +158,34 @@ impl OnePlusEps {
     /// # Panics
     /// Panics when `epsilon` is not strictly positive.
     pub fn run_with_reports(&self, b: usize, epsilon: f64) -> (NdThresholdResult, Vec<TauReport>) {
-        self.sweep(b, epsilon, true, &Collector::noop())
+        self.sweep(b, epsilon, &Pool::new(), &Collector::noop())
+    }
+
+    /// As [`Self::run`], fanning the τ-sweep out through an explicit
+    /// [`Pool`] instead of the process-default one. The result is
+    /// bit-identical at every thread count (the conformance harness
+    /// checks this on every corpus instance).
+    ///
+    /// # Panics
+    /// Panics when `epsilon` is not strictly positive.
+    pub fn run_with_pool(&self, b: usize, epsilon: f64, pool: &Pool) -> NdThresholdResult {
+        self.sweep(b, epsilon, pool, &Collector::noop()).0
+    }
+
+    /// As [`Self::run_observed`], with an explicit [`Pool`]. The
+    /// conformance harness renders the recorded report at several
+    /// thread counts and asserts the outputs are byte-identical.
+    ///
+    /// # Panics
+    /// Panics when `epsilon` is not strictly positive.
+    pub fn run_observed_with_pool(
+        &self,
+        b: usize,
+        epsilon: f64,
+        pool: &Pool,
+        obs: &Collector,
+    ) -> NdThresholdResult {
+        self.sweep(b, epsilon, pool, obs).0
     }
 
     /// Sequential reference sweep: same results as
@@ -172,14 +199,14 @@ impl OnePlusEps {
         b: usize,
         epsilon: f64,
     ) -> (NdThresholdResult, Vec<TauReport>) {
-        self.sweep(b, epsilon, false, &Collector::noop())
+        self.sweep(b, epsilon, &Pool::with_threads(1), &Collector::noop())
     }
 
     fn sweep(
         &self,
         b: usize,
         epsilon: f64,
-        parallel: bool,
+        pool: &Pool,
         obs: &Collector,
     ) -> (NdThresholdResult, Vec<TauReport>) {
         assert!(epsilon > 0.0, "epsilon must be positive");
@@ -205,32 +232,20 @@ impl OnePlusEps {
         // additive scheme. A smaller K_τ only refines the truncation.
         let hops = ((1u64 << self.d) as f64) * f64::from(self.m.max(1));
         let kmax = i64::from(64 - (rz as u64).leading_zeros()); // ceil(log2 rz) + 1 cover
-                                                                // Thread spawn is pure overhead on a single-core host (measured
-                                                                // 0.99× in BENCH_dp_core.json) — fall back to the sequential
-                                                                // sweep there. Results are bit-identical either way.
-        let parallel = parallel && wsyn_core::host_parallelism() > 1;
-        let outcomes: Vec<TauOutcome> = if parallel {
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = (0..=kmax)
-                    .map(|k| {
-                        // Workspace reuse is per-thread; each τ runs on
-                        // its own thread, so each gets a fresh one.
-                        scope.spawn(move || {
-                            self.solve_tau(&mut DpWorkspace::new(), b, eps_internal, hops, k)
-                        })
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
-                    .collect()
+        let taus: Vec<i64> = (0..=kmax).collect();
+        let outcomes: Vec<TauOutcome> = if pool.is_parallel_for(taus.len()) {
+            // Each τ runs as one pool item with a fresh workspace —
+            // workspace reuse only pays within a thread, and the pool's
+            // min-work floor already keeps tiny sweeps sequential.
+            pool.map_indexed(taus, |_, k| {
+                self.solve_tau(&mut DpWorkspace::new(), b, eps_internal, hops, k)
             })
         } else {
             // One workspace threaded through the whole sweep: each τ's
             // DP has different truncated coefficients (no warm states),
             // but the memo/arena allocations are reused across all τ.
             let mut ws = DpWorkspace::new();
-            (0..=kmax)
+            taus.into_iter()
                 .map(|k| self.solve_tau(&mut ws, b, eps_internal, hops, k))
                 .collect()
         };

@@ -54,6 +54,7 @@ pub use dedup::DedupWorkspace;
 
 use std::sync::{Arc, Mutex};
 
+use wsyn_core::Pool;
 use wsyn_haar::{ErrorTree1d, HaarError};
 
 use crate::metric::ErrorMetric;
@@ -339,6 +340,62 @@ impl MinMaxErr {
     ) -> ThresholdResult {
         let tables = self.tables(metric);
         let result = dedup::run(&self.tree, &tables, b, split, true, ws);
+        self.certify(&result, b, metric);
+        result
+    }
+
+    /// Runs the DP through the deterministic thread pool with default
+    /// configuration — identical objective and retained set to
+    /// [`MinMaxErr::run`], bit for bit, at every thread count (the pool
+    /// decomposition never consults the pool size; see
+    /// `one_dim/dedup.rs`'s `run_parallel`). `DpStats` describe the
+    /// decomposed solve and therefore differ from the sequential
+    /// kernel's, but are themselves thread-count-invariant.
+    pub fn run_parallel(&self, b: usize, metric: ErrorMetric, pool: &Pool) -> ThresholdResult {
+        self.run_with_pool(b, metric, Config::default(), pool)
+    }
+
+    /// [`MinMaxErr::run_with`] routed through the pool. The dedup
+    /// engines decompose into frontier shards; `SubsetMask` and
+    /// `BottomUp` have no parallel decomposition (their shared-row
+    /// layouts serialize) and run sequentially — every configuration
+    /// remains an exact twin of every other, pooled or not.
+    pub fn run_with_pool(
+        &self,
+        b: usize,
+        metric: ErrorMetric,
+        config: Config,
+        pool: &Pool,
+    ) -> ThresholdResult {
+        match config.engine {
+            Engine::Dedup | Engine::DedupExhaustive => {
+                let tables = self.tables(metric);
+                let mut ws = DedupWorkspace::new();
+                let prune = matches!(config.engine, Engine::Dedup);
+                let result =
+                    dedup::run_parallel(&self.tree, &tables, b, config.split, prune, &mut ws, pool);
+                self.certify(&result, b, metric);
+                result
+            }
+            Engine::SubsetMask | Engine::BottomUp => self.run_with(b, metric, config),
+        }
+    }
+
+    /// [`MinMaxErr::run_warm`] routed through the pool: shard results
+    /// merge into `ws`, so a pooled B-sweep reuses the memo exactly like
+    /// a sequential one (warm entries are kept; shard entries for states
+    /// already present are discarded — they are bit-identical by the
+    /// kernel's losslessness invariant).
+    pub fn run_warm_parallel(
+        &self,
+        b: usize,
+        metric: ErrorMetric,
+        split: SplitSearch,
+        ws: &mut DedupWorkspace,
+        pool: &Pool,
+    ) -> ThresholdResult {
+        let tables = self.tables(metric);
+        let result = dedup::run_parallel(&self.tree, &tables, b, split, true, ws, pool);
         self.certify(&result, b, metric);
         result
     }

@@ -80,7 +80,7 @@ pub fn navigate_witness_1d<F: Fn(usize) -> bool>(
         let sup = tree.support(j);
         let probe = sup.start; // any leaf under c_j sees the same signs
         acc = 0.0f64;
-        for (a, s) in tree.path(probe) {
+        for (a, s) in tree.path_iter(probe) {
             if a == j {
                 break;
             }

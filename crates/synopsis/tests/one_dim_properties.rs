@@ -3,6 +3,7 @@
 //! invariants — on fully random inputs via proptest.
 
 use proptest::prelude::*;
+use wsyn_core::Pool;
 use wsyn_synopsis::one_dim::{Config, DedupWorkspace, Engine, MinMaxErr, SplitSearch};
 use wsyn_synopsis::{oracle, ErrorMetric};
 
@@ -174,5 +175,92 @@ proptest! {
         }
         // The whole sweep shared one warm memo: no clears happened.
         prop_assert_eq!(ws.clears(), 0);
+    }
+}
+
+proptest! {
+    // Fewer cases: each one sweeps every budget through every
+    // configuration at three pool sizes.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Pool-parallel solves are bit-identical to sequential ones at
+    /// threads ∈ {1, 2, 4}, for all eight `Config::ALL` configurations
+    /// (N ≤ 64, every budget) — objective bits, retained set, *and*
+    /// `DpStats` across thread counts (the decomposition is determined
+    /// by the instance alone, so even the counters cannot depend on the
+    /// pool size). SubsetMask's quadratic state blow-up makes it the
+    /// expensive pass-through, so it checks a budget sample once
+    /// `N > 16`, matching the warm-sweep test above.
+    #[test]
+    fn pool_parallel_is_bit_identical_to_sequential(
+        data in pow2_data_large(),
+        metric in metrics(),
+    ) {
+        let solver = MinMaxErr::new(&data).unwrap();
+        let n = data.len();
+        for b in 0..=n {
+            for config in Config::ALL {
+                if matches!(config.engine, Engine::SubsetMask) && n > 16 && b % 7 != 0 {
+                    continue;
+                }
+                let seq = solver.run_with(b, metric, config);
+                let mut stats = Vec::new();
+                for threads in [1usize, 2, 4] {
+                    let pool = Pool::with_threads(threads);
+                    let r = solver.run_with_pool(b, metric, config, &pool);
+                    prop_assert_eq!(
+                        r.objective.to_bits(),
+                        seq.objective.to_bits(),
+                        "objective: n={} b={} {:?} threads={}",
+                        n, b, config, threads
+                    );
+                    prop_assert_eq!(
+                        r.synopsis.indices(),
+                        seq.synopsis.indices(),
+                        "retained set: n={} b={} {:?} threads={}",
+                        n, b, config, threads
+                    );
+                    stats.push(r.stats);
+                }
+                prop_assert_eq!(stats[0], stats[1], "stats 1 vs 2 threads: n={} b={}", n, b);
+                prop_assert_eq!(stats[1], stats[2], "stats 2 vs 4 threads: n={} b={}", n, b);
+            }
+        }
+    }
+
+    /// A pooled warm B-sweep through one workspace matches a sequential
+    /// warm sweep exactly, in both sweep orders.
+    #[test]
+    fn pooled_warm_sweep_matches_sequential_warm_sweep(
+        data in pow2_data_large(),
+        metric in metrics(),
+        descending in any::<bool>(),
+    ) {
+        let solver = MinMaxErr::new(&data).unwrap();
+        let n = data.len();
+        let mut budgets: Vec<usize> = (0..=n).collect();
+        if descending {
+            budgets.reverse();
+        }
+        let pool = Pool::with_threads(4);
+        let mut ws_seq = DedupWorkspace::new();
+        let mut ws_par = DedupWorkspace::new();
+        for &b in &budgets {
+            let seq = solver.run_warm(b, metric, SplitSearch::Binary, &mut ws_seq);
+            let par = solver.run_warm_parallel(b, metric, SplitSearch::Binary, &mut ws_par, &pool);
+            prop_assert_eq!(
+                par.objective.to_bits(),
+                seq.objective.to_bits(),
+                "objective: n={} b={} desc={}",
+                n, b, descending
+            );
+            prop_assert_eq!(
+                par.synopsis.indices(),
+                seq.synopsis.indices(),
+                "retained set: n={} b={} desc={}",
+                n, b, descending
+            );
+        }
+        prop_assert_eq!(ws_par.clears(), 0);
     }
 }

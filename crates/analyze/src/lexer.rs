@@ -230,6 +230,11 @@ pub fn lex(src: &str) -> Vec<Token<'_>> {
         line: 1,
     };
     let mut out = Vec::new();
+    // A shebang line (`#!/usr/bin/env …`) is not Rust tokens; skip it
+    // like a comment. `#![…]` is an inner attribute, not a shebang.
+    if c.peek(0) == b'#' && c.peek(1) == b'!' && c.peek(2) != b'[' {
+        c.bump_while(|b| b != b'\n');
+    }
     while c.pos < c.bytes.len() {
         let b = c.peek(0);
         if b.is_ascii_whitespace() {
@@ -409,6 +414,40 @@ mod tests {
         assert!(strs[0].text.contains("quotes"));
         // Nothing after the raw string was swallowed.
         assert_eq!(toks.last().map(|t| t.text), Some(";"));
+    }
+
+    #[test]
+    fn raw_strings_containing_comment_markers() {
+        // `//` and `/*` inside a raw string are string bytes, not
+        // comments — nothing after must be swallowed or re-typed.
+        let src = "let url = r\"https://example.com/*x\"; let y = 1.0; y == 1.0";
+        let toks = lex(src);
+        assert!(toks
+            .iter()
+            .all(|t| t.kind != TokenKind::LineComment && t.kind != TokenKind::BlockComment));
+        let strs: Vec<_> = toks.iter().filter(|t| t.kind == TokenKind::Str).collect();
+        assert_eq!(strs.len(), 1);
+        assert!(strs[0].text.contains("//"));
+        // The float comparison after the string is still visible.
+        assert!(toks.iter().any(|t| t.text == "=="));
+        // Hashed form with an embedded quote before the `//`.
+        let src = r####"r#"quote " then // not a comment"# == x"####;
+        let toks = lex(src);
+        assert_eq!(toks.iter().filter(|t| t.kind == TokenKind::Str).count(), 1);
+        assert!(toks.iter().any(|t| t.text == "=="));
+    }
+
+    #[test]
+    fn shebang_line_is_skipped() {
+        let toks = lex("#!/usr/bin/env run-cargo-script\nfn main() {}");
+        assert_eq!(toks.first().map(|t| t.text), Some("fn"));
+        assert_eq!(toks.first().map(|t| t.line), Some(2));
+        // An inner attribute is NOT a shebang: its tokens survive.
+        let toks = lex("#![forbid(unsafe_code)]\nfn main() {}");
+        assert_eq!(toks.first().map(|t| t.text), Some("#"));
+        assert!(toks.iter().any(|t| t.text == "forbid"));
+        // A shebang-only file lexes to nothing without panicking.
+        assert!(lex("#!/bin/sh").is_empty());
     }
 
     #[test]

@@ -1,19 +1,30 @@
-//! `wsyn-analyze` — the workspace determinism-and-robustness linter.
+//! `wsyn-analyze` — the workspace determinism-and-robustness analyzer.
 //!
 //! ```text
-//! wsyn-analyze check [--root DIR]   # scan; nonzero exit on violations
-//! wsyn-analyze list-rules           # print the rule table
+//! wsyn-analyze check [--root DIR] [--json]   # scan; nonzero exit on
+//!                                            # non-baselined findings
+//! wsyn-analyze list-rules                    # print the rule table
 //! ```
 //!
-//! CI runs `cargo run -p wsyn-analyze -- check` alongside rustfmt and
-//! clippy; see `.github/workflows/ci.yml`.
+//! `--json` prints the full canonical report (schema
+//! `wsyn-analyze-report/1`, byte-identical run-to-run) instead of
+//! human-readable lines. Either way the exit code reflects only
+//! findings *not* covered by the committed baseline at
+//! `crates/analyze/baseline.json` (absent file = empty baseline).
+//!
+//! CI runs `cargo run -p wsyn-analyze -- check --json` alongside rustfmt
+//! and clippy; see `.github/workflows/ci.yml`.
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
+use wsyn_analyze::engine::{fresh_findings, Baseline};
 use wsyn_analyze::{check_tree, Rule, ALL_RULES};
 
-const USAGE: &str = "usage: wsyn-analyze <check [--root DIR] | list-rules>";
+const USAGE: &str = "usage: wsyn-analyze <check [--root DIR] [--json] | list-rules>";
+
+/// Workspace-relative location of the committed baseline.
+const BASELINE_PATH: &str = "crates/analyze/baseline.json";
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -38,7 +49,9 @@ fn run(argv: &[String]) -> Result<bool, String> {
         Some("check") => check(&argv[1..]),
         Some("list-rules") => {
             for rule in ALL_RULES {
-                println!("{:16} {}", rule.id(), rule.describe());
+                println!("{}", rule.id());
+                println!("    {}", rule.describe());
+                println!("    scope: {}", rule.scope_note());
             }
             Ok(true)
         }
@@ -67,20 +80,46 @@ fn find_root(argv: &[String]) -> Result<PathBuf, String> {
 }
 
 fn check(argv: &[String]) -> Result<bool, String> {
-    let root = find_root(argv)?;
+    let mut rest: Vec<String> = Vec::new();
+    let mut json = false;
+    for arg in argv {
+        if arg == "--json" {
+            json = true;
+        } else {
+            rest.push(arg.clone());
+        }
+    }
+    let root = find_root(&rest)?;
     let report = check_tree(&root).map_err(|e| format!("scan failed: {e}"))?;
-    for d in &report.diagnostics {
+    let baseline_file = root.join(BASELINE_PATH);
+    let baseline = if baseline_file.exists() {
+        let text = std::fs::read_to_string(&baseline_file)
+            .map_err(|e| format!("reading {BASELINE_PATH}: {e}"))?;
+        Baseline::parse(&text).map_err(|e| format!("parsing {BASELINE_PATH}: {e}"))?
+    } else {
+        Baseline::empty()
+    };
+    let fresh = fresh_findings(&report, &baseline);
+
+    if json {
+        // Canonical full report; baselining affects the exit code only.
+        print!("{}", report.to_json());
+        return Ok(fresh.is_empty());
+    }
+
+    for d in &fresh {
         println!("{d}");
     }
-    if report.diagnostics.is_empty() {
+    let baselined = report.diagnostics.len() - fresh.len();
+    if fresh.is_empty() {
         println!(
-            "wsyn-analyze: clean ({} files scanned)",
-            report.files_scanned
+            "wsyn-analyze: clean ({} files scanned, {} baselined finding(s))",
+            report.files_scanned, baselined
         );
         Ok(true)
     } else {
         let mut by_rule: Vec<(Rule, usize)> = Vec::new();
-        for d in &report.diagnostics {
+        for d in &fresh {
             match by_rule.iter_mut().find(|(r, _)| *r == d.rule) {
                 Some((_, n)) => *n += 1,
                 None => by_rule.push((d.rule, 1)),
@@ -91,10 +130,11 @@ fn check(argv: &[String]) -> Result<bool, String> {
             .map(|(r, n)| format!("{} {}", n, r.id()))
             .collect();
         println!(
-            "wsyn-analyze: {} violation(s) [{}] in {} files scanned",
-            report.diagnostics.len(),
+            "wsyn-analyze: {} violation(s) [{}] in {} files scanned ({} baselined)",
+            fresh.len(),
             summary.join(", "),
-            report.files_scanned
+            report.files_scanned,
+            baselined
         );
         Ok(false)
     }

@@ -11,6 +11,15 @@
 //! | `no-panic` | no `.unwrap()`/`.expect(…)`/`panic!` in library non-test code — propagate `Result` |
 //! | `lossy-cast` | no narrowing `as` casts in solver-crate DP state packing / index arithmetic — use `try_into` or `wsyn_core::narrow_u32` |
 //! | `safety-comment` | every `unsafe` must carry a `// SAFETY:` comment (vendor exempt) |
+//! | `taint-flow` | no dataflow from a nondeterministic source into a solver return value or obs report field ([`crate::taint`]) |
+//! | `thread-policy` | only `core/src/pool.rs` may call `configured_threads`/`host_parallelism` |
+//! | `pool-capture` | closures handed to `Pool::map_indexed`/`thread::scope` must not capture `Rc`/`RefCell`/`Cell` |
+//! | `atomic-ordering` | every atomic op names its `Ordering` and justifies it with `// ORDERING:` |
+//! | `mutex-poison` | solver-crate `Mutex` locks use `.lock().unwrap_or_else(PoisonError::into_inner)` |
+//! | `unsafe-caller` | calls to unambiguously-`unsafe` fns need their own `// SAFETY:` comment |
+//!
+//! The first six are token rules from PR 2; the last six ride the PR 7
+//! parse tree ([`crate::parse`]) and call graph ([`crate::callgraph`]).
 //!
 //! A violation that is *intended* — a documented invariant, a wrapping
 //! truncation inside a hash — is silenced in place with
@@ -32,8 +41,9 @@
 //! * `vendor/` (in-tree dependency stand-ins) is exempt from all rules.
 
 use crate::lexer::{lex, Token, TokenKind};
+use crate::parse::{self, Block, Expr, ExprKind, Stmt};
 
-/// The six rules, in reporting order.
+/// The twelve rules, in reporting order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum Rule {
     /// R1: float `==`/`!=` in solver crates.
@@ -48,16 +58,39 @@ pub enum Rule {
     LossyCast,
     /// R6: `unsafe` without a `// SAFETY:` comment.
     SafetyComment,
+    /// R7: nondeterministic dataflow into a solver return value or obs
+    /// report field ([`crate::taint`]).
+    TaintFlow,
+    /// R8: `configured_threads`/`host_parallelism` called outside
+    /// `core/src/pool.rs`.
+    ThreadPolicy,
+    /// R9: `Rc`/`RefCell`/`Cell` inside a closure handed to
+    /// `Pool::map_indexed`/`thread::scope`.
+    PoolCapture,
+    /// R10: atomic op without a named `Ordering` or without a
+    /// `// ORDERING:` justification.
+    AtomicOrdering,
+    /// R11: solver-crate `Mutex` lock without the poison-recovery idiom.
+    MutexPoison,
+    /// R12: call to an unambiguously-`unsafe` fn without its own
+    /// `// SAFETY:` comment.
+    UnsafeCaller,
 }
 
 /// All rules, in reporting order.
-pub const ALL_RULES: [Rule; 6] = [
+pub const ALL_RULES: [Rule; 12] = [
     Rule::FloatEq,
     Rule::HashCollections,
     Rule::WallClock,
     Rule::NoPanic,
     Rule::LossyCast,
     Rule::SafetyComment,
+    Rule::TaintFlow,
+    Rule::ThreadPolicy,
+    Rule::PoolCapture,
+    Rule::AtomicOrdering,
+    Rule::MutexPoison,
+    Rule::UnsafeCaller,
 ];
 
 impl Rule {
@@ -71,6 +104,12 @@ impl Rule {
             Rule::NoPanic => "no-panic",
             Rule::LossyCast => "lossy-cast",
             Rule::SafetyComment => "safety-comment",
+            Rule::TaintFlow => "taint-flow",
+            Rule::ThreadPolicy => "thread-policy",
+            Rule::PoolCapture => "pool-capture",
+            Rule::AtomicOrdering => "atomic-ordering",
+            Rule::MutexPoison => "mutex-poison",
+            Rule::UnsafeCaller => "unsafe-caller",
         }
     }
 
@@ -105,6 +144,57 @@ impl Rule {
                  arithmetic; use try_into or wsyn_core::narrow_u32"
             }
             Rule::SafetyComment => "unsafe without an adjacent // SAFETY: justification",
+            Rule::TaintFlow => {
+                "dataflow from a nondeterministic source (clock, env read, thread \
+                 id, pointer address, hash order) into a solver return value or \
+                 wsyn-obs report field; sanctioned sites live in \
+                 taint::TAINT_ALLOWLIST"
+            }
+            Rule::ThreadPolicy => {
+                "configured_threads/host_parallelism called outside \
+                 core/src/pool.rs; thread-count policy has exactly one owner — \
+                 everything else takes a &Pool"
+            }
+            Rule::PoolCapture => {
+                "closure passed to Pool::map_indexed or thread::scope mentions \
+                 Rc/RefCell/Cell; cross-thread state must be Sync"
+            }
+            Rule::AtomicOrdering => {
+                "atomic op must name its memory Ordering explicitly and justify \
+                 it with a // ORDERING: comment within 3 lines above"
+            }
+            Rule::MutexPoison => {
+                "Mutex lock in a solver crate must recover from poisoning via \
+                 .lock().unwrap_or_else(PoisonError::into_inner) — a panicked \
+                 sibling thread must not wedge the solver"
+            }
+            Rule::UnsafeCaller => {
+                "call to a workspace `unsafe fn` needs its own // SAFETY: comment \
+                 within 3 lines above, even when the enclosing unsafe block is \
+                 justified elsewhere"
+            }
+        }
+    }
+
+    /// Where the rule applies, shown by `wsyn-analyze list-rules`.
+    /// `vendor/` is exempt from every rule.
+    #[must_use]
+    pub fn scope_note(self) -> &'static str {
+        match self {
+            Rule::FloatEq | Rule::HashCollections | Rule::LossyCast => {
+                "solver crates (core, synopsis, haar, prob, conform, obs); test code exempt"
+            }
+            Rule::WallClock => "all crates except bench and cli; applies in test code",
+            Rule::NoPanic => "all crates except bench; test code exempt",
+            Rule::SafetyComment | Rule::PoolCapture | Rule::AtomicOrdering | Rule::UnsafeCaller => {
+                "all crates; applies in test code"
+            }
+            Rule::TaintFlow => "non-test code of core, synopsis, haar, prob, conform, obs, stream",
+            Rule::ThreadPolicy => {
+                "all crates except the policy owner crates/core/src/pool.rs; \
+                 applies in test code"
+            }
+            Rule::MutexPoison => "solver crates; test code exempt",
         }
     }
 }
@@ -210,7 +300,7 @@ const WALL_CLOCK_IDENTS: &[&str] = &[
 ];
 
 /// Per-line allow-comment table.
-struct Allows {
+pub(crate) struct Allows {
     /// `(line, rule)` pairs collected from `// wsyn: allow(...)`.
     entries: Vec<(u32, Rule)>,
 }
@@ -220,7 +310,7 @@ impl Allows {
     /// line or block comment: `wsyn: allow(rule)` and
     /// `wsyn: allow(rule-a, rule-b)`. A multi-line block comment
     /// anchors at its *last* line.
-    fn collect(tokens: &[Token<'_>]) -> Allows {
+    pub(crate) fn collect(tokens: &[Token<'_>]) -> Allows {
         let mut entries = Vec::new();
         for t in tokens {
             if !matches!(t.kind, TokenKind::LineComment | TokenKind::BlockComment) {
@@ -247,25 +337,33 @@ impl Allows {
 
     /// Whether a diagnostic for `rule` at `line` is suppressed: an allow
     /// comment matches its own line (trailing) or the next (preceding).
-    fn covers(&self, line: u32, rule: Rule) -> bool {
+    pub(crate) fn covers(&self, line: u32, rule: Rule) -> bool {
         self.entries
             .iter()
             .any(|&(l, r)| r == rule && (l == line || l + 1 == line))
     }
 }
 
-/// Lines carrying a `SAFETY:` comment (for rule `safety-comment`).
-fn safety_lines(tokens: &[Token<'_>]) -> Vec<u32> {
+/// Lines whose comments carry `marker` (`SAFETY:`, `ORDERING:`). A
+/// multi-line block comment anchors at its last line.
+pub(crate) fn marker_lines(tokens: &[Token<'_>], marker: &str) -> Vec<u32> {
     let mut out = Vec::new();
     for t in tokens {
         if matches!(t.kind, TokenKind::LineComment | TokenKind::BlockComment)
-            && t.text.contains("SAFETY:")
+            && t.text.contains(marker)
         {
             let last = t.line + u32::try_from(t.text.matches('\n').count()).unwrap_or(0);
             out.push(last);
         }
     }
     out
+}
+
+/// Whether any line in `lines` sits on `line` or within 3 lines above.
+pub(crate) fn justified_near(lines: &[u32], line: u32) -> bool {
+    lines
+        .iter()
+        .any(|&l| l <= line && line.saturating_sub(l) <= 3)
 }
 
 /// Marks each code token as test code or not, by tracking `#[test]` /
@@ -359,7 +457,7 @@ pub fn check_source_scoped(rel_path: &str, src: &str, scope: Scope) -> Vec<Diagn
     }
     let tokens = lex(src);
     let allows = Allows::collect(&tokens);
-    let safety = safety_lines(&tokens);
+    let safety = marker_lines(&tokens, "SAFETY:");
     let code: Vec<Token<'_>> = tokens
         .iter()
         .copied()
@@ -455,23 +553,292 @@ pub fn check_source_scoped(rel_path: &str, src: &str, scope: Scope) -> Vec<Diagn
                         }
                     }
                 }
-                "unsafe" if scope.safety => {
-                    let justified = safety
-                        .iter()
-                        .any(|&l| l <= t.line && t.line.saturating_sub(l) <= 3);
-                    if !justified {
-                        push(
-                            t.line,
-                            Rule::SafetyComment,
-                            "unsafe without a // SAFETY: comment within 3 lines above".to_string(),
-                        );
-                    }
+                "unsafe" if scope.safety && !justified_near(&safety, t.line) => {
+                    push(
+                        t.line,
+                        Rule::SafetyComment,
+                        "unsafe without a // SAFETY: comment within 3 lines above".to_string(),
+                    );
                 }
                 _ => {}
             },
             _ => {}
         }
     }
+    out.sort_by_key(|a| (a.line, a.rule));
+    out
+}
+
+/// The file that owns thread-count policy: the single module allowed to
+/// call `configured_threads` / `host_parallelism` (rule `thread-policy`).
+pub const THREAD_POLICY_OWNER: &str = "crates/core/src/pool.rs";
+
+/// Thread-count policy entry points (rule `thread-policy`).
+const THREAD_POLICY_FNS: &[&str] = &["configured_threads", "host_parallelism"];
+
+/// Atomic RMW methods whose names are unambiguous: a call without a
+/// visible `Ordering` argument is a missing ordering.
+const ATOMIC_RMW_OPS: &[&str] = &[
+    "fetch_add",
+    "fetch_sub",
+    "fetch_and",
+    "fetch_nand",
+    "fetch_or",
+    "fetch_xor",
+    "fetch_max",
+    "fetch_min",
+    "fetch_update",
+    "compare_exchange",
+    "compare_exchange_weak",
+];
+
+/// Atomic methods whose names collide with ordinary APIs (`Vec::swap`,
+/// arbitrary `load`/`store`): treated as atomic only when an `Ordering`
+/// argument is visible.
+const ATOMIC_AMBIGUOUS_OPS: &[&str] = &["load", "store", "swap"];
+
+/// The `std::sync::atomic::Ordering` variants.
+const ORDERING_NAMES: &[&str] = &["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
+
+/// Shared-but-not-`Sync` types that must not cross into pool closures.
+const NON_SYNC_TYPES: &[&str] = &["Rc", "RefCell", "Cell"];
+
+/// Whether an expression mentions an `Ordering` variant or path.
+fn has_ordering(e: &Expr) -> bool {
+    let mut found = false;
+    parse::visit_expr(e, &mut |x| {
+        if let ExprKind::Path(segs) = &x.kind {
+            if segs.iter().any(|s| s == "Ordering")
+                || segs
+                    .last()
+                    .is_some_and(|s| ORDERING_NAMES.contains(&s.as_str()))
+            {
+                found = true;
+            }
+        }
+    });
+    found
+}
+
+/// Whether an expression mentions `PoisonError::into_inner` (the
+/// recovery closure of the poison idiom).
+fn mentions_into_inner(e: &Expr) -> bool {
+    let mut found = false;
+    parse::visit_expr(e, &mut |x| match &x.kind {
+        ExprKind::Path(segs) if segs.iter().any(|s| s == "into_inner") => found = true,
+        ExprKind::MethodCall { name, .. } if name == "into_inner" => found = true,
+        _ => {}
+    });
+    found
+}
+
+/// Flags `.lock()` calls not wrapped in the poison-recovery idiom.
+/// Custom recursion: a compliant `recv.lock().unwrap_or_else(…into_inner)`
+/// chain is descended *past* so the inner `lock` is not re-flagged.
+fn mutex_walk(e: &Expr, flag: &mut impl FnMut(u32)) {
+    match &e.kind {
+        ExprKind::MethodCall { recv, name, args } if name == "unwrap_or_else" => {
+            if let ExprKind::MethodCall {
+                recv: lock_recv,
+                name: lock_name,
+                args: lock_args,
+            } = &recv.kind
+            {
+                if lock_name == "lock" && args.iter().any(mentions_into_inner) {
+                    mutex_walk(lock_recv, flag);
+                    for a in lock_args {
+                        mutex_walk(a, flag);
+                    }
+                    for a in args {
+                        mutex_walk(a, flag);
+                    }
+                    return;
+                }
+            }
+            mutex_walk(recv, flag);
+            for a in args {
+                mutex_walk(a, flag);
+            }
+        }
+        ExprKind::MethodCall { recv, name, args } => {
+            if name == "lock" {
+                flag(e.line);
+            }
+            mutex_walk(recv, flag);
+            for a in args {
+                mutex_walk(a, flag);
+            }
+        }
+        ExprKind::Call { callee, args } => {
+            mutex_walk(callee, flag);
+            for a in args {
+                mutex_walk(a, flag);
+            }
+        }
+        ExprKind::Closure { body, .. } => mutex_walk(body, flag),
+        ExprKind::Unsafe(b) | ExprKind::Block(b) => mutex_block(b, flag),
+        ExprKind::Cast { expr, .. } => mutex_walk(expr, flag),
+        ExprKind::For { iter, body, .. } => {
+            mutex_walk(iter, flag);
+            mutex_block(body, flag);
+        }
+        ExprKind::Seq(children) => {
+            for c in children {
+                mutex_walk(c, flag);
+            }
+        }
+        ExprKind::Path(_) | ExprKind::Lit => {}
+    }
+}
+
+fn mutex_block(b: &Block, flag: &mut impl FnMut(u32)) {
+    for stmt in &b.stmts {
+        match stmt {
+            Stmt::Let { init: Some(e), .. } | Stmt::Expr(e) | Stmt::Return(Some(e), _) => {
+                mutex_walk(e, flag);
+            }
+            Stmt::Let { init: None, .. } | Stmt::Return(None, _) | Stmt::Item(_) => {}
+        }
+    }
+    if let Some(tail) = &b.tail {
+        mutex_walk(tail, flag);
+    }
+}
+
+/// Runs the per-file AST rules (`thread-policy`, `pool-capture`,
+/// `atomic-ordering`, `mutex-poison`) over one file.
+///
+/// `taint-flow` and `unsafe-caller` need the whole workspace and run in
+/// [`crate::engine`]; this covers everything decidable from a single
+/// parse tree.
+#[must_use]
+pub fn check_ast(rel_path: &str, src: &str) -> Vec<Diagnostic> {
+    let scope = Scope::classify(rel_path);
+    if scope == Scope::none() {
+        return Vec::new();
+    }
+    let tokens = lex(src);
+    let allows = Allows::collect(&tokens);
+    let ordering = marker_lines(&tokens, "ORDERING:");
+    let file = parse::parse_tokens(&tokens);
+
+    let mut out: Vec<Diagnostic> = Vec::new();
+    let mut push = |line: u32, rule: Rule, message: String| {
+        if !allows.covers(line, rule) {
+            out.push(Diagnostic {
+                path: rel_path.to_string(),
+                line,
+                rule,
+                message,
+            });
+        }
+    };
+
+    let is_policy_owner = rel_path == THREAD_POLICY_OWNER;
+    parse::for_each_fn(&file, |f, _self_ty, in_test| {
+        let Some(body) = &f.body else { return };
+        let exempt_test = scope.test_path || in_test;
+
+        parse::for_each_expr(body, &mut |e| {
+            // `thread-policy` and `pool-capture` target: plain calls
+            // carry a path, method calls a name.
+            let (call_name, closure_args): (Option<&str>, &[Expr]) = match &e.kind {
+                ExprKind::Call { callee, args } => match &callee.kind {
+                    ExprKind::Path(segs) => {
+                        let last = segs.last().map(String::as_str);
+                        // `thread::scope` only; a bare `scope(…)` call is
+                        // something else.
+                        let pool_entry =
+                            last == Some("scope") && segs.iter().any(|s| s == "thread");
+                        (last, if pool_entry { args } else { &[] })
+                    }
+                    _ => (None, &[]),
+                },
+                ExprKind::MethodCall { name, args, .. } => (
+                    Some(name.as_str()),
+                    if name == "map_indexed" { args } else { &[] },
+                ),
+                _ => (None, &[]),
+            };
+
+            if let Some(name) = call_name {
+                if !is_policy_owner && THREAD_POLICY_FNS.contains(&name) {
+                    push(
+                        e.line,
+                        Rule::ThreadPolicy,
+                        format!(
+                            "`{name}` called outside {THREAD_POLICY_OWNER}; take a \
+                             &Pool instead — thread-count policy has one owner"
+                        ),
+                    );
+                }
+            }
+
+            for arg in closure_args {
+                if let ExprKind::Closure { body, .. } = &arg.kind {
+                    parse::visit_expr(body, &mut |x| {
+                        if let ExprKind::Path(segs) = &x.kind {
+                            if let Some(bad) =
+                                segs.iter().find(|s| NON_SYNC_TYPES.contains(&s.as_str()))
+                            {
+                                push(
+                                    x.line,
+                                    Rule::PoolCapture,
+                                    format!(
+                                        "`{bad}` inside a closure handed to the \
+                                         thread pool; cross-thread state must be Sync"
+                                    ),
+                                );
+                            }
+                        }
+                    });
+                }
+            }
+
+            // `atomic-ordering`.
+            if let ExprKind::MethodCall { name, args, .. } = &e.kind {
+                let ordered = args.iter().any(has_ordering);
+                let is_atomic = if ATOMIC_RMW_OPS.contains(&name.as_str()) {
+                    true
+                } else {
+                    ATOMIC_AMBIGUOUS_OPS.contains(&name.as_str()) && ordered
+                };
+                if is_atomic {
+                    if !ordered {
+                        push(
+                            e.line,
+                            Rule::AtomicOrdering,
+                            format!("atomic `.{name}(…)` without an explicit Ordering"),
+                        );
+                    } else if !justified_near(&ordering, e.line) {
+                        push(
+                            e.line,
+                            Rule::AtomicOrdering,
+                            format!(
+                                "atomic `.{name}(…)` needs a // ORDERING: comment \
+                                 within 3 lines above justifying the memory ordering"
+                            ),
+                        );
+                    }
+                }
+            }
+        });
+
+        // `mutex-poison`: solver library code only — tests may use
+        // plain locks (no-panic already exempts them).
+        if scope.solver && !exempt_test {
+            mutex_block(body, &mut |line| {
+                push(
+                    line,
+                    Rule::MutexPoison,
+                    "`.lock()` without poison recovery; use \
+                     .lock().unwrap_or_else(PoisonError::into_inner)"
+                        .to_string(),
+                );
+            });
+        }
+    });
+
     out.sort_by_key(|a| (a.line, a.rule));
     out
 }
@@ -679,5 +1046,140 @@ mod tests {
             assert_eq!(Rule::from_id(r.id()), Some(r));
         }
         assert_eq!(Rule::from_id("nonsense"), None);
+    }
+
+    fn ast_rules_of(path: &str, src: &str) -> Vec<Rule> {
+        check_ast(path, src).into_iter().map(|d| d.rule).collect()
+    }
+
+    #[test]
+    fn thread_policy_allows_only_the_pool_module() {
+        let src = "fn f() -> usize { configured_threads() }";
+        assert_eq!(
+            ast_rules_of("crates/synopsis/src/lib.rs", src),
+            vec![Rule::ThreadPolicy]
+        );
+        assert_eq!(
+            ast_rules_of(
+                "crates/cli/src/main.rs",
+                "fn f() -> usize { host_parallelism() }"
+            ),
+            vec![Rule::ThreadPolicy]
+        );
+        assert!(ast_rules_of(THREAD_POLICY_OWNER, src).is_empty());
+        // Applies in test code; the escape hatch still works.
+        assert_eq!(
+            ast_rules_of(
+                "crates/core/src/lib.rs",
+                "#[test] fn t() { assert!(host_parallelism() >= 1); }"
+            ),
+            vec![Rule::ThreadPolicy]
+        );
+        assert!(ast_rules_of(
+            "crates/core/src/lib.rs",
+            "#[test] fn t() { assert!(host_parallelism() >= 1); // wsyn: allow(thread-policy)\n }"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn pool_capture_flags_non_sync_types() {
+        assert_eq!(
+            ast_rules_of(
+                "crates/core/src/pool.rs",
+                "fn f(pool: &Pool) {
+                    let c = Rc::new(RefCell::new(0));
+                    pool.map_indexed(&xs, |i, x| { c.borrow_mut(); Rc::clone(&c) });
+                }"
+            ),
+            vec![Rule::PoolCapture]
+        );
+        assert_eq!(
+            ast_rules_of(
+                "crates/core/src/pool.rs",
+                "fn f() { thread::scope(|s| { let c = Cell::new(0); c.set(1) }); }"
+            ),
+            vec![Rule::PoolCapture]
+        );
+        // Sync sharing is fine; so are Rc/RefCell outside pool closures.
+        assert!(ast_rules_of(
+            "crates/core/src/pool.rs",
+            "fn f(pool: &Pool) {
+                let c = Rc::new(0);
+                pool.map_indexed(&xs, |i, x| x + 1);
+            }"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn atomic_ordering_demands_order_and_comment() {
+        // RMW without any Ordering argument.
+        assert_eq!(
+            ast_rules_of(
+                "crates/core/src/lib.rs",
+                "fn f(a: &AtomicUsize) { a.fetch_add(1); }"
+            ),
+            vec![Rule::AtomicOrdering]
+        );
+        // Ordering present but unjustified.
+        assert_eq!(
+            ast_rules_of(
+                "crates/core/src/lib.rs",
+                "fn f(a: &AtomicUsize) { a.load(Ordering::Relaxed); }"
+            ),
+            vec![Rule::AtomicOrdering]
+        );
+        // Justified within 3 lines: clean.
+        assert!(ast_rules_of(
+            "crates/core/src/lib.rs",
+            "fn f(a: &AtomicUsize) {\n    // ORDERING: counter only, no synchronization\n    \
+             a.fetch_add(1, Ordering::Relaxed);\n}"
+        )
+        .is_empty());
+        // Plain `load`/`swap` without Ordering is not an atomic op.
+        assert!(ast_rules_of(
+            "crates/core/src/lib.rs",
+            "fn f(v: &mut Vec<u32>) { v.swap(0, 1); cfg.load(path); }"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn mutex_poison_requires_recovery_idiom() {
+        assert_eq!(
+            ast_rules_of(
+                "crates/core/src/lib.rs",
+                "fn f(m: &Mutex<u32>) -> u32 { *m.lock().unwrap() }"
+            ),
+            // (`.unwrap()` is the token pass's business, not check_ast's.)
+            vec![Rule::MutexPoison]
+        );
+        assert!(ast_rules_of(
+            "crates/core/src/lib.rs",
+            "fn f(m: &Mutex<u32>) -> u32 {
+                *m.lock().unwrap_or_else(PoisonError::into_inner)
+            }"
+        )
+        .is_empty());
+        // Out of solver scope and in tests: exempt.
+        assert!(ast_rules_of(
+            "crates/cli/src/main.rs",
+            "fn f(m: &Mutex<u32>) { m.lock().unwrap(); }"
+        )
+        .is_empty());
+        assert!(ast_rules_of(
+            "crates/core/src/lib.rs",
+            "#[test] fn t(m: &Mutex<u32>) { m.lock().unwrap(); }"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn every_rule_has_description_and_scope() {
+        for r in ALL_RULES {
+            assert!(r.describe().len() > 20, "{} description too thin", r.id());
+            assert!(r.scope_note().len() > 10, "{} scope note too thin", r.id());
+        }
     }
 }

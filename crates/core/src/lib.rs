@@ -753,6 +753,8 @@ mod tests {
 
     #[test]
     fn host_parallelism_is_at_least_one() {
+        // Direct probe of the policy primitive itself; everything else
+        // must go through Pool. wsyn: allow(thread-policy)
         assert!(host_parallelism() >= 1);
     }
 

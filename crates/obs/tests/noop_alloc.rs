@@ -22,6 +22,9 @@ static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
 unsafe impl GlobalAlloc for CountingAlloc {
     // SAFETY: upholds the `GlobalAlloc` contract by delegating to `System`.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        // ORDERING: relaxed — a monotonically increasing event counter;
+        // nothing synchronizes-with it, and the single-threaded test
+        // reads it only after all increments.
         ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
         // SAFETY: `layout` is forwarded unchanged to the system allocator.
         unsafe { System.alloc(layout) }
@@ -61,16 +64,21 @@ fn noop_collector_never_allocates() {
     // Warm up whatever the test harness itself lazily allocates.
     exercise(&Collector::noop());
 
+    // ORDERING: relaxed — same-thread reads of the counter; program
+    // order alone gives before/after consistency.
     let before = ALLOCATIONS.load(Ordering::Relaxed);
     exercise(&Collector::noop());
+    // ORDERING: relaxed — same-thread read, see above.
     let noop_allocs = ALLOCATIONS.load(Ordering::Relaxed) - before;
     assert_eq!(noop_allocs, 0, "no-op collector must not touch the heap");
 
     // Sanity: the counter is live — the same workload against a
     // recording collector must allocate.
+    // ORDERING: relaxed — same-thread read, see above.
     let before = ALLOCATIONS.load(Ordering::Relaxed);
     let recording = Collector::recording();
     exercise(&recording);
+    // ORDERING: relaxed — same-thread read, see above.
     let recording_allocs = ALLOCATIONS.load(Ordering::Relaxed) - before;
     assert!(
         recording_allocs > 0,

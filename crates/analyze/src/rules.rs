@@ -242,8 +242,12 @@ pub struct Scope {
 
 /// Crates whose solver paths carry the paper's deterministic guarantees.
 /// (`MinMaxErr` and the multi-dimensional schemes live in `synopsis`;
-/// `obs` feeds deterministic run reports from those same paths.)
-pub const SOLVER_CRATES: &[&str] = &["core", "synopsis", "haar", "prob", "conform", "obs"];
+/// `obs` feeds deterministic run reports from those same paths; `serve`
+/// answers queries byte-identically to the library, so its store and
+/// shard code carry the same contract.)
+pub const SOLVER_CRATES: &[&str] = &[
+    "core", "synopsis", "haar", "prob", "conform", "obs", "serve",
+];
 
 impl Scope {
     /// A scope with nothing enabled (vendor, non-Rust trees).
@@ -1011,6 +1015,12 @@ mod tests {
         assert!(!s.solver && s.wall_clock && s.no_panic);
         let s = Scope::classify("crates/conform/src/lib.rs");
         assert!(s.solver && s.wall_clock && s.no_panic && !s.test_path);
+        // The server answers must be byte-identical to library answers,
+        // so the serve crate is held to the full solver rule set.
+        let s = Scope::classify("crates/serve/src/store.rs");
+        assert!(s.solver && s.wall_clock && s.no_panic && s.safety && !s.test_path);
+        let s = Scope::classify("crates/serve/tests/loopback.rs");
+        assert!(s.solver && s.test_path);
         let s = Scope::classify("crates/bench/src/bin/exp_e5_scaling.rs");
         assert!(!s.wall_clock && !s.no_panic && s.safety);
         let s = Scope::classify("crates/cli/src/main.rs");

@@ -1,0 +1,294 @@
+//! `wsyn-serve` load generator: loopback throughput and latency at 1, 2
+//! and 4 shard worker threads, written to `BENCH_serve.json` at the repo
+//! root.
+//!
+//! The workload is a fixed deterministic script — eight zipf columns,
+//! a build per column, a mixed point/sum/avg query phase, a batched
+//! update phase, then a flush (applies pending updates, with any
+//! triggered rebuilds) and a warm re-build per column — driven by four
+//! persistent client connections regardless of the server's shard
+//! count, so the measured deltas isolate server-side parallelism.
+//! Reported per shard count: queries/sec with p50/p99 request latency,
+//! update throughput (64-update batches), flush latency, and warm
+//! rebuild (re-build) latency.
+//!
+//! Identity guard: every query's estimate bits are collected per client
+//! and must be identical across shard counts — the load generator
+//! doubles as a concurrency-identity stress (answers may never depend
+//! on how many workers raced to produce them).
+//!
+//! Run with `cargo bench --bench serve_load`.
+
+use wsyn_core::json::{object, Value};
+use wsyn_datagen::{zipf, ZipfPlacement};
+use wsyn_serve::{Client, QueryKind, ServeConfig, Server};
+
+/// Columns served (spread over shards by name hash).
+const COLUMNS: usize = 8;
+/// Values per column.
+const N: usize = 256;
+/// Coefficient budget per build.
+const BUDGET: usize = 16;
+/// Metric spec for every build.
+const METRIC: &str = "abs";
+/// Persistent client connections (fixed across shard counts).
+const CLIENTS: usize = 4;
+/// Queries per client in the query phase.
+const QUERIES_PER_CLIENT: usize = 600;
+/// Update batches per client.
+const BATCHES_PER_CLIENT: usize = 30;
+/// Updates per batch.
+const BATCH_SIZE: usize = 64;
+
+fn column_name(c: usize) -> String {
+    format!("load/col{c}")
+}
+
+fn column_data(c: usize) -> Vec<f64> {
+    zipf(N, 1.1, 100_000.0, ZipfPlacement::Shuffled, 40 + c as u64)
+}
+
+/// The deterministic query mix for client `client`, request `k`:
+/// round-robin over the client's own columns, cycling point → sum → avg
+/// with index arithmetic instead of randomness.
+fn query_plan(client: usize, k: usize) -> (usize, QueryKind) {
+    let own: Vec<usize> = (0..COLUMNS).filter(|c| c % CLIENTS == client).collect();
+    let col = own[k % own.len()];
+    let kind = match k % 3 {
+        0 => QueryKind::Point((k * 37 + client * 11) % N),
+        1 => {
+            let lo = (k * 13) % (N / 2);
+            QueryKind::RangeSum(lo, lo + N / 4)
+        }
+        _ => {
+            let lo = (k * 7) % (N / 2);
+            QueryKind::RangeAvg(lo, lo + N / 2)
+        }
+    };
+    (col, kind)
+}
+
+/// The update batch for client `client`, batch `b`: strided indices
+/// with deltas big enough that the accumulated drift breaches the
+/// rebuild tolerance partway through a column's pending queue — so the
+/// flush phase measures real drain-triggered rebuilds, not just
+/// tree updates.
+fn update_plan(client: usize, b: usize) -> (usize, Vec<(usize, f64)>) {
+    let own: Vec<usize> = (0..COLUMNS).filter(|c| c % CLIENTS == client).collect();
+    let col = own[b % own.len()];
+    let updates = (0..BATCH_SIZE)
+        .map(|j| {
+            let i = (b * 29 + j * 17 + client * 5) % N;
+            let delta = (f64::from(((b + j) % 5) as u32) - 2.0) * 25.0;
+            (i, delta)
+        })
+        .collect();
+    (col, updates)
+}
+
+fn ms_since(t0: std::time::Instant) -> f64 {
+    t0.elapsed().as_secs_f64() * 1e3
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx]
+}
+
+struct PhaseStats {
+    total: usize,
+    wall_ms: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+}
+
+impl PhaseStats {
+    fn from_latencies(mut latencies: Vec<f64>, wall_ms: f64) -> PhaseStats {
+        latencies.sort_by(f64::total_cmp);
+        PhaseStats {
+            total: latencies.len(),
+            wall_ms,
+            p50_ms: percentile(&latencies, 0.50),
+            p99_ms: percentile(&latencies, 0.99),
+        }
+    }
+
+    fn per_sec(&self, items_per_request: usize) -> f64 {
+        (self.total * items_per_request) as f64 / (self.wall_ms / 1e3)
+    }
+
+    fn json(&self, rate_label: &str, items_per_request: usize) -> Value {
+        object(vec![
+            ("requests", Value::Number(self.total as f64)),
+            ("wall_ms", Value::Number(self.wall_ms)),
+            (rate_label, Value::Number(self.per_sec(items_per_request))),
+            ("p50_ms", Value::Number(self.p50_ms)),
+            ("p99_ms", Value::Number(self.p99_ms)),
+        ])
+    }
+}
+
+/// Merges per-client `(latencies, answer-bits)` results; wall time is
+/// the slowest client's (the phase ends when the last client finishes).
+fn run_clients<F>(addr: &str, f: F) -> (PhaseStats, Vec<u64>)
+where
+    F: Fn(usize, &mut Client) -> (Vec<f64>, Vec<u64>) + Copy + Send + 'static,
+{
+    let t0 = std::time::Instant::now();
+    let handles: Vec<_> = (0..CLIENTS)
+        .map(|c| {
+            let addr = addr.to_string();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(&addr).expect("client connect");
+                f(c, &mut client)
+            })
+        })
+        .collect();
+    let mut latencies = Vec::new();
+    let mut bits = Vec::new();
+    for handle in handles {
+        let (lat, b) = handle.join().expect("client thread");
+        latencies.extend(lat);
+        bits.extend(b);
+    }
+    let wall = ms_since(t0);
+    (PhaseStats::from_latencies(latencies, wall), bits)
+}
+
+/// One full load run against a `shards`-worker server. Returns the JSON
+/// row and the concatenated per-client answer bits for the identity
+/// guard.
+fn run_load(shards: usize) -> (Value, Vec<u64>) {
+    let config = ServeConfig {
+        shards,
+        ..ServeConfig::default()
+    };
+    let server = Server::bind("127.0.0.1:0", &config).expect("bind");
+    let addr = server.local_addr().to_string();
+    let running = std::thread::spawn(move || server.run());
+
+    // ── Setup: put + build every column (not timed into any phase) ───
+    let mut setup = Client::connect(&addr).expect("setup client");
+    for c in 0..COLUMNS {
+        setup.put(&column_name(c), &column_data(c)).expect("put");
+        setup
+            .build(&column_name(c), BUDGET, METRIC, false)
+            .expect("build");
+    }
+
+    // ── Query phase ──────────────────────────────────────────────────
+    let (query_stats, query_bits) = run_clients(&addr, |client, conn| {
+        let mut latencies = Vec::with_capacity(QUERIES_PER_CLIENT);
+        let mut bits = Vec::with_capacity(QUERIES_PER_CLIENT);
+        for k in 0..QUERIES_PER_CLIENT {
+            let (col, kind) = query_plan(client, k);
+            let t0 = std::time::Instant::now();
+            let answer = conn.query(&column_name(col), kind, false).expect("query");
+            latencies.push(ms_since(t0));
+            let est = answer.get("est").and_then(Value::as_f64).expect("estimate");
+            bits.push(est.to_bits());
+        }
+        (latencies, bits)
+    });
+
+    // ── Batched update phase (cheap acks; application is deferred) ───
+    let (update_stats, _) = run_clients(&addr, |client, conn| {
+        let mut latencies = Vec::with_capacity(BATCHES_PER_CLIENT);
+        for b in 0..BATCHES_PER_CLIENT {
+            let (col, updates) = update_plan(client, b);
+            let t0 = std::time::Instant::now();
+            conn.update(&column_name(col), &updates).expect("update");
+            latencies.push(ms_since(t0));
+        }
+        (latencies, Vec::new())
+    });
+
+    // ── Flush (drain + triggered rebuilds) and warm re-build ─────────
+    let mut flush_ms = Vec::new();
+    let mut rebuild_ms = Vec::new();
+    let mut rebuilds_total = 0u64;
+    for c in 0..COLUMNS {
+        let t0 = std::time::Instant::now();
+        let flushed = setup.flush(&column_name(c)).expect("flush");
+        flush_ms.push(ms_since(t0));
+        rebuilds_total += flushed
+            .get("rebuilds")
+            .and_then(Value::as_f64)
+            .map_or(0, |r| r as u64);
+        let t0 = std::time::Instant::now();
+        setup
+            .build(&column_name(c), BUDGET, METRIC, false)
+            .expect("re-build");
+        rebuild_ms.push(ms_since(t0));
+    }
+    flush_ms.sort_by(f64::total_cmp);
+    rebuild_ms.sort_by(f64::total_cmp);
+
+    setup.shutdown().expect("shutdown");
+    running.join().expect("server thread").expect("server run");
+
+    let row = object(vec![
+        ("workers", Value::Number(shards as f64)),
+        ("queries", query_stats.json("queries_per_sec", 1)),
+        ("updates", update_stats.json("updates_per_sec", BATCH_SIZE)),
+        (
+            "flush",
+            object(vec![
+                ("requests", Value::Number(flush_ms.len() as f64)),
+                ("p50_ms", Value::Number(percentile(&flush_ms, 0.50))),
+                ("max_ms", Value::Number(percentile(&flush_ms, 1.0))),
+                ("rebuilds_triggered", Value::Number(rebuilds_total as f64)),
+            ]),
+        ),
+        (
+            "rebuild",
+            object(vec![
+                ("requests", Value::Number(rebuild_ms.len() as f64)),
+                ("p50_ms", Value::Number(percentile(&rebuild_ms, 0.50))),
+                ("max_ms", Value::Number(percentile(&rebuild_ms, 1.0))),
+            ]),
+        ),
+    ]);
+    (row, query_bits)
+}
+
+fn main() {
+    let host_cpus = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let mut rows = Vec::new();
+    let mut reference_bits: Option<Vec<u64>> = None;
+    for shards in [1usize, 2, 4] {
+        let (row, bits) = run_load(shards);
+        // Per-client request order is fixed, so sorted answer bits must
+        // be identical no matter how many workers raced.
+        let mut sorted = bits;
+        sorted.sort_unstable();
+        match &reference_bits {
+            None => reference_bits = Some(sorted),
+            Some(reference) => assert_eq!(
+                reference, &sorted,
+                "query answers changed between shard counts"
+            ),
+        }
+        println!("workers = {shards}: {}", row.compact());
+        rows.push(row);
+    }
+
+    let doc = object(vec![
+        ("bench", Value::String("serve_load".into())),
+        ("host_cpus", Value::Number(host_cpus as f64)),
+        ("columns", Value::Number(COLUMNS as f64)),
+        ("n", Value::Number(N as f64)),
+        ("budget", Value::Number(BUDGET as f64)),
+        ("metric", Value::String(METRIC.into())),
+        ("clients", Value::Number(CLIENTS as f64)),
+        ("workers", Value::Array(rows)),
+    ]);
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/bench has two ancestors")
+        .to_path_buf();
+    let out = root.join("BENCH_serve.json");
+    std::fs::write(&out, doc.pretty() + "\n").expect("write BENCH_serve.json");
+    println!("wrote {}", out.display());
+}

@@ -24,6 +24,10 @@ commands:
              [--report FILE]   (write a JSON run report: spans + counters)
   eval       --synopsis FILE --input FILE [--metric abs|rel:S]
   query      --synopsis FILE  point <i> | range <lo> <hi> | avg <lo> <hi>
+  query      --server HOST:PORT --column NAME  point <i> | range <lo> <hi> | avg <lo> <hi>
+             (answers from a running wsyn-serve column, with its live guarantee)
+  serve      [--addr HOST:PORT] [--shards N] [--queue-depth N] [--tolerance T]
+             (sharded multi-tenant synopsis server; see DESIGN.md §14)
 
 data files hold one value per line ('#' comments allowed); synopses are JSON.";
 
@@ -38,6 +42,7 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
         "build" => build(&Args::parse(rest)?),
         "eval" => eval(&Args::parse(rest)?),
         "query" => query(&Args::parse(rest)?),
+        "serve" => serve(&Args::parse(rest)?),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -203,7 +208,111 @@ fn eval(a: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Runs a `wsyn-serve` server in the foreground until a client sends a
+/// `shutdown` request.
+fn serve(a: &Args) -> Result<(), String> {
+    a.ensure_known(&["addr", "shards", "queue-depth", "tolerance"])?;
+    let addr = a.opt("addr").unwrap_or("127.0.0.1:7878");
+    let config = wsyn_serve::ServeConfig {
+        shards: a.opt_parse("shards", 0usize)?,
+        queue_depth: a.opt_parse("queue-depth", 64usize)?,
+        tolerance: a.opt_parse("tolerance", 2.0f64)?,
+    };
+    let server = wsyn_serve::Server::bind(addr, &config)?;
+    println!("wsyn serving on {}", server.local_addr());
+    server.run()
+}
+
+/// The shared grammar of both query modes: `point <i>`, `range <lo>
+/// <hi>`, or `avg <lo> <hi>`, validated against the domain size `n`.
+fn parse_query(pos: &[String], n: usize) -> Result<wsyn_serve::QueryKind, String> {
+    let parse_idx = |s: &str, what: &str| -> Result<usize, String> {
+        let v: usize = s.parse().map_err(|_| format!("bad {what} '{s}'"))?;
+        if v > n {
+            return Err(format!("{what} {v} out of range (N = {n})"));
+        }
+        Ok(v)
+    };
+    match pos.first().map(String::as_str) {
+        Some("point") => {
+            let [_, i] = pos else {
+                return Err("usage: query point <i>".into());
+            };
+            let i = parse_idx(i, "index")?;
+            if i >= n {
+                return Err(format!("index {i} out of range (N = {n})"));
+            }
+            Ok(wsyn_serve::QueryKind::Point(i))
+        }
+        Some("range") | Some("avg") => {
+            let [kind, lo, hi] = pos else {
+                return Err("usage: query range|avg <lo> <hi>".into());
+            };
+            let lo = parse_idx(lo, "lo")?;
+            let hi = parse_idx(hi, "hi")?;
+            if lo > hi {
+                return Err(format!("empty range [{lo}, {hi})"));
+            }
+            if kind == "range" {
+                Ok(wsyn_serve::QueryKind::RangeSum(lo, hi))
+            } else {
+                if lo == hi {
+                    return Err("empty range for avg".into());
+                }
+                Ok(wsyn_serve::QueryKind::RangeAvg(lo, hi))
+            }
+        }
+        _ => Err("usage: query point <i> | range <lo> <hi> | avg <lo> <hi>".into()),
+    }
+}
+
+/// Client mode: answers a query from a running server's column, under
+/// the column's *live* guarantee (which may have drifted past the
+/// built objective since the last rebuild — the local `--synopsis` mode
+/// can only report the frozen build-time guarantee).
+fn query_server(a: &Args) -> Result<(), String> {
+    a.ensure_known(&["server", "column"])?;
+    let addr = a.req("server")?;
+    let column = a.req("column")?;
+    let mut client = wsyn_serve::Client::connect(addr)?;
+    let info = client.info(column)?;
+    let n = info
+        .get("n")
+        .and_then(wsyn_core::json::Value::as_usize)
+        .ok_or_else(|| format!("server sent no domain size for '{column}'"))?;
+    let kind = parse_query(&a.positional, n)?;
+    let answer = client.query(column, kind, false)?;
+    let est = answer
+        .get("est")
+        .and_then(wsyn_core::json::Value::as_f64)
+        .ok_or_else(|| "server sent no estimate".to_string())?;
+    match kind {
+        wsyn_serve::QueryKind::Point(i) => println!("point({i}) = {est}"),
+        wsyn_serve::QueryKind::RangeSum(lo, hi) => println!("sum[{lo}, {hi}) = {est}"),
+        wsyn_serve::QueryKind::RangeAvg(lo, hi) => println!("avg[{lo}, {hi}) = {est}"),
+    }
+    if let Some(iv) = answer
+        .get("interval")
+        .and_then(wsyn_core::json::Value::as_array)
+    {
+        // Non-finite interval ends serialize as JSON null; restore them.
+        let lo = iv
+            .first()
+            .and_then(wsyn_core::json::Value::as_f64)
+            .unwrap_or(f64::NEG_INFINITY);
+        let hi = iv
+            .get(1)
+            .and_then(wsyn_core::json::Value::as_f64)
+            .unwrap_or(f64::INFINITY);
+        println!("guaranteed interval: [{lo}, {hi}]");
+    }
+    Ok(())
+}
+
 fn query(a: &Args) -> Result<(), String> {
+    if a.opt("server").is_some() {
+        return query_server(a);
+    }
     a.ensure_known(&["synopsis"])?;
     let doc = io::read_synopsis(a.req("synopsis")?)?;
     let engine = QueryEngine1d::new(doc.synopsis.clone());
@@ -417,6 +526,43 @@ mod tests {
         assert!(dispatch(&v(&["query", "--synopsis", &syn_path, "point"])).is_err());
         assert!(dispatch(&v(&["query", "--synopsis", &syn_path, "point", "99"])).is_err());
         assert!(dispatch(&v(&["query", "--synopsis", &syn_path, "range", "3", "1"])).is_err());
+    }
+
+    #[test]
+    fn query_server_mode_end_to_end() {
+        // A real server on an ephemeral port; the CLI queries it as a
+        // client and validates its own argument handling against the
+        // served column's domain.
+        let server =
+            wsyn_serve::Server::bind("127.0.0.1:0", &wsyn_serve::ServeConfig::default()).unwrap();
+        let addr = server.local_addr().to_string();
+        let handle = std::thread::spawn(move || server.run());
+        let data: Vec<f64> = (0..16).map(|i| f64::from(i % 7) * 3.0).collect();
+        let mut client = wsyn_serve::Client::connect(&addr).unwrap();
+        client.put("cli-test", &data).unwrap();
+        client.build("cli-test", 4, "abs", false).unwrap();
+
+        for q in [
+            vec!["point", "5"],
+            vec!["range", "0", "8"],
+            vec!["avg", "0", "16"],
+        ] {
+            let mut argv = v(&["query", "--server", &addr, "--column", "cli-test"]);
+            argv.extend(q.iter().map(|s| (*s).to_string()));
+            dispatch(&argv).unwrap();
+        }
+        // Out-of-range and unknown-column errors surface cleanly.
+        assert!(dispatch(&v(&[
+            "query", "--server", &addr, "--column", "cli-test", "point", "99"
+        ]))
+        .is_err());
+        assert!(dispatch(&v(&[
+            "query", "--server", &addr, "--column", "ghost", "point", "0"
+        ]))
+        .is_err());
+
+        client.shutdown().unwrap();
+        handle.join().unwrap().unwrap();
     }
 
     #[test]

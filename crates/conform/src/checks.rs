@@ -118,6 +118,12 @@ pub fn check_instance_observed(inst: &Instance, obs: &Collector) -> Result<Check
             sum,
             check_report_determinism(inst, &mut sum)
         );
+        observed!(
+            obs,
+            "server_identity",
+            sum,
+            crate::server_identity::check(inst, &mut sum)
+        );
     }
     observed!(obs, "schemes", sum, check_schemes(inst, &mut sum));
     observed!(
@@ -462,10 +468,13 @@ fn check_aqp_bounds(inst: &Instance, sum: &mut CheckSummary) -> Result<(), Failu
 /// Pool-parallel execution is invisible in results: every pool-driven
 /// solve is an exact twin of the sequential reference at thread counts
 /// 1, 2, and 4 (forced via [`Pool::with_threads`], so real threads run
-/// even on a 1-CPU host), its `DpStats` are identical at every thread
-/// count (the decomposition depends only on the instance, never on the
-/// pool), and the τ-sweep's recorded observability report renders to
-/// byte-identical text at 1 and 4 threads.
+/// even on a 1-CPU host). A one-thread pool falls back to the plain
+/// sequential kernel, so its `DpStats` equal the sequential run's
+/// exactly; at two or more threads the decomposed solve's `DpStats`
+/// are thread-count-invariant (the decomposition depends only on the
+/// instance, never on the pool size). The τ-sweep's recorded
+/// observability report renders to byte-identical text at 1 and 4
+/// threads.
 fn check_parallel_identity(inst: &Instance, sum: &mut CheckSummary) -> Result<(), Failure> {
     let name = &inst.name;
     let data = data_f64(inst);
@@ -491,17 +500,32 @@ fn check_parallel_identity(inst: &Instance, sum: &mut CheckSummary) -> Result<()
                         r.objective,
                         seq.objective
                     );
-                    if let Some(p) = &prev {
+                    if threads == 1 {
+                        // One-thread pools take the sequential fallback,
+                        // so the whole result — stats included — must be
+                        // the sequential run's, bit for bit.
                         ensure!(
                             sum,
-                            r.stats == *p,
-                            "pool-stats-invariant",
+                            r.stats == seq.stats,
+                            "pool-seq-fallback",
                             name,
-                            "b={b} {} threads={threads}: stats depend on the thread count",
+                            "b={b} {} threads=1: stats differ from the \
+                             sequential kernel's",
                             spec.id()
                         );
+                    } else {
+                        if let Some(p) = &prev {
+                            ensure!(
+                                sum,
+                                r.stats == *p,
+                                "pool-stats-invariant",
+                                name,
+                                "b={b} {} threads={threads}: stats depend on the thread count",
+                                spec.id()
+                            );
+                        }
+                        prev = Some(r.stats);
                     }
-                    prev = Some(r.stats);
                 }
             }
         }

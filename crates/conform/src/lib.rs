@@ -23,6 +23,10 @@
 //!   and Proposition 3.3 (objective ≥ largest dropped `|coefficient|`).
 //! * [`corpus`] — the golden corpus: hand-rolled instances whose blessed
 //!   outputs live as JSON under `tests/corpus/`, checked bit-exactly.
+//! * [`server_identity`] — `wsyn-serve` answers vs. library answers,
+//!   compared as canonical protocol bytes over a real loopback socket,
+//!   plus the deterministic answer-stream transcript CI diffs across
+//!   `WSYN_POOL_THREADS` settings.
 //! * [`shrink`] — greedy deterministic minimization of failing
 //!   instances before they are reported.
 //!
@@ -40,6 +44,7 @@ pub mod checks;
 pub mod corpus;
 pub mod gen;
 pub mod oracle;
+pub mod server_identity;
 pub mod shrink;
 
 /// A conformance violation: which check tripped, on what, and how.

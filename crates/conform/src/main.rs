@@ -5,7 +5,15 @@
 //! wsyn-conform bless  [--corpus DIR]                   rewrite the corpus expectations
 //! wsyn-conform sweep  [--seed N] [--rounds N]          seeded differential sweep
 //! wsyn-conform shrink --file PATH                      minimize a failing instance file
+//! wsyn-conform server-identity [--corpus DIR] [--answers PATH]
+//!                                                      corpus answer stream via wsyn-serve
 //! ```
+//!
+//! `server-identity` drives every 1-D corpus instance through an
+//! in-process `wsyn-serve` server and prints (or writes, with
+//! `--answers PATH`) the deterministic response transcript; CI captures
+//! it under `WSYN_POOL_THREADS=1` and `=4` and requires a byte-identical
+//! diff.
 //!
 //! `check` prints one span line per corpus doc (the per-family span tree
 //! recorded by the observability layer) and, with `--report PATH`,
@@ -42,7 +50,8 @@ const USAGE: &str = "usage:
   wsyn-conform check  [--corpus DIR] [--report PATH]
   wsyn-conform bless  [--corpus DIR]
   wsyn-conform sweep  [--seed N] [--rounds N]
-  wsyn-conform shrink --file PATH";
+  wsyn-conform shrink --file PATH
+  wsyn-conform server-identity [--corpus DIR] [--answers PATH]";
 
 fn flag_value(args: &[String], flag: &str) -> Result<Option<String>, WsynError> {
     match args.iter().position(|a| a == flag) {
@@ -67,6 +76,7 @@ fn run(args: &[String]) -> Result<bool, WsynError> {
         "bless" => cmd_bless(&args[1..]),
         "sweep" => cmd_sweep(&args[1..]),
         "shrink" => cmd_shrink(&args[1..]),
+        "server-identity" => cmd_server_identity(&args[1..]),
         other => Err(WsynError::invalid(format!("unknown command `{other}`"))),
     }
 }
@@ -212,6 +222,34 @@ fn cmd_sweep(args: &[String]) -> Result<bool, WsynError> {
         );
     }
     println!("sweep clean: seed {seed}, {rounds} rounds, {instances} instances, {total} checks");
+    Ok(true)
+}
+
+/// Emits the corpus's deterministic server answer stream (the
+/// `server-identity` transcript CI diffs across thread settings).
+fn cmd_server_identity(args: &[String]) -> Result<bool, WsynError> {
+    let dir = corpus_dir(args)?;
+    let answers_path = flag_value(args, "--answers")?;
+    let docs = corpus::load_dir(&dir)?;
+    if docs.is_empty() {
+        return Err(WsynError::invalid(format!(
+            "no corpus files in {} (run `bless` first)",
+            dir.display()
+        )));
+    }
+    let instances: Vec<&Instance> = docs.iter().map(|(_, doc)| &doc.instance).collect();
+    let stream = wsyn_conform::server_identity::answer_stream(&instances)
+        .map_err(|f| WsynError::invalid(f.to_string()))?;
+    match answers_path {
+        Some(path) => {
+            std::fs::write(&path, &stream).map_err(|e| WsynError::io(&path, e.to_string()))?;
+            println!(
+                "server-identity answer stream: {} responses written to {path}",
+                stream.lines().count()
+            );
+        }
+        None => print!("{stream}"),
+    }
     Ok(true)
 }
 

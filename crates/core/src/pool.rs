@@ -335,4 +335,91 @@ mod tests {
         });
         assert!(result.is_err());
     }
+
+    #[test]
+    fn map_indexed_empty_input_at_every_thread_count() {
+        // Empty input must return an empty Vec without spawning or
+        // blocking at any ceiling, including the clamped-zero pool.
+        for threads in [0, 1, 2, 4, 8] {
+            let pool = Pool::with_threads(threads);
+            let out: Vec<String> = pool.map_indexed(Vec::<u8>::new(), |i, x| format!("{i}:{x}"));
+            assert!(out.is_empty(), "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn map_indexed_fewer_items_than_threads() {
+        // Items below the ceiling: the min-work floor trims the worker
+        // count (8 threads, 5 items -> 2 workers; 3 items -> sequential)
+        // but the contract — results in input order, every item mapped
+        // exactly once — is unchanged.
+        let pool = Pool::with_threads(8);
+        for n in 1usize..8 {
+            let items: Vec<usize> = (0..n).collect();
+            let out = pool.map_indexed(items, |i, x| {
+                assert_eq!(i, x);
+                i * 10 + x
+            });
+            let expected: Vec<usize> = (0..n).map(|x| x * 11).collect();
+            assert_eq!(out, expected, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn single_worker_panic_aborts_cleanly_with_payload() {
+        // One task out of many panics: the completion wait must observe
+        // the abort and the scope join must re-raise a panic — not hang
+        // on the Condvar, not return a partial pile. The 60-second
+        // watchdog distinguishes "clean abort" from "hang" without
+        // racing the pool's own teardown. The payload is the original
+        // message when worker 0 (the caller) drew the poisoned item, and
+        // `std::thread::scope`'s "a scoped thread panicked" when a
+        // helper did — which of the two is a scheduling race, so the
+        // test accepts exactly those and nothing else.
+        let (tx, rx) = std::sync::mpsc::channel();
+        std::thread::spawn(move || {
+            let result = std::panic::catch_unwind(|| {
+                Pool::with_threads(4).map_indexed((0..64).collect::<Vec<u32>>(), |_, x| {
+                    assert!(x != 17, "deliberate failure on item 17");
+                    x * 2
+                })
+            });
+            let _ = tx.send(result);
+        });
+        let result = rx
+            .recv_timeout(std::time::Duration::from_secs(60))
+            .expect("map_indexed hung on the completion wait after a worker panic");
+        let payload = result.expect_err("panic must propagate to the caller");
+        let text = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| payload.downcast_ref::<&str>().map(|s| (*s).to_string()))
+            .expect("panic payload must be a string");
+        assert!(
+            text.contains("deliberate failure on item 17")
+                || text.contains("a scoped thread panicked"),
+            "unexpected panic payload: {text}"
+        );
+    }
+
+    #[test]
+    fn every_worker_panicking_still_aborts_cleanly() {
+        // The pathological case: all in-flight items unwind, so every
+        // worker's drop guard fires and the caller (worker 0, also
+        // unwinding) never reaches the Condvar wait. The scope join must
+        // still deliver a panic rather than deadlock.
+        let (tx, rx) = std::sync::mpsc::channel();
+        std::thread::spawn(move || {
+            let result = std::panic::catch_unwind(|| {
+                Pool::with_threads(4).map_indexed((0..16).collect::<Vec<u32>>(), |_, _| -> u32 {
+                    panic!("every task fails")
+                })
+            });
+            let _ = tx.send(result.is_err());
+        });
+        let propagated = rx
+            .recv_timeout(std::time::Duration::from_secs(60))
+            .expect("map_indexed hung when every task panicked");
+        assert!(propagated);
+    }
 }

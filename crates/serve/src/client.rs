@@ -1,0 +1,159 @@
+//! A minimal blocking client for the wire protocol.
+//!
+//! [`Client::request_raw`] returns the response's exact frame-payload
+//! bytes — the unit the `server-identity` conformance family and the CI
+//! answer-stream diff compare, so identity claims are made about what
+//! actually crossed the wire, not about a re-serialization.
+
+use std::net::TcpStream;
+
+use crate::protocol::{read_frame, write_frame, QueryKind, Request, Response};
+
+/// A connected client. One request is in flight at a time (the protocol
+/// is strict request/response per connection).
+#[derive(Debug)]
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connects to a server.
+    ///
+    /// # Errors
+    /// A connect failure.
+    pub fn connect(addr: &str) -> Result<Client, String> {
+        let stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+        stream
+            .set_nodelay(true)
+            .map_err(|e| format!("set_nodelay: {e}"))?;
+        Ok(Client { stream })
+    }
+
+    /// Sends `request` and returns the response's raw canonical payload
+    /// bytes.
+    ///
+    /// # Errors
+    /// An I/O failure or a server that closed the stream mid-exchange.
+    pub fn request_raw(&mut self, request: &Request) -> Result<Vec<u8>, String> {
+        write_frame(&mut self.stream, &request.to_bytes())?;
+        read_frame(&mut self.stream)?.ok_or_else(|| "server closed the connection".to_string())
+    }
+
+    /// Sends `request` and decodes the response.
+    ///
+    /// # Errors
+    /// An I/O failure or a malformed response.
+    pub fn request(&mut self, request: &Request) -> Result<Response, String> {
+        Response::from_bytes(&self.request_raw(request)?)
+    }
+
+    /// Like [`Client::request`], but a response with `ok: false` becomes
+    /// an `Err` carrying the server's message.
+    ///
+    /// # Errors
+    /// An I/O failure, a malformed response, or a server-side error.
+    pub fn expect_ok(&mut self, request: &Request) -> Result<Response, String> {
+        let response = self.request(request)?;
+        if !response.is_ok() {
+            return Err(response
+                .error_message()
+                .unwrap_or("unspecified server error")
+                .to_string());
+        }
+        Ok(response)
+    }
+
+    /// Liveness probe.
+    ///
+    /// # Errors
+    /// See [`Client::expect_ok`].
+    pub fn ping(&mut self) -> Result<Response, String> {
+        self.expect_ok(&Request::Ping)
+    }
+
+    /// Creates or replaces a column.
+    ///
+    /// # Errors
+    /// See [`Client::expect_ok`].
+    pub fn put(&mut self, column: &str, data: &[f64]) -> Result<Response, String> {
+        self.expect_ok(&Request::Put {
+            column: column.to_string(),
+            data: data.to_vec(),
+        })
+    }
+
+    /// Builds the column's synopsis.
+    ///
+    /// # Errors
+    /// See [`Client::expect_ok`].
+    pub fn build(
+        &mut self,
+        column: &str,
+        budget: usize,
+        metric: &str,
+        trace: bool,
+    ) -> Result<Response, String> {
+        self.expect_ok(&Request::Build {
+            column: column.to_string(),
+            budget,
+            metric: metric.to_string(),
+            trace,
+        })
+    }
+
+    /// Answers a query with its error interval.
+    ///
+    /// # Errors
+    /// See [`Client::expect_ok`].
+    pub fn query(
+        &mut self,
+        column: &str,
+        kind: QueryKind,
+        trace: bool,
+    ) -> Result<Response, String> {
+        self.expect_ok(&Request::Query {
+            column: column.to_string(),
+            kind,
+            trace,
+        })
+    }
+
+    /// Enqueues batched point updates.
+    ///
+    /// # Errors
+    /// See [`Client::expect_ok`].
+    pub fn update(&mut self, column: &str, updates: &[(usize, f64)]) -> Result<Response, String> {
+        self.expect_ok(&Request::Update {
+            column: column.to_string(),
+            updates: updates.to_vec(),
+        })
+    }
+
+    /// Applies all pending updates now.
+    ///
+    /// # Errors
+    /// See [`Client::expect_ok`].
+    pub fn flush(&mut self, column: &str) -> Result<Response, String> {
+        self.expect_ok(&Request::Flush {
+            column: column.to_string(),
+        })
+    }
+
+    /// Column metadata.
+    ///
+    /// # Errors
+    /// See [`Client::expect_ok`].
+    pub fn info(&mut self, column: &str) -> Result<Response, String> {
+        self.expect_ok(&Request::Info {
+            column: column.to_string(),
+        })
+    }
+
+    /// Asks the server to stop.
+    ///
+    /// # Errors
+    /// See [`Client::expect_ok`].
+    pub fn shutdown(&mut self) -> Result<Response, String> {
+        self.expect_ok(&Request::Shutdown)
+    }
+}

@@ -1,0 +1,42 @@
+//! `wsyn-serve`: a sharded multi-tenant synopsis server.
+//!
+//! A persistent in-memory store of named columns — each holding its
+//! data, its wavelet synopsis, its maximum-error guarantee, and a warm
+//! solver workspace — served over a hand-rolled length-prefixed binary
+//! protocol on `std::net` (the workspace's zero-dependency discipline
+//! extends to the network layer).
+//!
+//! The layering, bottom-up:
+//!
+//! * [`protocol`] — versioned frames carrying canonical-bytes JSON; the
+//!   codec both sides of the `server-identity` byte-diff rely on.
+//! * [`store`] — the per-column state machine: batched ingest through
+//!   the streaming rebuild policy, warm-workspace builds, per-answer
+//!   error intervals from `wsyn-aqp`.
+//! * [`shard`] — deterministic FNV-1a column routing and the worker
+//!   loop; per-column operations serialize lock-free through their one
+//!   owning shard.
+//! * [`server`] — the concurrent shell: accept loop, per-connection
+//!   handler threads, bounded shard queues.
+//! * [`client`] — a minimal blocking client, exposing raw response
+//!   bytes for identity checking.
+//!
+//! The determinism contract: answer *content* is a pure function of the
+//! per-column request order. Scheduling (shard interleaving, connection
+//! acceptance order) affects only *when* an answer is computed, never
+//! what it says — asserted byte-for-byte against cold library runs by
+//! the `server-identity` conformance family.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod protocol;
+pub mod server;
+pub mod shard;
+pub mod store;
+
+pub use client::Client;
+pub use protocol::{QueryKind, Request, Response};
+pub use server::{ServeConfig, Server};
+pub use store::Column;

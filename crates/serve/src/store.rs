@@ -1,0 +1,535 @@
+//! Per-column state: data, synopsis, guarantee, and warm solver
+//! workspace.
+//!
+//! A [`Column`] owns a [`DynamicErrorTree`] (the maintained data and its
+//! error tree, O(log N) per point update), the most recent build
+//! ([`Built`]: synopsis, objective, metric, drift bookkeeping), a cached
+//! [`MinMaxErr`] solver for the *current* data, and a persistent
+//! [`SolverScratch`]. The scratch is the warm-workspace cache the server
+//! exists to exploit: repeated builds on unchanged data run
+//! [`Thresholder::threshold_with_reusing`] against the same solver, so a
+//! budget sweep hits the dedup memo exactly like the library's warm
+//! B-sweep (a proven bit-identity twin of the cold path); across data
+//! changes the workspace self-clears but keeps its allocations, skipping
+//! the memo growth ramp — the same reuse argument
+//! [`wsyn_stream::AdaptiveMaxErrSynopsis`] makes for streaming rebuilds.
+//!
+//! Point updates are *batched*: [`Column::enqueue`] validates and queues
+//! them (the cheap ack on the ingest path), and [`Column::drain`]
+//! applies them through the tree one at a time — replicating
+//! `AdaptiveMaxErrSynopsis::update`'s degradation rule exactly, rebuild
+//! triggers included — before the next build, query, flush, or info
+//! touches the column. The rebuild decision therefore depends only on
+//! the update sequence, never on when the drain runs, which is what
+//! keeps server answers byte-identical to library answers.
+
+use wsyn_aqp::{bounds, QueryEngine1d};
+use wsyn_obs::Collector;
+use wsyn_stream::DynamicErrorTree;
+use wsyn_synopsis::one_dim::MinMaxErr;
+use wsyn_synopsis::thresholder::{RunParams, SolverScratch};
+use wsyn_synopsis::{ErrorMetric, Thresholder};
+
+use crate::protocol::QueryKind;
+
+/// Parses a metric spec string: `abs` or `rel:<sanity>` (the CLI's
+/// `--metric` grammar and [`wsyn_synopsis::ErrorMetric`]'s stable ids).
+///
+/// # Errors
+/// A message naming the malformed spec.
+pub fn parse_metric(spec: &str) -> Result<ErrorMetric, String> {
+    if spec == "abs" {
+        return Ok(ErrorMetric::absolute());
+    }
+    if let Some(s) = spec.strip_prefix("rel:") {
+        let sanity: f64 = s
+            .parse()
+            .map_err(|_| format!("bad sanity bound in metric '{spec}'"))?;
+        if !(sanity > 0.0 && sanity.is_finite()) {
+            return Err("sanity bound must be positive and finite".to_string());
+        }
+        return Ok(ErrorMetric::relative(sanity));
+    }
+    Err(format!(
+        "unknown metric '{spec}' (expected 'abs' or 'rel:<sanity>')"
+    ))
+}
+
+/// The most recent successful build of a column.
+#[derive(Debug)]
+pub struct Built {
+    /// Budget the synopsis was built with.
+    pub budget: usize,
+    /// Metric spec string (`abs` / `rel:<sanity>`).
+    pub metric_spec: String,
+    /// The parsed metric.
+    pub metric: ErrorMetric,
+    /// The DP objective at build time — the guaranteed maximum error on
+    /// the data as of the build.
+    pub objective: f64,
+    /// Accumulated `Σ|δ|` applied since the build (conservative
+    /// guarantee drift, as in the streaming rebuild policy).
+    pub drift_abs: f64,
+    /// Query engine over the built synopsis.
+    pub engine: QueryEngine1d,
+}
+
+impl Built {
+    /// The current conservative guarantee:
+    /// `objective + accumulated |δ|`.
+    #[must_use]
+    pub fn guarantee(&self) -> f64 {
+        self.objective + self.drift_abs
+    }
+}
+
+/// The answer to one query: the estimate, the conservative guarantee it
+/// was answered under, and the guaranteed interval (when one is
+/// derivable for the metric/query combination).
+#[derive(Debug, Clone, Copy)]
+pub struct Answer {
+    /// The synopsis estimate (`-0.0` normalized to `0.0`).
+    pub est: f64,
+    /// The conservative guarantee in force ([`Built::guarantee`]).
+    pub guarantee: f64,
+    /// Guaranteed interval containing the true value, if derivable.
+    pub interval: Option<bounds::Interval>,
+}
+
+/// A named column: maintained data, pending updates, current build.
+#[derive(Debug)]
+pub struct Column {
+    tree: DynamicErrorTree,
+    /// Cached solver over the current data; valid iff `solver_at`
+    /// equals `tree.updates()`.
+    solver: Option<MinMaxErr>,
+    solver_at: u64,
+    scratch: SolverScratch,
+    built: Option<Built>,
+    pending: Vec<(usize, f64)>,
+    tolerance: f64,
+    rebuilds: u64,
+}
+
+impl Column {
+    /// Creates a column over `data`.
+    ///
+    /// `tolerance >= 1` is the streaming rebuild knob: during a drain,
+    /// a rebuild triggers once the conservative guarantee exceeds
+    /// `tolerance ×` the built objective (absolute metric) or drift
+    /// exceeds `(tolerance − 1) ×` the sanity/objective scale
+    /// (relative), exactly as in `AdaptiveMaxErrSynopsis::update`.
+    ///
+    /// # Errors
+    /// A non-power-of-two or empty data vector, or `tolerance < 1`.
+    pub fn new(data: &[f64], tolerance: f64) -> Result<Column, String> {
+        if tolerance < 1.0 || tolerance.is_nan() {
+            return Err(format!("tolerance must be >= 1, got {tolerance}"));
+        }
+        let tree = DynamicErrorTree::new(data).map_err(|e| e.to_string())?;
+        Ok(Column {
+            tree,
+            solver: None,
+            solver_at: 0,
+            scratch: SolverScratch::new(),
+            built: None,
+            pending: Vec::new(),
+            tolerance,
+            rebuilds: 0,
+        })
+    }
+
+    /// Domain size.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.tree.n()
+    }
+
+    /// Number of updates waiting to be applied.
+    #[must_use]
+    pub fn pending(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Rebuilds triggered by drift so far.
+    #[must_use]
+    pub fn rebuilds(&self) -> u64 {
+        self.rebuilds
+    }
+
+    /// The current build, if any.
+    #[must_use]
+    pub fn built(&self) -> Option<&Built> {
+        self.built.as_ref()
+    }
+
+    /// Validates and queues point updates; they are applied by the next
+    /// [`Column::drain`]. Returns the new pending count.
+    ///
+    /// # Errors
+    /// An out-of-range index (nothing is queued — a batch is
+    /// all-or-nothing so a rejected ack leaves no partial state).
+    pub fn enqueue(&mut self, updates: &[(usize, f64)]) -> Result<usize, String> {
+        let n = self.tree.n();
+        for &(i, delta) in updates {
+            if i >= n {
+                return Err(format!("update index {i} out of range (N = {n})"));
+            }
+            if !delta.is_finite() {
+                return Err(format!("update delta at index {i} is not finite"));
+            }
+        }
+        self.pending.extend_from_slice(updates);
+        Ok(self.pending.len())
+    }
+
+    /// Applies every pending update through the tree, replicating the
+    /// streaming degradation rule per update (a rebuild can trigger
+    /// mid-batch, resetting drift, exactly as a stream of
+    /// `AdaptiveMaxErrSynopsis::update` calls would).
+    ///
+    /// # Errors
+    /// A rebuild failure (propagated from the solver).
+    pub fn drain(&mut self, obs: &Collector) -> Result<(), String> {
+        if self.pending.is_empty() {
+            return Ok(());
+        }
+        let span = obs.span("drain");
+        obs.add("applied", self.pending.len());
+        let pending = std::mem::take(&mut self.pending);
+        for (i, delta) in pending {
+            self.tree.update(i, delta);
+            let degraded = match &mut self.built {
+                None => false,
+                Some(built) => {
+                    built.drift_abs += delta.abs();
+                    match built.metric {
+                        ErrorMetric::Absolute => {
+                            built.guarantee()
+                                > self.tolerance * built.objective.max(f64::MIN_POSITIVE)
+                        }
+                        ErrorMetric::Relative { sanity } => {
+                            built.drift_abs > (self.tolerance - 1.0) * sanity.max(built.objective)
+                        }
+                    }
+                }
+            };
+            if degraded {
+                self.rebuild(obs)?;
+            }
+        }
+        drop(span);
+        Ok(())
+    }
+
+    /// Re-solves at the current build's `(budget, metric)` on the
+    /// current data, resetting drift.
+    fn rebuild(&mut self, obs: &Collector) -> Result<(), String> {
+        let Some(built) = self.built.take() else {
+            return Ok(());
+        };
+        let span = obs.span("rebuild");
+        obs.add("rebuilds", 1);
+        let rebuilt = self.solve(built.budget, built.metric, obs)?;
+        self.rebuilds += 1;
+        self.built = Some(Built {
+            budget: built.budget,
+            metric_spec: built.metric_spec,
+            metric: built.metric,
+            objective: rebuilt.0,
+            drift_abs: 0.0,
+            engine: QueryEngine1d::new(rebuilt.1),
+        });
+        drop(span);
+        Ok(())
+    }
+
+    /// Runs the warm DP at `(budget, metric)` over the current data,
+    /// (re)creating the cached solver only when the data changed since
+    /// the last solve.
+    fn solve(
+        &mut self,
+        budget: usize,
+        metric: ErrorMetric,
+        obs: &Collector,
+    ) -> Result<(f64, wsyn_synopsis::Synopsis1d), String> {
+        if self.solver.is_none() || self.solver_at != self.tree.updates() {
+            self.solver = Some(MinMaxErr::from_tree(self.tree.snapshot()));
+            self.solver_at = self.tree.updates();
+        }
+        let Some(solver) = self.solver.as_ref() else {
+            return Err("solver cache invariant broken".to_string());
+        };
+        let params = RunParams::new(budget, metric).obs(obs.clone());
+        let run = solver
+            .threshold_with_reusing(&params, &mut self.scratch)
+            .map_err(|e| e.to_string())?;
+        let synopsis = run
+            .synopsis
+            .into_one("the server")
+            .map_err(|e| e.to_string())?;
+        Ok((run.objective, synopsis))
+    }
+
+    /// Drains pending updates, then builds the synopsis for
+    /// `(budget, metric_spec)`. Returns the fresh [`Built`].
+    ///
+    /// # Errors
+    /// A bad metric spec or a solver refusal.
+    pub fn build(
+        &mut self,
+        budget: usize,
+        metric_spec: &str,
+        obs: &Collector,
+    ) -> Result<&Built, String> {
+        let metric = parse_metric(metric_spec)?;
+        self.drain(obs)?;
+        let span = obs.span("build");
+        let solved = self.solve(budget, metric, obs)?;
+        self.built = Some(Built {
+            budget,
+            metric_spec: metric_spec.to_string(),
+            metric,
+            objective: solved.0,
+            drift_abs: 0.0,
+            engine: QueryEngine1d::new(solved.1),
+        });
+        drop(span);
+        self.built
+            .as_ref()
+            .ok_or_else(|| "build state lost".to_string())
+    }
+
+    /// Drains pending updates, then answers `kind` from the built
+    /// synopsis with a per-answer error interval.
+    ///
+    /// Interval derivations (all conservative under drift — the true
+    /// value moved by at most the accumulated `Σ|δ|` since the build,
+    /// so every zero-drift interval widens by that drift):
+    ///
+    /// * point, absolute metric: `est ± guarantee()`;
+    /// * point, relative metric: the relative hull at the built
+    ///   objective, widened by the drift;
+    /// * range sum, absolute metric: `est ± guarantee() · len`;
+    /// * range sum under a relative metric, and range averages: no
+    ///   interval (none is derivable from a per-value guarantee).
+    ///
+    /// # Errors
+    /// No build yet, an out-of-range query, or a rebuild failure from
+    /// the drain.
+    pub fn query(&mut self, kind: QueryKind, obs: &Collector) -> Result<Answer, String> {
+        self.drain(obs)?;
+        let span = obs.span("query");
+        let n = self.tree.n();
+        let Some(built) = self.built.as_ref() else {
+            return Err("column has no synopsis yet (build first)".to_string());
+        };
+        let drift = built.drift_abs;
+        let widen = |iv: bounds::Interval| bounds::Interval {
+            lo: iv.lo - drift,
+            hi: iv.hi + drift,
+        };
+        let answer = match kind {
+            QueryKind::Point(i) => {
+                if i >= n {
+                    return Err(format!("index {i} out of range (N = {n})"));
+                }
+                let est = built.engine.point(i) + 0.0; // normalizes -0
+                let interval = match built.metric {
+                    ErrorMetric::Absolute => Some(bounds::point_absolute(est, built.guarantee())),
+                    ErrorMetric::Relative { sanity } => {
+                        Some(widen(bounds::point_relative(est, built.objective, sanity)))
+                    }
+                };
+                Answer {
+                    est,
+                    guarantee: built.guarantee(),
+                    interval,
+                }
+            }
+            QueryKind::RangeSum(lo, hi) => {
+                if lo > hi || hi > n {
+                    return Err(format!("bad range [{lo}, {hi}) for N = {n}"));
+                }
+                let est = built.engine.range_sum(lo..hi) + 0.0;
+                let interval = match built.metric {
+                    ErrorMetric::Absolute => {
+                        Some(bounds::range_sum_absolute(est, built.guarantee(), hi - lo))
+                    }
+                    ErrorMetric::Relative { .. } => None,
+                };
+                Answer {
+                    est,
+                    guarantee: built.guarantee(),
+                    interval,
+                }
+            }
+            QueryKind::RangeAvg(lo, hi) => {
+                if lo >= hi || hi > n {
+                    return Err(format!("bad range [{lo}, {hi}) for N = {n}"));
+                }
+                let est = built.engine.range_avg(lo..hi) + 0.0;
+                Answer {
+                    est,
+                    guarantee: built.guarantee(),
+                    interval: None,
+                }
+            }
+        };
+        obs.add("answered", 1);
+        drop(span);
+        Ok(answer)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsyn_core::Pool;
+
+    fn data() -> Vec<f64> {
+        (0..32).map(|i| f64::from((i * 19 + 5) % 23)).collect()
+    }
+
+    #[test]
+    fn metric_specs_parse() {
+        assert_eq!(parse_metric("abs").unwrap(), ErrorMetric::absolute());
+        assert_eq!(
+            parse_metric("rel:2.5").unwrap(),
+            ErrorMetric::Relative { sanity: 2.5 }
+        );
+        assert!(parse_metric("rel:0").is_err());
+        assert!(parse_metric("rel:inf").is_err());
+        assert!(parse_metric("l2").is_err());
+    }
+
+    #[test]
+    fn build_matches_library_cold_run() {
+        let data = data();
+        let mut col = Column::new(&data, 2.0).unwrap();
+        let reference = MinMaxErr::new(&data).unwrap();
+        for metric_spec in ["abs", "rel:1.0"] {
+            let metric = parse_metric(metric_spec).unwrap();
+            for b in [0usize, 3, 8, 16] {
+                let built = col.build(b, metric_spec, &Collector::noop()).unwrap();
+                let lib = reference.run(b, metric);
+                assert_eq!(built.objective.to_bits(), lib.objective.to_bits());
+                assert_eq!(built.engine.synopsis().indices(), lib.synopsis.indices());
+            }
+        }
+    }
+
+    #[test]
+    fn queries_match_library_engine_and_contain_truth() {
+        let data = data();
+        let mut col = Column::new(&data, 2.0).unwrap();
+        col.build(6, "abs", &Collector::noop()).unwrap();
+        let lib = MinMaxErr::new(&data)
+            .unwrap()
+            .run(6, ErrorMetric::absolute());
+        let engine = QueryEngine1d::new(lib.synopsis);
+        let obs = Collector::noop();
+        for (i, &truth) in data.iter().enumerate() {
+            let a = col.query(QueryKind::Point(i), &obs).unwrap();
+            assert_eq!(a.est.to_bits(), (engine.point(i) + 0.0).to_bits());
+            assert!(a.interval.unwrap().contains(truth));
+        }
+        let exact: f64 = data[4..20].iter().sum();
+        let a = col.query(QueryKind::RangeSum(4, 20), &obs).unwrap();
+        assert_eq!(a.est.to_bits(), (engine.range_sum(4..20) + 0.0).to_bits());
+        assert!(a.interval.unwrap().contains(exact));
+        let a = col.query(QueryKind::RangeAvg(4, 20), &obs).unwrap();
+        assert_eq!(a.est.to_bits(), (engine.range_avg(4..20) + 0.0).to_bits());
+        assert!(a.interval.is_none());
+    }
+
+    #[test]
+    fn batched_updates_match_streaming_policy() {
+        // The column's drain must replicate AdaptiveMaxErrSynopsis
+        // exactly: same rebuild count, same final synopsis, same
+        // guarantee.
+        let data = data();
+        let (b, tolerance) = (5usize, 2.0f64);
+        let metric = ErrorMetric::absolute();
+        let mut stream =
+            wsyn_stream::AdaptiveMaxErrSynopsis::new(&data, b, metric, tolerance).unwrap();
+        let mut col = Column::new(&data, tolerance).unwrap();
+        col.build(b, "abs", &Collector::noop()).unwrap();
+
+        let updates: Vec<(usize, f64)> = (0..40)
+            .map(|k| {
+                (
+                    (k * 13 + 3) % data.len(),
+                    f64::from(u8::try_from(k % 7).unwrap()) - 2.0,
+                )
+            })
+            .collect();
+        for chunk in updates.chunks(7) {
+            col.enqueue(chunk).unwrap();
+        }
+        for &(i, d) in &updates {
+            stream.update(i, d).unwrap();
+        }
+        col.drain(&Collector::noop()).unwrap();
+
+        assert_eq!(col.rebuilds(), stream.rebuilds());
+        let built = col.built().unwrap();
+        assert_eq!(
+            built.objective.to_bits(),
+            stream.built_objective().to_bits()
+        );
+        assert_eq!(built.guarantee().to_bits(), stream.guarantee().to_bits());
+        assert_eq!(
+            built.engine.synopsis().indices(),
+            stream.synopsis().indices()
+        );
+    }
+
+    #[test]
+    fn warm_rebuild_sweep_matches_cold_solves() {
+        // Repeated builds on unchanged data go through the warm memo;
+        // they must stay bit-identical to cold library runs at every
+        // budget (the warm==cold conformance contract, exercised through
+        // the column).
+        let data = data();
+        let mut col = Column::new(&data, 2.0).unwrap();
+        let reference = MinMaxErr::new(&data).unwrap();
+        for b in (0..=16).rev() {
+            let built = col.build(b, "rel:1.0", &Collector::noop()).unwrap();
+            let lib = reference.run_with_pool(
+                b,
+                ErrorMetric::relative(1.0),
+                wsyn_synopsis::one_dim::Config::default(),
+                &Pool::with_threads(1),
+            );
+            assert_eq!(built.objective.to_bits(), lib.objective.to_bits(), "b={b}");
+            assert_eq!(built.engine.synopsis().indices(), lib.synopsis.indices());
+        }
+    }
+
+    #[test]
+    fn enqueue_validates_before_queueing() {
+        let mut col = Column::new(&data(), 2.0).unwrap();
+        assert!(col.enqueue(&[(0, 1.0), (99, 1.0)]).is_err());
+        assert_eq!(col.pending(), 0, "rejected batch must not queue partially");
+        assert!(col.enqueue(&[(0, f64::NAN)]).is_err());
+        assert_eq!(col.enqueue(&[(0, 1.0), (5, -2.0)]).unwrap(), 2);
+        assert_eq!(col.pending(), 2);
+    }
+
+    #[test]
+    fn query_before_build_is_an_error() {
+        let mut col = Column::new(&data(), 2.0).unwrap();
+        let err = col
+            .query(QueryKind::Point(0), &Collector::noop())
+            .unwrap_err();
+        assert!(err.contains("build first"), "{err}");
+    }
+
+    #[test]
+    fn rejects_bad_construction() {
+        assert!(Column::new(&[1.0, 2.0, 3.0], 2.0).is_err(), "non-pow2");
+        assert!(Column::new(&data(), 0.5).is_err(), "tolerance < 1");
+        assert!(Column::new(&data(), f64::NAN).is_err());
+    }
+}

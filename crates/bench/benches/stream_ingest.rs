@@ -1,0 +1,142 @@
+//! One-pass streaming ingest throughput: items/sec and peak sketch
+//! bytes of [`StreamingMaxErr`] at N ∈ {2^14, 2^16, 2^18}, written to
+//! `BENCH_stream.json` at the repo root.
+//!
+//! The pass pushes a zipf stream frame by frame (4096-item frames, the
+//! serving layer's natural append granularity), finalizes, and records
+//! wall time split into ingest and finalize. The headline numbers are
+//! `items_per_sec` and `peak_sketch_bytes` — the second is the working
+//! set the whole streaming claim rides on, so the bench also *asserts*
+//! sublinear growth: quadrupling N must less than double the peak
+//! bytes (the sketch depends on N only through `log N`).
+//!
+//! Run with `cargo bench --bench stream_ingest`.
+
+use wsyn_core::json::{object, Value};
+use wsyn_datagen::{zipf, ZipfPlacement};
+use wsyn_stream::StreamingMaxErr;
+use wsyn_synopsis::thresholder::RunParams;
+use wsyn_synopsis::ErrorMetric;
+
+/// Coefficient budget for every run.
+const BUDGET: usize = 8;
+/// Quantization epsilon for every run.
+const EPS: f64 = 0.25;
+/// Items per push frame.
+const FRAME: usize = 4096;
+/// Domain sizes measured.
+const SIZES: [usize; 3] = [1 << 14, 1 << 16, 1 << 18];
+
+fn ms_since(t0: std::time::Instant) -> f64 {
+    t0.elapsed().as_secs_f64() * 1e3
+}
+
+struct RunRow {
+    n: usize,
+    items_per_sec: f64,
+    ingest_ms: f64,
+    finalize_ms: f64,
+    peak_bytes: usize,
+    peak_cells: usize,
+    bound_cells: usize,
+    objective: f64,
+}
+
+fn run_size(n: usize) -> RunRow {
+    let data = zipf(n, 1.1, 100_000.0, ZipfPlacement::Shuffled, 40);
+    let scale = data.iter().fold(0.0f64, |s, v| s.max(v.abs()));
+    let params = RunParams::new(BUDGET, ErrorMetric::absolute()).eps(EPS);
+    let mut builder = StreamingMaxErr::new(n, scale, &params).expect("builder");
+    let bound_cells = builder.state_bound_cells();
+
+    let t0 = std::time::Instant::now();
+    for frame in data.chunks(FRAME) {
+        builder.push_slice(frame).expect("push");
+    }
+    let ingest_ms = ms_since(t0);
+    let peak_cells = builder.peak_cells();
+    let peak_bytes = builder.peak_bytes();
+
+    let t0 = std::time::Instant::now();
+    let run = builder.finalize().expect("finalize");
+    let finalize_ms = ms_since(t0);
+
+    assert!(run.synopsis.len() <= BUDGET);
+    assert!(
+        run.peak_cells <= bound_cells,
+        "N={n}: peak {} cells above the sketch bound {bound_cells}",
+        run.peak_cells
+    );
+
+    RunRow {
+        n,
+        items_per_sec: n as f64 / (ingest_ms / 1e3),
+        ingest_ms,
+        finalize_ms,
+        peak_bytes: peak_bytes.max(run.peak_bytes),
+        peak_cells: peak_cells.max(run.peak_cells),
+        bound_cells,
+        objective: run.objective,
+    }
+}
+
+fn main() {
+    let mut rows = Vec::new();
+    let mut measured: Vec<RunRow> = Vec::new();
+    for n in SIZES {
+        let row = run_size(n);
+        println!(
+            "N = 2^{}: {:.0} items/sec, ingest {:.1} ms, finalize {:.1} ms, peak sketch {} bytes ({} cells, bound {})",
+            n.trailing_zeros(),
+            row.items_per_sec,
+            row.ingest_ms,
+            row.finalize_ms,
+            row.peak_bytes,
+            row.peak_cells,
+            row.bound_cells
+        );
+        measured.push(row);
+    }
+
+    // The sublinearity witness: each 4x step in N must less than double
+    // the peak sketch bytes (log-factor growth, never linear).
+    for pair in measured.windows(2) {
+        let (small, big) = (&pair[0], &pair[1]);
+        assert!(
+            big.peak_bytes < small.peak_bytes * 2,
+            "peak sketch bytes grew superlogarithmically: {} at N={} vs {} at N={}",
+            big.peak_bytes,
+            big.n,
+            small.peak_bytes,
+            small.n
+        );
+    }
+
+    for row in &measured {
+        rows.push(object(vec![
+            ("n", Value::Number(row.n as f64)),
+            ("items_per_sec", Value::Number(row.items_per_sec)),
+            ("ingest_ms", Value::Number(row.ingest_ms)),
+            ("finalize_ms", Value::Number(row.finalize_ms)),
+            ("peak_sketch_bytes", Value::Number(row.peak_bytes as f64)),
+            ("peak_cells", Value::Number(row.peak_cells as f64)),
+            ("state_bound_cells", Value::Number(row.bound_cells as f64)),
+            ("objective", Value::Number(row.objective)),
+        ]));
+    }
+    let doc = object(vec![
+        ("bench", Value::String("stream_ingest".into())),
+        ("budget", Value::Number(BUDGET as f64)),
+        ("eps", Value::Number(EPS)),
+        ("frame", Value::Number(FRAME as f64)),
+        ("sizes", Value::Array(rows)),
+    ]);
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/bench has two ancestors")
+        .to_path_buf();
+    let out = root.join("BENCH_stream.json");
+    std::fs::write(&out, doc.pretty() + "\n").expect("write BENCH_stream.json");
+    println!("wrote {}", out.display());
+}

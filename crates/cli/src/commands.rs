@@ -5,6 +5,7 @@ use wsyn_datagen as datagen;
 use wsyn_haar::transform;
 use wsyn_obs::Collector;
 use wsyn_prob::{MinRelBias, MinRelVar};
+use wsyn_stream::StreamMaxErr;
 use wsyn_synopsis::one_dim::MinMaxErr;
 use wsyn_synopsis::thresholder::{GreedyL2, RunParams};
 use wsyn_synopsis::{rmse, ErrorMetric, Thresholder};
@@ -20,7 +21,8 @@ commands:
   generate   --kind zipf|bumps|piecewise --n <N> [--seed S] [--skew Z] [--total T] --out FILE
   transform  --input FILE
   build      --input FILE --budget B [--metric abs|rel:S]
-             [--algo minmax|greedy|minrelvar|minrelbias] --out FILE
+             [--algo minmax|greedy|minrelvar|minrelbias|stream] --out FILE
+             [--eps E]         (stream only: quantization step, default 0.1)
              [--report FILE]   (write a JSON run report: spans + counters)
   eval       --synopsis FILE --input FILE [--metric abs|rel:S]
   query      --synopsis FILE  point <i> | range <lo> <hi> | avg <lo> <hi>
@@ -97,7 +99,7 @@ fn transform_cmd(a: &Args) -> Result<(), String> {
 }
 
 fn build(a: &Args) -> Result<(), String> {
-    a.ensure_known(&["input", "budget", "metric", "algo", "out", "report"])?;
+    a.ensure_known(&["input", "budget", "metric", "algo", "out", "report", "eps"])?;
     let data = io::read_data(a.req("input")?)?;
     let budget: usize = a.req_parse("budget")?;
     let metric_spec = a.opt("metric").unwrap_or("rel:1.0").to_string();
@@ -112,6 +114,7 @@ fn build(a: &Args) -> Result<(), String> {
         "greedy" => Box::new(GreedyL2::new(&data).map_err(|e| e.to_string())?),
         "minrelvar" => Box::new(MinRelVar::new(&data).map_err(|e| e.to_string())?),
         "minrelbias" => Box::new(MinRelBias::new(&data).map_err(|e| e.to_string())?),
+        "stream" => Box::new(StreamMaxErr::new(&data).map_err(|e| e.to_string())?),
         other => return Err(format!("unknown --algo '{other}'")),
     };
     // Collection is free unless a report was asked for (no-op collector).
@@ -120,7 +123,13 @@ fn build(a: &Args) -> Result<(), String> {
     } else {
         Collector::noop()
     };
-    let params = RunParams::new(budget, metric).obs(obs.clone());
+    let mut params = RunParams::new(budget, metric).obs(obs.clone());
+    if let Some(eps) = a.opt("eps") {
+        let eps: f64 = eps
+            .parse()
+            .map_err(|e| format!("--eps must be a number: {e}"))?;
+        params = params.eps(eps);
+    }
     let run = thresholder
         .threshold_with(&params)
         .map_err(|e| e.to_string())?;
@@ -426,6 +435,45 @@ mod tests {
         let doc = crate::io::read_synopsis(&syn_path).unwrap();
         assert_eq!(doc.algorithm, "greedy");
         assert!(doc.synopsis.len() <= 3);
+    }
+
+    #[test]
+    fn build_stream_and_eval() {
+        let dir = tmpdir("streambuild");
+        let data_path = format!("{dir}/data.txt");
+        let syn_path = format!("{dir}/syn.json");
+        let data = [2.0, 2.0, 0.0, 2.0, 3.0, 5.0, 4.0, 4.0];
+        crate::io::write_data(&data_path, &data).unwrap();
+        dispatch(&v(&[
+            "build", "--input", &data_path, "--budget", "3", "--metric", "abs", "--algo", "stream",
+            "--eps", "0.25", "--out", &syn_path,
+        ]))
+        .unwrap();
+        let doc = crate::io::read_synopsis(&syn_path).unwrap();
+        assert_eq!(doc.algorithm, "stream");
+        assert!(doc.synopsis.len() <= 3);
+        // The streaming objective is a guarantee, so it is persisted and
+        // must upper-bound the measured error.
+        let objective = doc.objective.expect("stream carries a guarantee");
+        let measured = doc
+            .synopsis
+            .max_error(&data, wsyn_synopsis::ErrorMetric::absolute());
+        assert!(measured <= objective + 1e-9);
+        // The streaming builder serves the absolute metric only.
+        assert!(dispatch(&v(&[
+            "build",
+            "--input",
+            &data_path,
+            "--budget",
+            "3",
+            "--metric",
+            "rel:1.0",
+            "--algo",
+            "stream",
+            "--out",
+            &format!("{dir}/rel.json"),
+        ]))
+        .is_err());
     }
 
     #[test]

@@ -120,6 +120,12 @@ pub fn check_instance_observed(inst: &Instance, obs: &Collector) -> Result<Check
         );
         observed!(
             obs,
+            "streaming_approx",
+            sum,
+            crate::streaming_approx::check(inst, &mut sum)
+        );
+        observed!(
+            obs,
             "server_identity",
             sum,
             crate::server_identity::check(inst, &mut sum)

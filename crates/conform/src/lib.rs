@@ -46,6 +46,7 @@ pub mod gen;
 pub mod oracle;
 pub mod server_identity;
 pub mod shrink;
+pub mod streaming_approx;
 
 /// A conformance violation: which check tripped, on what, and how.
 #[derive(Debug, Clone, PartialEq, Eq)]

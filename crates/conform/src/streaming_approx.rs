@@ -1,0 +1,195 @@
+//! The `streaming-approx` family: the one-pass streaming builder
+//! ([`StreamingMaxErr`]) is held to its full contract on every 1-D
+//! instance — golden-corpus docs and seeded-sweep instances alike.
+//!
+//! Per `(budget, ε)` pair, four claims are certified:
+//!
+//! * **Soundness** — the objective the builder certifies dominates the
+//!   realized maximum absolute error of the finalized synopsis.
+//! * **Paper factor** — the streamed objective exceeds the offline
+//!   [`MinMaxErr`] optimum by at most `ε · S` (the Guha–Harb-style
+//!   quantization bound with declared scale `S = max |d_i|`;
+//!   DESIGN.md §15).
+//! * **Determinism** — two passes over the same stream are byte
+//!   identical: objective bit patterns and every retained `(index,
+//!   coefficient)` entry.
+//! * **Working space** — the builder's peak live DP cells, measured by
+//!   its own working-space counter, stay within the documented
+//!   `(m + 1) · (B + 1) · (2Q + 1)` sketch bound — the `o(N)` witness
+//!   formula — and, whenever that bound is itself below `N`, strictly
+//!   below `N`.
+
+use wsyn_stream::StreamingMaxErr;
+use wsyn_synopsis::one_dim::MinMaxErr;
+use wsyn_synopsis::thresholder::RunParams;
+use wsyn_synopsis::ErrorMetric;
+
+use crate::checks::{CheckSummary, EPSILONS};
+use crate::gen::Instance;
+use crate::Failure;
+
+/// One streamed build: returns `(objective_bits, entry_bits)` for the
+/// determinism comparison plus the run itself.
+struct Pass {
+    objective: f64,
+    dp_objective: f64,
+    entries: Vec<(usize, u64)>,
+    measured: f64,
+    peak_cells: usize,
+    bound_cells: usize,
+    stats: wsyn_core::DpStats,
+}
+
+fn one_pass(name: &str, data: &[f64], b: usize, eps: f64, scale: f64) -> Result<Pass, Failure> {
+    let params = RunParams::new(b, ErrorMetric::absolute()).eps(eps);
+    let mut builder = StreamingMaxErr::new(data.len(), scale, &params)
+        .map_err(|e| Failure::new("stream-approx-build", name, e.to_string()))?;
+    builder
+        .push_slice(data)
+        .map_err(|e| Failure::new("stream-approx-push", name, e.to_string()))?;
+    let bound_cells = builder.state_bound_cells();
+    let run = builder
+        .finalize()
+        .map_err(|e| Failure::new("stream-approx-finalize", name, e.to_string()))?;
+    Ok(Pass {
+        objective: run.objective,
+        dp_objective: run.dp_objective,
+        entries: run
+            .synopsis
+            .entries()
+            .iter()
+            .map(|&(j, c)| (j, c.to_bits()))
+            .collect(),
+        measured: run.synopsis.max_error(data, ErrorMetric::absolute()),
+        peak_cells: run.peak_cells,
+        bound_cells,
+        stats: run.stats,
+    })
+}
+
+/// Runs the family on one 1-D instance.
+///
+/// # Errors
+/// The first failing check, with enough detail to reproduce it.
+pub fn check(inst: &Instance, sum: &mut CheckSummary) -> Result<(), Failure> {
+    let name = &inst.name;
+    let data: Vec<f64> = inst.data.iter().map(|&v| v as f64).collect();
+    let n = data.len();
+    let scale = data.iter().fold(0.0f64, |s, v| s.max(v.abs()));
+    let offline = MinMaxErr::new(&data)
+        .map_err(|e| Failure::new("stream-approx-build", name, e.to_string()))?;
+
+    macro_rules! ensure {
+        ($cond:expr, $check:expr, $($fmt:tt)+) => {
+            sum.checks += 1;
+            if $cond {
+            } else {
+                return Err(Failure::new($check, name, format!($($fmt)+)));
+            }
+        };
+    }
+
+    for eps in EPSILONS {
+        for &b in &inst.budgets {
+            let pass = one_pass(name, &data, b, eps, scale)?;
+            sum.stats = sum.stats.merged(pass.stats);
+            let opt = offline.run(b, ErrorMetric::absolute());
+
+            ensure!(
+                pass.entries.len() <= b,
+                "stream-budget-respected",
+                "b={b} eps={eps}: kept {} coefficients",
+                pass.entries.len()
+            );
+            ensure!(
+                pass.measured <= pass.objective + 1e-9,
+                "stream-guarantee-sound",
+                "b={b} eps={eps}: realized error {} above certified objective {}",
+                pass.measured,
+                pass.objective
+            );
+            ensure!(
+                pass.dp_objective <= pass.objective + 1e-12,
+                "stream-drift-accounted",
+                "b={b} eps={eps}: dp objective {} above published objective {}",
+                pass.dp_objective,
+                pass.objective
+            );
+            ensure!(
+                pass.objective <= opt.objective + eps * scale + 1e-9,
+                "stream-paper-factor",
+                "b={b} eps={eps}: streamed {} vs offline OPT {} + eps*S {}",
+                pass.objective,
+                opt.objective,
+                eps * scale
+            );
+            ensure!(
+                pass.objective >= opt.objective - 1e-9,
+                "stream-not-below-optimum",
+                "b={b} eps={eps}: streamed {} beat the offline optimum {}",
+                pass.objective,
+                opt.objective
+            );
+            ensure!(
+                pass.peak_cells <= pass.bound_cells,
+                "stream-space-bound",
+                "b={b} eps={eps}: peak {} cells above the sketch bound {}",
+                pass.peak_cells,
+                pass.bound_cells
+            );
+            if pass.bound_cells < n {
+                ensure!(
+                    pass.peak_cells < n,
+                    "stream-space-sublinear",
+                    "b={b} eps={eps}: peak {} cells not below N = {n}",
+                    pass.peak_cells
+                );
+            }
+
+            let again = one_pass(name, &data, b, eps, scale)?;
+            ensure!(
+                pass.objective.to_bits() == again.objective.to_bits()
+                    && pass.entries == again.entries,
+                "stream-two-pass-bits",
+                "b={b} eps={eps}: two passes disagree: {} vs {}",
+                pass.objective,
+                again.objective
+            );
+        }
+    }
+    Ok(())
+}
+
+/// A deterministic textual transcript of the family over `instances`:
+/// one line per `(instance, eps, budget)` with the streamed objective's
+/// bit pattern, retained count, and peak cells. CI captures this under
+/// `WSYN_POOL_THREADS=1` and `=4` and diffs — the streaming pass must
+/// not let the thread policy leak into a single byte.
+///
+/// # Errors
+/// Any failing check while producing the transcript.
+pub fn report(instances: &[&Instance]) -> Result<String, Failure> {
+    let mut out = String::new();
+    for inst in instances {
+        if inst.shape.len() != 1 {
+            continue;
+        }
+        let data: Vec<f64> = inst.data.iter().map(|&v| v as f64).collect();
+        let scale = data.iter().fold(0.0f64, |s, v| s.max(v.abs()));
+        let mut sum = CheckSummary::default();
+        check(inst, &mut sum)?;
+        for eps in EPSILONS {
+            for &b in &inst.budgets {
+                let pass = one_pass(&inst.name, &data, b, eps, scale)?;
+                out.push_str(&format!(
+                    "{} eps={eps} b={b} objective_bits={:016x} kept={} peak_cells={}\n",
+                    inst.name,
+                    pass.objective.to_bits(),
+                    pass.entries.len(),
+                    pass.peak_cells
+                ));
+            }
+        }
+    }
+    Ok(out)
+}

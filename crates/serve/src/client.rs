@@ -118,6 +118,40 @@ impl Client {
         })
     }
 
+    /// Registers a streaming column: `n` items will arrive via
+    /// [`Client::append`] and finalize into a `budget`-term synopsis.
+    ///
+    /// # Errors
+    /// See [`Client::expect_ok`].
+    pub fn stream_create(
+        &mut self,
+        column: &str,
+        n: usize,
+        budget: usize,
+        eps: f64,
+        scale: f64,
+    ) -> Result<Response, String> {
+        self.expect_ok(&Request::StreamCreate {
+            column: column.to_string(),
+            n,
+            budget,
+            eps,
+            scale,
+        })
+    }
+
+    /// Appends the next batch of items to a streaming column (in time
+    /// order); the synopsis finalizes automatically on the `n`-th item.
+    ///
+    /// # Errors
+    /// See [`Client::expect_ok`].
+    pub fn append(&mut self, column: &str, values: &[f64]) -> Result<Response, String> {
+        self.expect_ok(&Request::Append {
+            column: column.to_string(),
+            values: values.to_vec(),
+        })
+    }
+
     /// Enqueues batched point updates.
     ///
     /// # Errors

@@ -39,4 +39,4 @@ pub mod store;
 pub use client::Client;
 pub use protocol::{QueryKind, Request, Response};
 pub use server::{ServeConfig, Server};
-pub use store::Column;
+pub use store::{AnyColumn, Column, StreamColumn};

@@ -193,6 +193,31 @@ pub enum Request {
         /// Column name.
         column: String,
     },
+    /// Create or replace a column in *streaming ingest mode*: items
+    /// arrive in time order via [`Request::Append`] frames feeding a
+    /// one-pass [`wsyn_stream::StreamingMaxErr`] builder, and the
+    /// synopsis finalizes automatically when the `n`-th item lands.
+    StreamCreate {
+        /// Column name (shard-routing key).
+        column: String,
+        /// Declared stream length (a positive power of two).
+        n: usize,
+        /// Space budget `B` for the finalized synopsis.
+        budget: usize,
+        /// Quantization epsilon for the streaming DP.
+        eps: f64,
+        /// Declared scale (an upper bound on the offline optimum, e.g.
+        /// a known bound on `max |d_i|`).
+        scale: f64,
+    },
+    /// Feed the next batch of items, in time order, to a streaming
+    /// column.
+    Append {
+        /// Column name.
+        column: String,
+        /// The next items of the stream, in order.
+        values: Vec<f64>,
+    },
     /// Stop the server after acknowledging.
     Shutdown,
 }
@@ -209,7 +234,9 @@ impl Request {
             | Request::Query { column, .. }
             | Request::Update { column, .. }
             | Request::Flush { column }
-            | Request::Info { column } => Some(column),
+            | Request::Info { column }
+            | Request::StreamCreate { column, .. }
+            | Request::Append { column, .. } => Some(column),
         }
     }
 
@@ -267,6 +294,28 @@ impl Request {
             ]),
             Request::Flush { column } => object(vec![op("flush"), col(column)]),
             Request::Info { column } => object(vec![op("info"), col(column)]),
+            Request::StreamCreate {
+                column,
+                n,
+                budget,
+                eps,
+                scale,
+            } => object(vec![
+                op("stream_create"),
+                col(column),
+                ("n", Value::Number(*n as f64)),
+                ("budget", Value::Number(*budget as f64)),
+                ("eps", Value::Number(*eps)),
+                ("scale", Value::Number(*scale)),
+            ]),
+            Request::Append { column, values } => object(vec![
+                op("append"),
+                col(column),
+                (
+                    "values",
+                    Value::Array(values.iter().map(|&x| Value::Number(x)).collect()),
+                ),
+            ]),
             Request::Shutdown => object(vec![op("shutdown")]),
         }
     }
@@ -363,6 +412,41 @@ impl Request {
             }
             "flush" => Ok(Request::Flush { column: column()? }),
             "info" => Ok(Request::Info { column: column()? }),
+            "stream_create" => Ok(Request::StreamCreate {
+                column: column()?,
+                n: v.get("n")
+                    .and_then(Value::as_usize)
+                    .ok_or("stream_create missing non-negative integer 'n'")?,
+                budget: v
+                    .get("budget")
+                    .and_then(Value::as_usize)
+                    .ok_or("stream_create missing non-negative integer 'budget'")?,
+                eps: v
+                    .get("eps")
+                    .and_then(Value::as_f64)
+                    .ok_or("stream_create missing number 'eps'")?,
+                scale: v
+                    .get("scale")
+                    .and_then(Value::as_f64)
+                    .ok_or("stream_create missing number 'scale'")?,
+            }),
+            "append" => {
+                let raw = v
+                    .get("values")
+                    .and_then(Value::as_array)
+                    .ok_or("append missing array 'values'")?;
+                let mut values = Vec::with_capacity(raw.len());
+                for (i, item) in raw.iter().enumerate() {
+                    values.push(
+                        item.as_f64()
+                            .ok_or_else(|| format!("append values[{i}] is not a number"))?,
+                    );
+                }
+                Ok(Request::Append {
+                    column: column()?,
+                    values,
+                })
+            }
             other => Err(format!("unknown op '{other}'")),
         }
     }
@@ -526,6 +610,17 @@ mod tests {
             Request::Info {
                 column: "sales".to_string(),
             },
+            Request::StreamCreate {
+                column: "ticks".to_string(),
+                n: 256,
+                budget: 8,
+                eps: 0.25,
+                scale: 100.0,
+            },
+            Request::Append {
+                column: "ticks".to_string(),
+                values: vec![1.0, -2.5, 0.0],
+            },
         ];
         for req in requests {
             let bytes = req.to_bytes();
@@ -548,6 +643,12 @@ mod tests {
         );
         assert!(
             Request::from_bytes(b"{\"op\":\"update\",\"column\":\"c\",\"updates\":[[1]]}").is_err()
+        );
+        assert!(Request::from_bytes(b"{\"op\":\"stream_create\",\"column\":\"c\"}").is_err());
+        assert!(Request::from_bytes(b"{\"op\":\"append\",\"column\":\"c\"}").is_err());
+        assert!(
+            Request::from_bytes(b"{\"op\":\"append\",\"column\":\"c\",\"values\":[\"x\"]}")
+                .is_err()
         );
         assert!(Request::from_bytes(b"not json").is_err());
     }

@@ -5,7 +5,9 @@
 //! `FNV-1a(name) mod shards` ([`shard_of`]) — a pure function of the
 //! column name, so routing never depends on arrival order, connection
 //! identity, or hasher seeding. Each shard is one worker thread owning a
-//! `BTreeMap<String, Column>` and draining a bounded job queue; because
+//! `BTreeMap<String, AnyColumn>` (dynamic rebuild-policy columns and
+//! one-pass streaming columns side by side) and draining a bounded job
+//! queue; because
 //! a column's every operation flows through its one shard queue, per-
 //! column operations serialize without any lock on the hot path, while
 //! distinct columns on distinct shards proceed in parallel.
@@ -22,7 +24,7 @@ use wsyn_core::json::Value;
 use wsyn_obs::{run_meta, Collector};
 
 use crate::protocol::{Request, Response};
-use crate::store::{Built, Column};
+use crate::store::{AnyColumn, Built, Column, StreamBuilt, StreamColumn};
 
 /// FNV-1a 64-bit: the workspace-standard deterministic string hash
 /// (seedless, byte-order-independent, stable across processes — exactly
@@ -64,7 +66,7 @@ pub struct Job {
 /// The shard worker loop: drains `jobs` until every sender is dropped
 /// (server shutdown), executing each against the shard's own columns.
 pub fn run_worker(jobs: &mpsc::Receiver<Job>, tolerance: f64) {
-    let mut columns: BTreeMap<String, Column> = BTreeMap::new();
+    let mut columns: BTreeMap<String, AnyColumn> = BTreeMap::new();
     while let Ok(job) = jobs.recv() {
         let response = handle(&mut columns, &job.request, tolerance);
         // A dead reply channel is the client's problem, not the shard's.
@@ -76,7 +78,7 @@ pub fn run_worker(jobs: &mpsc::Receiver<Job>, tolerance: f64) {
 /// Exposed so tests (and the in-process conformance harness) can drive
 /// the exact server code path without sockets or threads.
 pub fn handle(
-    columns: &mut BTreeMap<String, Column>,
+    columns: &mut BTreeMap<String, AnyColumn>,
     request: &Request,
     tolerance: f64,
 ) -> Response {
@@ -87,17 +89,49 @@ pub fn handle(
         Request::Put { column, data } => match Column::new(data, tolerance) {
             Ok(col) => {
                 let n = col.n();
-                columns.insert(column.clone(), col);
+                columns.insert(column.clone(), AnyColumn::Dynamic(Box::new(col)));
                 Response::ok(vec![("n", Value::Number(n as f64))])
             }
             Err(e) => Response::error(e),
         },
+        Request::StreamCreate {
+            column,
+            n,
+            budget,
+            eps,
+            scale,
+        } => match StreamColumn::new(*n, *budget, *eps, *scale) {
+            Ok(col) => {
+                columns.insert(column.clone(), AnyColumn::Stream(Box::new(col)));
+                Response::ok(vec![
+                    ("n", Value::Number(*n as f64)),
+                    ("budget", Value::Number(*budget as f64)),
+                ])
+            }
+            Err(e) => Response::error(e),
+        },
+        Request::Append { column, values } => with_stream(columns, column, |col| {
+            match col.append(values, &Collector::noop()) {
+                Ok(received) => {
+                    let mut fields = vec![
+                        ("received", Value::Number(received as f64)),
+                        ("remaining", Value::Number((col.n() - received) as f64)),
+                        ("finalized", Value::Bool(col.built().is_some())),
+                    ];
+                    if let Some(built) = col.built() {
+                        fields.extend(stream_built_fields(built));
+                    }
+                    Response::ok(fields)
+                }
+                Err(e) => Response::error(e),
+            }
+        }),
         Request::Build {
             column,
             budget,
             metric,
             trace,
-        } => with_column(columns, column, |col| {
+        } => with_dynamic(columns, column, |col| {
             let obs = collector(*trace);
             match col.build(*budget, metric, &obs) {
                 Ok(built) => {
@@ -123,40 +157,37 @@ pub fn handle(
             column,
             kind,
             trace,
-        } => with_column(columns, column, |col| {
+        } => with_any(columns, column, |col| {
             let obs = collector(*trace);
-            match col.query(*kind, &obs) {
-                Ok(answer) => {
-                    let fields = vec![
-                        ("est", Value::Number(answer.est)),
-                        ("guarantee", Value::Number(answer.guarantee)),
-                        (
-                            "interval",
-                            match answer.interval {
-                                None => Value::Null,
-                                Some(iv) => {
-                                    Value::Array(vec![Value::Number(iv.lo), Value::Number(iv.hi)])
-                                }
-                            },
-                        ),
-                    ];
-                    let (budget, spec) = match col.built() {
-                        Some(b) => (b.budget, b.metric_spec.clone()),
-                        None => (0, String::new()),
-                    };
-                    ok_with_report(fields, &obs, "minmax", budget, &spec)
-                }
-                Err(e) => Response::error(e),
+            match col {
+                AnyColumn::Dynamic(col) => match col.query(*kind, &obs) {
+                    Ok(answer) => {
+                        let fields = answer_fields(&answer);
+                        let (budget, spec) = match col.built() {
+                            Some(b) => (b.budget, b.metric_spec.clone()),
+                            None => (0, String::new()),
+                        };
+                        ok_with_report(fields, &obs, "minmax", budget, &spec)
+                    }
+                    Err(e) => Response::error(e),
+                },
+                AnyColumn::Stream(col) => match col.query(*kind, &obs) {
+                    Ok(answer) => {
+                        let fields = answer_fields(&answer);
+                        ok_with_report(fields, &obs, "stream", col.budget(), "abs")
+                    }
+                    Err(e) => Response::error(e),
+                },
             }
         }),
         Request::Update { column, updates } => {
-            with_column(columns, column, |col| match col.enqueue(updates) {
+            with_dynamic(columns, column, |col| match col.enqueue(updates) {
                 Ok(pending) => Response::ok(vec![("pending", Value::Number(pending as f64))]),
                 Err(e) => Response::error(e),
             })
         }
         Request::Flush { column } => {
-            with_column(columns, column, |col| match col.drain(&Collector::noop()) {
+            with_dynamic(columns, column, |col| match col.drain(&Collector::noop()) {
                 Ok(()) => Response::ok(vec![
                     ("pending", Value::Number(0.0)),
                     ("rebuilds", Value::Number(col.rebuilds() as f64)),
@@ -164,24 +195,67 @@ pub fn handle(
                 Err(e) => Response::error(e),
             })
         }
-        Request::Info { column } => with_column(columns, column, |col| {
-            let built = match col.built() {
-                None => Value::Null,
-                Some(b) => {
-                    let mut fields = built_fields(b);
-                    fields.insert(0, ("metric", Value::String(b.metric_spec.clone())));
-                    fields.insert(0, ("budget", Value::Number(b.budget as f64)));
-                    wsyn_core::json::object(fields)
-                }
-            };
-            Response::ok(vec![
-                ("n", Value::Number(col.n() as f64)),
-                ("pending", Value::Number(col.pending() as f64)),
-                ("rebuilds", Value::Number(col.rebuilds() as f64)),
-                ("built", built),
-            ])
+        Request::Info { column } => with_any(columns, column, |col| match col {
+            AnyColumn::Dynamic(col) => {
+                let built = match col.built() {
+                    None => Value::Null,
+                    Some(b) => {
+                        let mut fields = built_fields(b);
+                        fields.insert(0, ("metric", Value::String(b.metric_spec.clone())));
+                        fields.insert(0, ("budget", Value::Number(b.budget as f64)));
+                        wsyn_core::json::object(fields)
+                    }
+                };
+                Response::ok(vec![
+                    ("n", Value::Number(col.n() as f64)),
+                    ("pending", Value::Number(col.pending() as f64)),
+                    ("rebuilds", Value::Number(col.rebuilds() as f64)),
+                    ("built", built),
+                ])
+            }
+            AnyColumn::Stream(col) => {
+                let built = match col.built() {
+                    None => Value::Null,
+                    Some(b) => wsyn_core::json::object(stream_built_fields(b)),
+                };
+                Response::ok(vec![
+                    ("mode", Value::String("stream".to_string())),
+                    ("n", Value::Number(col.n() as f64)),
+                    ("budget", Value::Number(col.budget() as f64)),
+                    ("received", Value::Number(col.received() as f64)),
+                    ("finalized", Value::Bool(col.built().is_some())),
+                    ("built", built),
+                ])
+            }
         }),
     }
+}
+
+fn answer_fields(answer: &crate::store::Answer) -> Vec<(&'static str, Value)> {
+    vec![
+        ("est", Value::Number(answer.est)),
+        ("guarantee", Value::Number(answer.guarantee)),
+        (
+            "interval",
+            match answer.interval {
+                None => Value::Null,
+                Some(iv) => Value::Array(vec![Value::Number(iv.lo), Value::Number(iv.hi)]),
+            },
+        ),
+    ]
+}
+
+fn stream_built_fields(built: &StreamBuilt) -> Vec<(&'static str, Value)> {
+    vec![
+        ("objective", Value::Number(built.objective)),
+        ("dp_objective", Value::Number(built.dp_objective)),
+        (
+            "retained",
+            Value::Number(built.engine.synopsis().len() as f64),
+        ),
+        ("peak_cells", Value::Number(built.peak_cells as f64)),
+        ("peak_bytes", Value::Number(built.peak_bytes as f64)),
+    ]
 }
 
 fn collector(trace: bool) -> Collector {
@@ -192,15 +266,41 @@ fn collector(trace: bool) -> Collector {
     }
 }
 
-fn with_column(
-    columns: &mut BTreeMap<String, Column>,
+fn with_any(
+    columns: &mut BTreeMap<String, AnyColumn>,
     name: &str,
-    f: impl FnOnce(&mut Column) -> Response,
+    f: impl FnOnce(&mut AnyColumn) -> Response,
 ) -> Response {
     match columns.get_mut(name) {
         Some(col) => f(col),
         None => Response::error(format!("no such column '{name}'")),
     }
+}
+
+fn with_dynamic(
+    columns: &mut BTreeMap<String, AnyColumn>,
+    name: &str,
+    f: impl FnOnce(&mut Column) -> Response,
+) -> Response {
+    with_any(columns, name, |col| match col {
+        AnyColumn::Dynamic(col) => f(col),
+        AnyColumn::Stream(_) => Response::error(format!(
+            "column '{name}' is a streaming column (use append/query)"
+        )),
+    })
+}
+
+fn with_stream(
+    columns: &mut BTreeMap<String, AnyColumn>,
+    name: &str,
+    f: impl FnOnce(&mut StreamColumn) -> Response,
+) -> Response {
+    with_any(columns, name, |col| match col {
+        AnyColumn::Stream(col) => f(col),
+        AnyColumn::Dynamic(_) => Response::error(format!(
+            "column '{name}' is not a streaming column (use put/build)"
+        )),
+    })
 }
 
 fn built_fields(built: &Built) -> Vec<(&'static str, Value)> {
@@ -325,6 +425,123 @@ mod tests {
         );
         assert_eq!(info.get("pending").and_then(Value::as_usize), Some(0));
         assert!(info.get("built").is_some_and(|b| !b.is_null()));
+    }
+
+    #[test]
+    fn handle_covers_the_streaming_lifecycle() {
+        let mut columns = BTreeMap::new();
+        let data: Vec<f64> = (0..16).map(|i| f64::from((i * 7 + 2) % 11)).collect();
+        let create = handle(
+            &mut columns,
+            &Request::StreamCreate {
+                column: "s".to_string(),
+                n: 16,
+                budget: 4,
+                eps: 0.25,
+                scale: 10.0,
+            },
+            2.0,
+        );
+        assert!(create.is_ok(), "{create:?}");
+
+        // Mode mismatches answer with a pointed error, not a panic.
+        let cross = handle(
+            &mut columns,
+            &Request::Build {
+                column: "s".to_string(),
+                budget: 4,
+                metric: "abs".to_string(),
+                trace: false,
+            },
+            2.0,
+        );
+        assert!(cross
+            .error_message()
+            .is_some_and(|m| m.contains("streaming column")));
+
+        let first = handle(
+            &mut columns,
+            &Request::Append {
+                column: "s".to_string(),
+                values: data[..10].to_vec(),
+            },
+            2.0,
+        );
+        assert!(first.is_ok(), "{first:?}");
+        assert_eq!(first.get("received").and_then(Value::as_usize), Some(10));
+        assert_eq!(first.get("finalized"), Some(&Value::Bool(false)));
+
+        let premature = handle(
+            &mut columns,
+            &Request::Query {
+                column: "s".to_string(),
+                kind: QueryKind::Point(0),
+                trace: false,
+            },
+            2.0,
+        );
+        assert!(premature
+            .error_message()
+            .is_some_and(|m| m.contains("incomplete")));
+
+        let last = handle(
+            &mut columns,
+            &Request::Append {
+                column: "s".to_string(),
+                values: data[10..].to_vec(),
+            },
+            2.0,
+        );
+        assert!(last.is_ok(), "{last:?}");
+        assert_eq!(last.get("finalized"), Some(&Value::Bool(true)));
+        assert!(last.get("objective").and_then(Value::as_f64).is_some());
+
+        let query = handle(
+            &mut columns,
+            &Request::Query {
+                column: "s".to_string(),
+                kind: QueryKind::Point(3),
+                trace: true,
+            },
+            2.0,
+        );
+        assert!(query.is_ok(), "{query:?}");
+        let guarantee = query.get("guarantee").and_then(Value::as_f64).unwrap();
+        let est = query.get("est").and_then(Value::as_f64).unwrap();
+        assert!((est - data[3]).abs() <= guarantee + 1e-9);
+        assert!(query.get("report").is_some(), "trace=true must report");
+
+        let info = handle(
+            &mut columns,
+            &Request::Info {
+                column: "s".to_string(),
+            },
+            2.0,
+        );
+        assert_eq!(info.get("mode"), Some(&Value::String("stream".to_string())));
+        assert_eq!(info.get("finalized"), Some(&Value::Bool(true)));
+        assert!(info.get("built").is_some_and(|b| !b.is_null()));
+
+        // And the inverse mode mismatch.
+        handle(
+            &mut columns,
+            &Request::Put {
+                column: "d".to_string(),
+                data: vec![0.0; 8],
+            },
+            2.0,
+        );
+        let cross = handle(
+            &mut columns,
+            &Request::Append {
+                column: "d".to_string(),
+                values: vec![1.0],
+            },
+            2.0,
+        );
+        assert!(cross
+            .error_message()
+            .is_some_and(|m| m.contains("not a streaming column")));
     }
 
     #[test]

@@ -25,7 +25,7 @@
 
 use wsyn_aqp::{bounds, QueryEngine1d};
 use wsyn_obs::Collector;
-use wsyn_stream::DynamicErrorTree;
+use wsyn_stream::{DynamicErrorTree, StreamingMaxErr};
 use wsyn_synopsis::one_dim::MinMaxErr;
 use wsyn_synopsis::thresholder::{RunParams, SolverScratch};
 use wsyn_synopsis::{ErrorMetric, Thresholder};
@@ -382,6 +382,243 @@ impl Column {
     }
 }
 
+/// The finalized build of a streaming-ingest column.
+#[derive(Debug)]
+pub struct StreamBuilt {
+    /// The streaming guarantee: the true maximum absolute error of the
+    /// finalized synopsis is at most `objective`.
+    pub objective: f64,
+    /// The raw quantized-DP value (`objective` minus the drift
+    /// allowance).
+    pub dp_objective: f64,
+    /// Peak live DP cells during the pass (the working-space counter).
+    pub peak_cells: usize,
+    /// Peak resident sketch bytes during the pass.
+    pub peak_bytes: usize,
+    /// Query engine over the finalized synopsis.
+    pub engine: QueryEngine1d,
+}
+
+/// A column in *streaming ingest mode*: `append` frames feed a one-pass
+/// [`StreamingMaxErr`] builder instead of [`DynamicErrorTree`] point
+/// updates, and the synopsis finalizes automatically when the declared
+/// `n`-th item lands. Until then the column holds only the builder's
+/// poly(`B`, `log N`, `1/ε`) sketch — never the data.
+#[derive(Debug)]
+pub struct StreamColumn {
+    n: usize,
+    budget: usize,
+    eps: f64,
+    scale: f64,
+    builder: Option<StreamingMaxErr>,
+    built: Option<StreamBuilt>,
+    /// A finalize failure (undersized scale) poisons the column: the
+    /// one-pass data is gone, so the only recovery is a fresh
+    /// `stream_create` with a larger scale.
+    failed: Option<String>,
+}
+
+impl StreamColumn {
+    /// Creates a streaming column expecting exactly `n` items.
+    ///
+    /// # Errors
+    /// The builder's validation errors (non-power-of-two `n`, bad `eps`
+    /// or `scale`).
+    pub fn new(n: usize, budget: usize, eps: f64, scale: f64) -> Result<StreamColumn, String> {
+        let params = RunParams::new(budget, ErrorMetric::absolute()).eps(eps);
+        let builder = StreamingMaxErr::new(n, scale, &params).map_err(|e| e.to_string())?;
+        Ok(StreamColumn {
+            n,
+            budget,
+            eps,
+            scale,
+            builder: Some(builder),
+            built: None,
+            failed: None,
+        })
+    }
+
+    /// Declared stream length.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Budget the finalized synopsis is built with.
+    #[must_use]
+    pub fn budget(&self) -> usize {
+        self.budget
+    }
+
+    /// Quantization epsilon.
+    #[must_use]
+    pub fn eps(&self) -> f64 {
+        self.eps
+    }
+
+    /// Declared scale.
+    #[must_use]
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// Items received so far.
+    #[must_use]
+    pub fn received(&self) -> usize {
+        match (&self.builder, &self.built) {
+            (Some(b), _) => b.pushed(),
+            (None, Some(_)) => self.n,
+            // A poisoned column received everything but kept nothing.
+            (None, None) => self.n,
+        }
+    }
+
+    /// The finalized build, if the stream completed successfully.
+    #[must_use]
+    pub fn built(&self) -> Option<&StreamBuilt> {
+        self.built.as_ref()
+    }
+
+    /// Whether every declared item has arrived.
+    #[must_use]
+    pub fn is_complete(&self) -> bool {
+        self.builder.is_none()
+    }
+
+    /// Feeds the next batch of items in order; finalizes the synopsis
+    /// when the declared length is reached. Validation is all-or-nothing
+    /// (a rejected batch leaves the sketch untouched). Returns the new
+    /// received count.
+    ///
+    /// # Errors
+    /// A completed or poisoned stream, a batch overrunning the declared
+    /// length, a non-finite value, or a finalize failure (undersized
+    /// scale — the column is then poisoned).
+    pub fn append(&mut self, values: &[f64], obs: &Collector) -> Result<usize, String> {
+        if let Some(reason) = &self.failed {
+            return Err(format!("stream failed and holds no data: {reason}"));
+        }
+        let Some(builder) = self.builder.as_mut() else {
+            return Err(format!("stream already complete ({} items)", self.n));
+        };
+        let remaining = self.n - builder.pushed();
+        if values.len() > remaining {
+            return Err(format!(
+                "append of {} values overruns the stream ({remaining} remaining of {})",
+                values.len(),
+                self.n
+            ));
+        }
+        for (k, v) in values.iter().enumerate() {
+            if !v.is_finite() {
+                return Err(format!("append values[{k}] is not finite"));
+            }
+        }
+        let span = obs.span("append");
+        obs.add("appended", values.len());
+        // Validated above: the builder cannot reject these pushes.
+        builder.push_slice(values).map_err(|e| e.to_string())?;
+        let received = builder.pushed();
+        if builder.is_complete() {
+            // The builder is consumed by finalize; on failure the column
+            // is poisoned (the data went by and was never stored).
+            // wsyn: allow(no-panic)
+            let builder = self.builder.take().expect("builder present");
+            match builder.finalize() {
+                Ok(run) => {
+                    self.built = Some(StreamBuilt {
+                        objective: run.objective,
+                        dp_objective: run.dp_objective,
+                        peak_cells: run.peak_cells,
+                        peak_bytes: run.peak_bytes,
+                        engine: QueryEngine1d::new(run.synopsis),
+                    });
+                }
+                Err(e) => {
+                    let msg = e.to_string();
+                    self.failed = Some(msg.clone());
+                    drop(span);
+                    return Err(msg);
+                }
+            }
+        }
+        drop(span);
+        Ok(received)
+    }
+
+    /// Answers `kind` from the finalized synopsis. Intervals follow the
+    /// absolute-metric derivations of [`Column::query`], with the
+    /// streaming guarantee in place of the DP objective (no drift — a
+    /// finalized stream never mutates).
+    ///
+    /// # Errors
+    /// An incomplete or poisoned stream, or an out-of-range query.
+    pub fn query(&self, kind: QueryKind, obs: &Collector) -> Result<Answer, String> {
+        if let Some(reason) = &self.failed {
+            return Err(format!("stream failed and holds no data: {reason}"));
+        }
+        let Some(built) = self.built.as_ref() else {
+            return Err(format!(
+                "stream incomplete ({} of {} items)",
+                self.received(),
+                self.n
+            ));
+        };
+        let span = obs.span("query");
+        let n = self.n;
+        let answer = match kind {
+            QueryKind::Point(i) => {
+                if i >= n {
+                    return Err(format!("index {i} out of range (N = {n})"));
+                }
+                let est = built.engine.point(i) + 0.0; // normalizes -0
+                Answer {
+                    est,
+                    guarantee: built.objective,
+                    interval: Some(bounds::point_absolute(est, built.objective)),
+                }
+            }
+            QueryKind::RangeSum(lo, hi) => {
+                if lo > hi || hi > n {
+                    return Err(format!("bad range [{lo}, {hi}) for N = {n}"));
+                }
+                let est = built.engine.range_sum(lo..hi) + 0.0;
+                Answer {
+                    est,
+                    guarantee: built.objective,
+                    interval: Some(bounds::range_sum_absolute(est, built.objective, hi - lo)),
+                }
+            }
+            QueryKind::RangeAvg(lo, hi) => {
+                if lo >= hi || hi > n {
+                    return Err(format!("bad range [{lo}, {hi}) for N = {n}"));
+                }
+                let est = built.engine.range_avg(lo..hi) + 0.0;
+                Answer {
+                    est,
+                    guarantee: built.objective,
+                    interval: None,
+                }
+            }
+        };
+        obs.add("answered", 1);
+        drop(span);
+        Ok(answer)
+    }
+}
+
+/// Either ingest mode of a named column: classic dynamic (full data,
+/// point updates, on-demand builds) or one-pass streaming.
+#[derive(Debug)]
+pub enum AnyColumn {
+    /// A [`Column`]: full data held, `update`/`build` lifecycle.
+    /// Boxed to keep the enum near the streaming variant's size.
+    Dynamic(Box<Column>),
+    /// A [`StreamColumn`]: `append`-fed one-pass sketch.
+    /// Boxed for the same reason.
+    Stream(Box<StreamColumn>),
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -531,5 +768,92 @@ mod tests {
         assert!(Column::new(&[1.0, 2.0, 3.0], 2.0).is_err(), "non-pow2");
         assert!(Column::new(&data(), 0.5).is_err(), "tolerance < 1");
         assert!(Column::new(&data(), f64::NAN).is_err());
+    }
+
+    #[test]
+    fn stream_column_finalize_matches_offline_builder() {
+        // Feeding the column in frames must be bit-identical to one
+        // offline pass of the same builder: the column adds lifecycle,
+        // never arithmetic.
+        let data = data();
+        let scale = data.iter().fold(0.0f64, |m, v| m.max(v.abs()));
+        let (budget, eps) = (6usize, 0.25f64);
+        let obs = Collector::noop();
+
+        let mut col = StreamColumn::new(data.len(), budget, eps, scale).unwrap();
+        assert!(!col.is_complete());
+        assert!(col.built().is_none());
+        let err = col.query(QueryKind::Point(0), &obs).unwrap_err();
+        assert!(err.contains("stream incomplete"), "{err}");
+        for (k, chunk) in data.chunks(7).enumerate() {
+            let received = col.append(chunk, &obs).unwrap();
+            assert_eq!(received, (k * 7 + chunk.len()).min(data.len()));
+        }
+        assert!(col.is_complete());
+
+        let params = RunParams::new(budget, ErrorMetric::absolute()).eps(eps);
+        let mut offline = wsyn_stream::StreamingMaxErr::new(data.len(), scale, &params).unwrap();
+        offline.push_slice(&data).unwrap();
+        let run = offline.finalize().unwrap();
+
+        let built = col.built().unwrap();
+        assert_eq!(built.objective.to_bits(), run.objective.to_bits());
+        assert_eq!(built.engine.synopsis().indices(), run.synopsis.indices());
+
+        for (i, &truth) in data.iter().enumerate() {
+            let a = col.query(QueryKind::Point(i), &obs).unwrap();
+            assert!(
+                (a.est - truth).abs() <= built.objective + 1e-9,
+                "point {i}: est {} truth {truth} guarantee {}",
+                a.est,
+                built.objective
+            );
+            assert!(a.interval.unwrap().contains(truth));
+        }
+        let exact: f64 = data[3..29].iter().sum();
+        let a = col.query(QueryKind::RangeSum(3, 29), &obs).unwrap();
+        assert!(a.interval.unwrap().contains(exact));
+        assert!(col.query(QueryKind::RangeAvg(3, 29), &obs).is_ok());
+    }
+
+    #[test]
+    fn stream_append_validation_is_all_or_nothing() {
+        let mut col = StreamColumn::new(8, 2, 0.5, 10.0).unwrap();
+        let obs = Collector::noop();
+        col.append(&[1.0, 2.0, 3.0], &obs).unwrap();
+        let err = col
+            .append(&[0.0; 6], &obs)
+            .expect_err("overrun must be rejected");
+        assert!(err.contains("overruns"), "{err}");
+        assert_eq!(
+            col.received(),
+            3,
+            "rejected batch must not ingest partially"
+        );
+        let err = col.append(&[1.0, f64::NAN], &obs).unwrap_err();
+        assert!(err.contains("not finite"), "{err}");
+        assert_eq!(col.received(), 3);
+        col.append(&[4.0, 5.0, 6.0, 7.0, 8.0], &obs).unwrap();
+        assert!(col.is_complete());
+        let err = col.append(&[9.0], &obs).unwrap_err();
+        assert!(err.contains("already complete"), "{err}");
+    }
+
+    #[test]
+    fn stream_undersized_scale_poisons_the_column() {
+        // Declaring a scale below the data's magnitude breaks the
+        // sketch's promise; the failure must surface as an explicit
+        // poisoned state, never as a silently wrong synopsis.
+        let mut col = StreamColumn::new(8, 0, 0.25, 0.5).unwrap();
+        let obs = Collector::noop();
+        let data: Vec<f64> = (0..8).map(|i| f64::from(i) * 3.0).collect();
+        let err = col
+            .append(&data, &obs)
+            .expect_err("finalize must fail on an undersized scale");
+        assert!(err.contains("scale"), "{err}");
+        let err = col.append(&[1.0], &obs).unwrap_err();
+        assert!(err.contains("stream failed"), "{err}");
+        let err = col.query(QueryKind::Point(0), &obs).unwrap_err();
+        assert!(err.contains("stream failed"), "{err}");
     }
 }

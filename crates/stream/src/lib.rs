@@ -21,6 +21,13 @@
 //!   re-run only when the bound degrades past a tolerance factor; between
 //!   rebuilds every answer still carries a valid (if looser) guarantee.
 //!
+//! * [`StreamingMaxErr`] — one-pass streaming B-term construction with
+//!   poly(`B`, `log N`, `1/ε`) working space and a certified absolute
+//!   max-error guarantee (Guha & Harb's quantized-error DP; see
+//!   [`streaming`] for the algorithm, drift accounting, and proof
+//!   sketch), plus [`StreamMaxErr`], its offline [`Thresholder`]
+//!   adapter behind `wsyn build --algo stream`.
+//!
 //! The O(N)-space coefficient maintenance is exact; MVW's
 //! probabilistic-counting trick for sublinear space is out of scope
 //! (DESIGN.md documents the substitution).
@@ -34,6 +41,10 @@ use wsyn_obs::Collector;
 use wsyn_synopsis::greedy::greedy_l2_1d;
 use wsyn_synopsis::one_dim::MinMaxErr;
 use wsyn_synopsis::{ErrorMetric, RunParams, SolverScratch, Synopsis1d, Thresholder};
+
+pub mod streaming;
+
+pub use streaming::{StreamMaxErr, StreamRun, StreamingMaxErr};
 
 /// Builds the thresholding algorithm [`AdaptiveMaxErrSynopsis`] re-runs on
 /// rebuild, from the *current* maintained data. A plain function pointer so

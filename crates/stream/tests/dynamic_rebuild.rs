@@ -1,0 +1,130 @@
+//! Drift-correction properties of [`DynamicErrorTree::rebuild`].
+//!
+//! The dynamic tree maintains coefficients incrementally; after long
+//! random update streams the incremental values may drift from a fresh
+//! transform by accumulated floating-point error. These properties pin
+//! the contract: the drift stays within a documented tolerance, and
+//! `rebuild()` both reports the drift it actually corrected and leaves
+//! the coefficients bit-identical to a fresh transform.
+
+use proptest::prelude::*;
+use wsyn_haar::{transform, ErrorTree1d};
+use wsyn_stream::DynamicErrorTree;
+
+/// Documented incremental-maintenance tolerance: each update touches
+/// `log N + 1` coefficients with one add each, so after `U` updates a
+/// coefficient has seen at most `U` rounding steps of magnitude
+/// `~eps * |value|`. The bound below is deliberately loose (updates,
+/// values, and `N` are all bounded in the strategies) — drift beyond it
+/// means a maintenance bug, not float noise.
+fn drift_tolerance(updates: usize, scale: f64) -> f64 {
+    1e-12 * (updates as f64 + 1.0) * (scale + 1.0)
+}
+
+fn update_stream() -> impl Strategy<Value = (Vec<f64>, Vec<(usize, f64)>)> {
+    (1u32..=8).prop_flat_map(|m| {
+        let n = 1usize << m;
+        // Divisions by 3 and 7 make values non-dyadic, so incremental
+        // maintenance genuinely rounds and drift is exercised.
+        let data = proptest::collection::vec((-3000i32..=3000).prop_map(|v| f64::from(v) / 3.0), n);
+        let updates = proptest::collection::vec(
+            (0..n, (-7000i32..=7000).prop_map(|d| f64::from(d) / 7.0)),
+            1..400,
+        );
+        (data, updates)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn snapshot_tracks_fresh_tree_within_tolerance(
+        (data, updates) in update_stream()
+    ) {
+        let mut tree = DynamicErrorTree::new(&data).unwrap();
+        let mut reference = data.clone();
+        let mut scale = reference.iter().fold(0.0f64, |s, v| s.max(v.abs()));
+        for &(i, delta) in &updates {
+            tree.update(i, delta);
+            reference[i] += delta;
+            scale = scale.max(reference[i].abs()).max(delta.abs());
+        }
+        prop_assert_eq!(tree.updates(), updates.len() as u64);
+
+        // snapshot() must agree with a tree built fresh from the same
+        // final data, coefficient by coefficient, within the documented
+        // drift tolerance.
+        let snapshot: ErrorTree1d = tree.snapshot();
+        let fresh = ErrorTree1d::from_data(&reference).unwrap();
+        let tolerance = drift_tolerance(updates.len(), scale);
+        for (j, (a, b)) in snapshot
+            .coeffs()
+            .iter()
+            .zip(fresh.coeffs().iter())
+            .enumerate()
+        {
+            prop_assert!(
+                (a - b).abs() <= tolerance,
+                "coeff {}: incremental {} vs fresh {} exceeds tolerance {}",
+                j, a, b, tolerance
+            );
+        }
+    }
+
+    #[test]
+    fn rebuild_reports_actual_drift_and_restores_exactness(
+        (data, updates) in update_stream()
+    ) {
+        let mut tree = DynamicErrorTree::new(&data).unwrap();
+        for &(i, delta) in &updates {
+            tree.update(i, delta);
+        }
+
+        // Measure the drift ourselves before asking rebuild() to fix it.
+        let fresh = transform::forward(tree.data()).unwrap();
+        let expected_drift = tree
+            .coeffs()
+            .iter()
+            .zip(&fresh)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f64, f64::max);
+
+        let reported = tree.rebuild();
+        prop_assert_eq!(
+            reported.to_bits(),
+            expected_drift.to_bits(),
+            "rebuild must report exactly the drift it corrected"
+        );
+
+        // After rebuild the coefficients are bit-identical to a fresh
+        // transform of the maintained data — no residual drift at all.
+        for (j, (a, b)) in tree.coeffs().iter().zip(&fresh).enumerate() {
+            prop_assert_eq!(
+                a.to_bits(), b.to_bits(),
+                "coeff {} must be bit-identical after rebuild", j
+            );
+        }
+        prop_assert_eq!(tree.rebuild().to_bits(), 0.0f64.to_bits(),
+            "a second rebuild immediately after has nothing to correct");
+    }
+
+    #[test]
+    fn rebuild_preserves_data_and_update_count(
+        (data, updates) in update_stream()
+    ) {
+        let mut tree = DynamicErrorTree::new(&data).unwrap();
+        let mut reference = data.clone();
+        for &(i, delta) in &updates {
+            tree.update(i, delta);
+            reference[i] += delta;
+        }
+        let before: Vec<u64> = tree.data().iter().map(|v| v.to_bits()).collect();
+        tree.rebuild();
+        let after: Vec<u64> = tree.data().iter().map(|v| v.to_bits()).collect();
+        prop_assert_eq!(before, after, "rebuild must not touch the data");
+        let expected: Vec<u64> = reference.iter().map(|v| v.to_bits()).collect();
+        prop_assert_eq!(after, expected, "maintained data is the exact update sum");
+        prop_assert_eq!(tree.updates(), updates.len() as u64);
+    }
+}

@@ -10,7 +10,7 @@
 //! ([`callgraph`]), a nondeterminism taint analysis ([`taint`]), and
 //! AST-level concurrency rules. The engine ([`engine`]) runs all of it
 //! over the workspace and can render a canonical JSON report diffed
-//! against a committed baseline. The twelve rules:
+//! against a committed baseline. The thirteen rules:
 //!
 //! * hash-order iteration (`HashMap`/`HashSet` with `RandomState`),
 //! * float `==`/`!=` tie-breaks,
@@ -24,7 +24,8 @@
 //! * non-`Sync` captures in pool closures,
 //! * unjustified atomic memory orderings,
 //! * `Mutex` locks without poison recovery,
-//! * calls to `unsafe fn`s without their own `// SAFETY:` comment.
+//! * calls to `unsafe fn`s without their own `// SAFETY:` comment,
+//! * ad-hoc `threshold_*` entry points outside the `Thresholder` trait.
 //!
 //! Run it with `cargo run -p wsyn-analyze -- check` (add `--json` for
 //! the machine-readable report; nonzero exit on non-baselined

@@ -17,8 +17,9 @@
 //! | `atomic-ordering` | every atomic op names its `Ordering` and justifies it with `// ORDERING:` |
 //! | `mutex-poison` | solver-crate `Mutex` locks use `.lock().unwrap_or_else(PoisonError::into_inner)` |
 //! | `unsafe-caller` | calls to unambiguously-`unsafe` fns need their own `// SAFETY:` comment |
+//! | `threshold-surface` | solver crates must not define `threshold_*` fns outside the `Thresholder` trait surface — new knobs ride on `RunParams`/`FamilyParams` |
 //!
-//! The first six are token rules from PR 2; the last six ride the PR 7
+//! The first six are token rules from PR 2; the rest ride the PR 7
 //! parse tree ([`crate::parse`]) and call graph ([`crate::callgraph`]).
 //!
 //! A violation that is *intended* — a documented invariant, a wrapping
@@ -43,7 +44,7 @@
 use crate::lexer::{lex, Token, TokenKind};
 use crate::parse::{self, Block, Expr, ExprKind, Stmt};
 
-/// The twelve rules, in reporting order.
+/// The thirteen rules, in reporting order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum Rule {
     /// R1: float `==`/`!=` in solver crates.
@@ -75,10 +76,13 @@ pub enum Rule {
     /// R12: call to an unambiguously-`unsafe` fn without its own
     /// `// SAFETY:` comment.
     UnsafeCaller,
+    /// R13: solver-crate `fn threshold_*` defined outside the
+    /// [`Thresholder`] trait surface.
+    ThresholdSurface,
 }
 
 /// All rules, in reporting order.
-pub const ALL_RULES: [Rule; 12] = [
+pub const ALL_RULES: [Rule; 13] = [
     Rule::FloatEq,
     Rule::HashCollections,
     Rule::WallClock,
@@ -91,6 +95,7 @@ pub const ALL_RULES: [Rule; 12] = [
     Rule::AtomicOrdering,
     Rule::MutexPoison,
     Rule::UnsafeCaller,
+    Rule::ThresholdSurface,
 ];
 
 impl Rule {
@@ -110,6 +115,7 @@ impl Rule {
             Rule::AtomicOrdering => "atomic-ordering",
             Rule::MutexPoison => "mutex-poison",
             Rule::UnsafeCaller => "unsafe-caller",
+            Rule::ThresholdSurface => "threshold-surface",
         }
     }
 
@@ -173,6 +179,12 @@ impl Rule {
                  within 3 lines above, even when the enclosing unsafe block is \
                  justified elsewhere"
             }
+            Rule::ThresholdSurface => {
+                "fn named threshold_* defined outside the Thresholder trait \
+                 surface (threshold, threshold_with, threshold_reusing, \
+                 threshold_with_reusing); new knobs ride on RunParams / \
+                 FamilyParams, not on new entry points"
+            }
         }
     }
 
@@ -182,7 +194,8 @@ impl Rule {
     pub fn scope_note(self) -> &'static str {
         match self {
             Rule::FloatEq | Rule::HashCollections | Rule::LossyCast => {
-                "solver crates (core, synopsis, haar, prob, conform, obs); test code exempt"
+                "solver crates (core, synopsis, haar, hist, prob, conform, obs, \
+                 serve); test code exempt"
             }
             Rule::WallClock => "all crates except bench and cli; applies in test code",
             Rule::NoPanic => "all crates except bench; test code exempt",
@@ -195,6 +208,10 @@ impl Rule {
                  applies in test code"
             }
             Rule::MutexPoison => "solver crates; test code exempt",
+            Rule::ThresholdSurface => {
+                "solver crates except the trait owner \
+                 crates/synopsis/src/thresholder.rs; test code exempt"
+            }
         }
     }
 }
@@ -242,11 +259,12 @@ pub struct Scope {
 
 /// Crates whose solver paths carry the paper's deterministic guarantees.
 /// (`MinMaxErr` and the multi-dimensional schemes live in `synopsis`;
-/// `obs` feeds deterministic run reports from those same paths; `serve`
-/// answers queries byte-identically to the library, so its store and
-/// shard code carry the same contract.)
+/// `hist` holds the step-function DP whose objective is bit-certified
+/// against an enumeration oracle; `obs` feeds deterministic run reports
+/// from those same paths; `serve` answers queries byte-identically to
+/// the library, so its store and shard code carry the same contract.)
 pub const SOLVER_CRATES: &[&str] = &[
-    "core", "synopsis", "haar", "prob", "conform", "obs", "serve",
+    "core", "synopsis", "haar", "hist", "prob", "conform", "obs", "serve",
 ];
 
 impl Scope {
@@ -580,6 +598,21 @@ pub const THREAD_POLICY_OWNER: &str = "crates/core/src/pool.rs";
 /// Thread-count policy entry points (rule `thread-policy`).
 const THREAD_POLICY_FNS: &[&str] = &["configured_threads", "host_parallelism"];
 
+/// The file that owns the thresholding surface: the single module
+/// allowed to declare `threshold_*` entry points (rule
+/// `threshold-surface`). Everything else implements `threshold_with`
+/// and friends, or picks a new name.
+pub const THRESHOLD_SURFACE_OWNER: &str = "crates/synopsis/src/thresholder.rs";
+
+/// The sanctioned `threshold_*` names — the `Thresholder` trait surface
+/// (rule `threshold-surface`).
+const THRESHOLD_SURFACE_FNS: &[&str] = &[
+    "threshold",
+    "threshold_with",
+    "threshold_reusing",
+    "threshold_with_reusing",
+];
+
 /// Atomic RMW methods whose names are unambiguous: a call without a
 /// visible `Ordering` argument is a missing ordering.
 const ATOMIC_RMW_OPS: &[&str] = &[
@@ -710,7 +743,8 @@ fn mutex_block(b: &Block, flag: &mut impl FnMut(u32)) {
 }
 
 /// Runs the per-file AST rules (`thread-policy`, `pool-capture`,
-/// `atomic-ordering`, `mutex-poison`) over one file.
+/// `atomic-ordering`, `mutex-poison`, `threshold-surface`) over one
+/// file.
 ///
 /// `taint-flow` and `unsafe-caller` need the whole workspace and run in
 /// [`crate::engine`]; this covers everything decidable from a single
@@ -739,9 +773,32 @@ pub fn check_ast(rel_path: &str, src: &str) -> Vec<Diagnostic> {
     };
 
     let is_policy_owner = rel_path == THREAD_POLICY_OWNER;
+    let is_surface_owner = rel_path == THRESHOLD_SURFACE_OWNER;
     parse::for_each_fn(&file, |f, _self_ty, in_test| {
-        let Some(body) = &f.body else { return };
         let exempt_test = scope.test_path || in_test;
+
+        // `threshold-surface`: the trait surface is closed — solver
+        // crates must not grow ad-hoc `threshold_*` entry points. The
+        // name check runs even for bodiless trait signatures.
+        if scope.solver
+            && !is_surface_owner
+            && !exempt_test
+            && (f.name == "threshold" || f.name.starts_with("threshold_"))
+            && !THRESHOLD_SURFACE_FNS.contains(&f.name.as_str())
+        {
+            push(
+                f.line,
+                Rule::ThresholdSurface,
+                format!(
+                    "`fn {}` adds a threshold_* entry point outside the \
+                     Thresholder trait; route new knobs through RunParams \
+                     (FamilyParams) on threshold_with",
+                    f.name
+                ),
+            );
+        }
+
+        let Some(body) = &f.body else { return };
 
         parse::for_each_expr(body, &mut |e| {
             // `thread-policy` and `pool-capture` target: plain calls
@@ -1013,6 +1070,10 @@ mod tests {
         assert!(s.solver && s.wall_clock && s.no_panic && s.safety && !s.test_path);
         let s = Scope::classify("crates/aqp/src/lib.rs");
         assert!(!s.solver && s.wall_clock && s.no_panic);
+        // The step-function DP carries the same bit-certified guarantee
+        // as the wavelet solvers.
+        let s = Scope::classify("crates/hist/src/oracle.rs");
+        assert!(s.solver && s.wall_clock && s.no_panic && s.safety && !s.test_path);
         let s = Scope::classify("crates/conform/src/lib.rs");
         assert!(s.solver && s.wall_clock && s.no_panic && !s.test_path);
         // The server answers must be byte-identical to library answers,
@@ -1181,6 +1242,50 @@ mod tests {
         assert!(ast_rules_of(
             "crates/core/src/lib.rs",
             "#[test] fn t(m: &Mutex<u32>) { m.lock().unwrap(); }"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn threshold_surface_is_closed_outside_the_trait_owner() {
+        // An ad-hoc variant in a solver crate is flagged…
+        assert_eq!(
+            ast_rules_of(
+                "crates/hist/src/lib.rs",
+                "pub fn threshold_fast(data: &[f64]) -> f64 { 0.0 }"
+            ),
+            vec![Rule::ThresholdSurface]
+        );
+        // …even as a bodiless trait-method signature.
+        assert_eq!(
+            ast_rules_of(
+                "crates/prob/src/lib.rs",
+                "trait Fast { fn threshold_quick(&self) -> f64; }"
+            ),
+            vec![Rule::ThresholdSurface]
+        );
+        // The sanctioned trait surface passes everywhere.
+        assert!(ast_rules_of(
+            "crates/hist/src/lib.rs",
+            "impl Thresholder for H {
+                fn threshold_with(&self, p: &RunParams) -> f64 { 0.0 }
+            }"
+        )
+        .is_empty());
+        // The trait owner declares the surface (including defaults).
+        assert!(ast_rules_of(THRESHOLD_SURFACE_OWNER, "pub fn threshold_anything() {}").is_empty());
+        // Non-solver crates, test code, and prefix-only lookalikes are
+        // out of scope; the escape hatch still works.
+        assert!(ast_rules_of("crates/cli/src/main.rs", "fn threshold_fast() {}").is_empty());
+        assert!(ast_rules_of(
+            "crates/hist/src/lib.rs",
+            "#[test] fn threshold_fast_matches() {}"
+        )
+        .is_empty());
+        assert!(ast_rules_of("crates/hist/src/lib.rs", "fn thresholder_name() {}").is_empty());
+        assert!(ast_rules_of(
+            "crates/hist/src/lib.rs",
+            "// wsyn: allow(threshold-surface) transition shim\nfn threshold_old() {}"
         )
         .is_empty());
     }

@@ -21,6 +21,9 @@
 #![warn(missing_docs)]
 
 pub mod bounds;
+pub mod step_engine;
+
+pub use step_engine::StepEngine;
 
 use std::ops::Range;
 

@@ -1,0 +1,131 @@
+//! Query engine over step-function (histogram) synopses.
+//!
+//! The histogram family answers the same point/range-aggregate workload
+//! as [`QueryEngine1d`](crate::QueryEngine1d) answers for wavelets, and
+//! its guaranteed maximum error feeds the *same* [`crate::bounds`]
+//! interval derivations — a per-point error bound is a per-point error
+//! bound regardless of which family proved it. Point queries cost
+//! `O(log b)` (bucket binary search); range aggregates cost `O(b)`
+//! (each bucket contributes `value · |range ∩ bucket|`, the step
+//! analogue of the wavelet coefficient-overlap weights).
+
+use std::ops::Range;
+
+use wsyn_hist::StepSynopsis;
+
+/// Query engine over a one-dimensional step-function synopsis.
+#[derive(Debug, Clone)]
+pub struct StepEngine {
+    synopsis: StepSynopsis,
+}
+
+impl StepEngine {
+    /// Wraps a synopsis.
+    #[must_use]
+    pub fn new(synopsis: StepSynopsis) -> StepEngine {
+        StepEngine { synopsis }
+    }
+
+    /// The wrapped synopsis.
+    #[must_use]
+    pub fn synopsis(&self) -> &StepSynopsis {
+        &self.synopsis
+    }
+
+    /// Domain size `N`.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.synopsis.n()
+    }
+
+    /// Approximate point query `d̂_i`: the covering bucket's constant.
+    ///
+    /// # Panics
+    /// Panics when `i >= N`.
+    #[must_use]
+    pub fn point(&self, i: usize) -> f64 {
+        let n = self.n();
+        assert!(i < n, "point index {i} out of range (N = {n})");
+        self.synopsis.point(i)
+    }
+
+    /// Approximate range sum `Σ_{i ∈ range} d̂_i` — `O(b)`.
+    ///
+    /// # Panics
+    /// Panics on an out-of-bounds range.
+    #[must_use]
+    pub fn range_sum(&self, range: Range<usize>) -> f64 {
+        let n = self.n();
+        assert!(range.end <= n, "range {range:?} out of bounds (N = {n})");
+        if range.is_empty() {
+            return 0.0;
+        }
+        self.synopsis
+            .spans()
+            .map(|(start, end, value)| {
+                let lo = range.start.max(start);
+                let hi = range.end.min(end);
+                value * hi.saturating_sub(lo) as f64
+            })
+            .sum()
+    }
+
+    /// Approximate range average.
+    ///
+    /// # Panics
+    /// Panics on an empty or out-of-bounds range.
+    #[must_use]
+    pub fn range_avg(&self, range: Range<usize>) -> f64 {
+        assert!(!range.is_empty(), "empty range");
+        let len = (range.end - range.start) as f64;
+        self.range_sum(range) / len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsyn_hist::SplitStrategy;
+
+    fn engine() -> (Vec<f64>, StepEngine) {
+        let data: Vec<f64> = (0..16).map(|i| f64::from((i * 5 + 2) % 11) - 5.0).collect();
+        let run = wsyn_hist::solve(&data, None, 4, SplitStrategy::Binary).unwrap();
+        (data, StepEngine::new(run.synopsis))
+    }
+
+    #[test]
+    fn point_queries_stay_within_the_objective() {
+        let data: Vec<f64> = (0..16).map(|i| f64::from((i * 5 + 2) % 11) - 5.0).collect();
+        let run = wsyn_hist::solve(&data, None, 4, SplitStrategy::Binary).unwrap();
+        let engine = StepEngine::new(run.synopsis.clone());
+        for (i, &d) in data.iter().enumerate() {
+            assert!(
+                (engine.point(i) - d).abs() <= run.objective + 1e-12,
+                "i={i}"
+            );
+        }
+    }
+
+    #[test]
+    fn range_aggregates_match_the_reconstruction() {
+        let (_, engine) = engine();
+        let recon = engine.synopsis().reconstruct();
+        for lo in 0..16usize {
+            for hi in lo..=16 {
+                let truth: f64 = recon[lo..hi].iter().sum();
+                let est = engine.range_sum(lo..hi);
+                assert!((est - truth).abs() < 1e-9, "[{lo}, {hi}): {est} vs {truth}");
+                if hi > lo {
+                    assert!((engine.range_avg(lo..hi) - truth / (hi - lo) as f64).abs() < 1e-9);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_synopsis_answers_zero() {
+        let engine = StepEngine::new(wsyn_hist::StepSynopsis::empty(8));
+        assert_eq!(engine.point(3), 0.0);
+        assert_eq!(engine.range_sum(0..8), 0.0);
+    }
+}

@@ -1,0 +1,168 @@
+//! Wavelet-vs-histogram race: optimal max-error objectives and build
+//! times of the `minmax` wavelet DP and the `hist` step-function DP on
+//! the three race workloads (zipf / spike / plateau), written to
+//! `BENCH_hist.json` at the repo root.
+//!
+//! Per `(generator, n, budget)` cell the bench records both families'
+//! objectives (each a proven guarantee — the run asserts the realized
+//! maximum error stays under it) and both build times, plus the winner
+//! under the server's `auto` rule (hist only by strict improvement).
+//! One shape claim is asserted rather than merely reported: on the
+//! plateau workload with at least as many buckets as segments the hist
+//! objective is exactly zero at every measured budget. (Spikes are
+//! *sparse* in the Haar basis but still cost ~log N coefficients each
+//! to pin exactly, so the spike winner genuinely depends on the budget
+//! — the bench records it instead of assuming it.)
+//!
+//! Run with `cargo bench --bench hist_race`.
+
+use wsyn_core::json::{object, Value};
+use wsyn_datagen::{piecewise_constant, spikes, zipf, ZipfPlacement};
+use wsyn_synopsis::family::{HIST, MINMAX};
+use wsyn_synopsis::histogram::HistThresholder;
+use wsyn_synopsis::one_dim::MinMaxErr;
+use wsyn_synopsis::{AnySynopsis, ErrorMetric, Thresholder};
+
+/// Domain sizes measured.
+const SIZES: [usize; 2] = [1 << 10, 1 << 12];
+/// Synopsis budgets measured (coefficients for the wavelet family,
+/// buckets for the histogram family — the same space knob).
+const BUDGETS: [usize; 2] = [8, 32];
+/// Plateau segment count: at most `BUDGETS[0]`, so the hist DP must
+/// reach objective zero at every measured budget.
+const PLATEAU_SEGMENTS: usize = 8;
+
+fn ms_since(t0: std::time::Instant) -> f64 {
+    t0.elapsed().as_secs_f64() * 1e3
+}
+
+fn generators(n: usize) -> Vec<(&'static str, Vec<f64>)> {
+    vec![
+        ("zipf", zipf(n, 1.0, 200_000.0, ZipfPlacement::Shuffled, 21)),
+        ("spike", spikes(n, 6, (400.0, 900.0), (-5.0, 5.0), 22)),
+        (
+            "plateau",
+            piecewise_constant(n, PLATEAU_SEGMENTS, (1.0, 600.0), 0.0, 23),
+        ),
+    ]
+}
+
+struct Cell {
+    generator: &'static str,
+    n: usize,
+    budget: usize,
+    wavelet_objective: f64,
+    wavelet_build_ms: f64,
+    hist_objective: f64,
+    hist_build_ms: f64,
+    winner: &'static str,
+}
+
+fn race(generator: &'static str, data: &[f64], budget: usize) -> Cell {
+    let metric = ErrorMetric::absolute();
+
+    let t0 = std::time::Instant::now();
+    let wavelet = MinMaxErr::new(data).expect("power-of-two domain");
+    let w = wavelet.run(budget, metric);
+    let wavelet_build_ms = ms_since(t0);
+    let w_measured = metric.max_error(data, &w.synopsis.reconstruct());
+    assert!(
+        w_measured <= w.objective + 1e-9 * (1.0 + w.objective.abs()),
+        "{generator} n={} b={budget}: wavelet guarantee violated",
+        data.len()
+    );
+
+    let t0 = std::time::Instant::now();
+    let h = HistThresholder::new(data)
+        .threshold(budget, metric)
+        .expect("hist solve");
+    let hist_build_ms = ms_since(t0);
+    let AnySynopsis::Histogram(step) = &h.synopsis else {
+        panic!("hist must produce a histogram synopsis");
+    };
+    let h_measured = metric.max_error(data, &step.reconstruct());
+    assert!(
+        h_measured <= h.objective + 1e-9 * (1.0 + h.objective.abs()),
+        "{generator} n={} b={budget}: hist guarantee violated",
+        data.len()
+    );
+
+    Cell {
+        generator,
+        n: data.len(),
+        budget,
+        wavelet_objective: w.objective,
+        wavelet_build_ms,
+        hist_objective: h.objective,
+        hist_build_ms,
+        winner: if h.objective < w.objective {
+            HIST
+        } else {
+            MINMAX
+        },
+    }
+}
+
+fn main() {
+    let mut cells: Vec<Cell> = Vec::new();
+    for n in SIZES {
+        for (generator, data) in generators(n) {
+            for budget in BUDGETS {
+                let cell = race(generator, &data, budget);
+                println!(
+                    "{generator:<8} n={n:<5} b={budget:<3} wavelet {:>12.4} ({:.2} ms)  hist {:>12.4} ({:.2} ms)  winner={}",
+                    cell.wavelet_objective,
+                    cell.wavelet_build_ms,
+                    cell.hist_objective,
+                    cell.hist_build_ms,
+                    cell.winner
+                );
+                cells.push(cell);
+            }
+        }
+    }
+
+    // Shape claims the race rides on.
+    for cell in &cells {
+        if cell.generator == "plateau" {
+            assert_eq!(
+                cell.hist_objective, 0.0,
+                "plateau n={} b={}: {PLATEAU_SEGMENTS} segments must fit exactly",
+                cell.n, cell.budget
+            );
+        }
+    }
+
+    let rows: Vec<Value> = cells
+        .iter()
+        .map(|c| {
+            object(vec![
+                ("generator", Value::String(c.generator.to_string())),
+                ("n", Value::Number(c.n as f64)),
+                ("budget", Value::Number(c.budget as f64)),
+                ("wavelet_objective", Value::Number(c.wavelet_objective)),
+                ("wavelet_build_ms", Value::Number(c.wavelet_build_ms)),
+                ("hist_objective", Value::Number(c.hist_objective)),
+                ("hist_build_ms", Value::Number(c.hist_build_ms)),
+                ("winner", Value::String(c.winner.to_string())),
+            ])
+        })
+        .collect();
+    let doc = object(vec![
+        ("bench", Value::String("hist_race".into())),
+        ("metric", Value::String("abs".into())),
+        (
+            "budgets",
+            Value::Array(BUDGETS.iter().map(|&b| Value::Number(b as f64)).collect()),
+        ),
+        ("cells", Value::Array(rows)),
+    ]);
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/bench has two ancestors")
+        .to_path_buf();
+    let out = root.join("BENCH_hist.json");
+    std::fs::write(&out, doc.pretty() + "\n").expect("write BENCH_hist.json");
+    println!("wrote {}", out.display());
+}

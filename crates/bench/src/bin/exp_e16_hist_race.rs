@@ -1,0 +1,105 @@
+//! E16: synopsis-family race — the optimal wavelet (`minmax`) vs. the
+//! optimal step-function histogram (`hist`) at identical budgets.
+//!
+//! Both families solve the *same* problem — minimize the maximum
+//! (absolute or relative) error under a space budget — with provable
+//! optima, so the race is a clean shape study: which data shapes favour
+//! the Haar basis and which favour contiguous buckets. We run the three
+//! race workloads (zipf / spike / plateau) under both metrics, report
+//! each family's guaranteed objective and the `auto` winner (hist only
+//! by strict improvement, ties to the wavelet — the server's rule), and
+//! verify every guarantee against the realized reconstruction error.
+
+use wsyn_bench::{f, md_table, timed};
+use wsyn_datagen::{piecewise_constant, spikes, zipf, ZipfPlacement};
+use wsyn_synopsis::family::{HIST, MINMAX};
+use wsyn_synopsis::histogram::HistThresholder;
+use wsyn_synopsis::one_dim::MinMaxErr;
+use wsyn_synopsis::{AnySynopsis, ErrorMetric, Thresholder};
+
+fn main() {
+    let n = 1024usize;
+    let budgets = [4usize, 8, 16, 32, 64];
+    let workloads: Vec<(&str, Vec<f64>)> = vec![
+        ("zipf", zipf(n, 1.0, 200_000.0, ZipfPlacement::Shuffled, 21)),
+        ("spike", spikes(n, 6, (400.0, 900.0), (-5.0, 5.0), 22)),
+        ("plateau", piecewise_constant(n, 8, (1.0, 600.0), 0.0, 23)),
+    ];
+    let metrics: [(&str, ErrorMetric); 2] = [
+        ("abs", ErrorMetric::absolute()),
+        ("rel:1", ErrorMetric::relative(1.0)),
+    ];
+
+    println!("## E16 — synopsis-family race at N = {n} (guaranteed L∞ optima)\n");
+
+    for (metric_id, metric) in metrics {
+        println!("### metric = {metric_id}\n");
+        let mut rows = Vec::new();
+        for (shape, data) in &workloads {
+            let (wavelet, wavelet_ms) = timed(|| MinMaxErr::new(data).unwrap());
+            let hist = HistThresholder::new(data);
+            for &b in &budgets {
+                let w = wavelet.run(b, metric);
+                let h = hist.threshold(b, metric).unwrap();
+                let AnySynopsis::Histogram(step) = &h.synopsis else {
+                    panic!("hist must produce a histogram synopsis");
+                };
+                for (family, objective, recon) in [
+                    (MINMAX, w.objective, w.synopsis.reconstruct()),
+                    (HIST, h.objective, step.reconstruct()),
+                ] {
+                    let measured = metric.max_error(data, &recon);
+                    assert!(
+                        measured <= objective + 1e-9 * (1.0 + objective.abs()),
+                        "{shape} {metric_id} b={b} {family}: realized {measured} above \
+                         guarantee {objective}"
+                    );
+                }
+                let winner = if h.objective < w.objective {
+                    HIST
+                } else {
+                    MINMAX
+                };
+                let ratio = if w.objective > 0.0 {
+                    format!("{:.3}", h.objective / w.objective)
+                } else if h.objective == 0.0 {
+                    "1.000".to_string()
+                } else {
+                    "inf".to_string()
+                };
+                rows.push(vec![
+                    (*shape).to_string(),
+                    b.to_string(),
+                    f(w.objective),
+                    f(h.objective),
+                    ratio,
+                    winner.to_string(),
+                ]);
+            }
+            let _ = wavelet_ms;
+        }
+        md_table(
+            &[
+                "workload",
+                "B",
+                "wavelet OPT",
+                "hist OPT",
+                "hist/wavelet",
+                "auto winner",
+            ],
+            &rows,
+        );
+        println!();
+    }
+
+    println!(
+        "Shape summary: plateaus with at most B segments fit buckets exactly \
+         (hist reaches 0); shuffled zipf has no dyadic alignment, so buckets \
+         adapt where the fixed Haar grid cannot; even isolated spikes cost the \
+         Haar basis ~log N coefficients each to pin exactly, so at budgets \
+         below (spikes × log N) the histogram's 2-boundaries-per-spike price \
+         is the cheaper one. The wavelet's edge appears on dyadic-aligned \
+         structure and at budgets large enough to close coefficient chains — \
+         and it alone extends to multi-dimensional domains (§3.2)."
+    );
+}

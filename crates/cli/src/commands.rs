@@ -1,17 +1,16 @@
 //! Subcommand implementations.
 
-use wsyn_aqp::{bounds, QueryEngine1d};
+use wsyn_aqp::{bounds, QueryEngine1d, StepEngine};
 use wsyn_datagen as datagen;
 use wsyn_haar::transform;
 use wsyn_obs::Collector;
-use wsyn_prob::{MinRelBias, MinRelVar};
-use wsyn_stream::StreamMaxErr;
-use wsyn_synopsis::one_dim::MinMaxErr;
-use wsyn_synopsis::thresholder::{GreedyL2, RunParams};
-use wsyn_synopsis::{rmse, ErrorMetric, Thresholder};
+use wsyn_serve::BuiltEngine;
+use wsyn_synopsis::family::{GuaranteeKind, MetricSupport};
+use wsyn_synopsis::thresholder::RunParams;
+use wsyn_synopsis::{rmse, AnySynopsis, ErrorMetric};
 
 use crate::args::{parse_metric, Args};
-use crate::io::{self, SynopsisDoc};
+use crate::io::{self, SynopsisDoc, SynopsisPayload};
 
 /// Top-level usage text.
 pub const USAGE: &str = "\
@@ -21,9 +20,11 @@ commands:
   generate   --kind zipf|bumps|piecewise --n <N> [--seed S] [--skew Z] [--total T] --out FILE
   transform  --input FILE
   build      --input FILE --budget B [--metric abs|rel:S]
-             [--algo minmax|greedy|minrelvar|minrelbias|stream] --out FILE
+             [--algo FAMILY]   (a synopsis family id; see 'wsyn families')
+             --out FILE
              [--eps E]         (stream only: quantization step, default 0.1)
              [--report FILE]   (write a JSON run report: spans + counters)
+  families   (list the registered synopsis families and their guarantees)
   eval       --synopsis FILE --input FILE [--metric abs|rel:S]
   query      --synopsis FILE  point <i> | range <lo> <hi> | avg <lo> <hi>
   query      --server HOST:PORT --column NAME  point <i> | range <lo> <hi> | avg <lo> <hi>
@@ -42,6 +43,7 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
         "generate" => generate(&Args::parse(rest)?),
         "transform" => transform_cmd(&Args::parse(rest)?),
         "build" => build(&Args::parse(rest)?),
+        "families" => families(&Args::parse(rest)?),
         "eval" => eval(&Args::parse(rest)?),
         "query" => query(&Args::parse(rest)?),
         "serve" => serve(&Args::parse(rest)?),
@@ -51,6 +53,34 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
         }
         other => Err(format!("unknown command '{other}'")),
     }
+}
+
+/// Prints the synopsis-family registry: every `--algo` id the CLI, the
+/// server, and the conformance suite accept, with its guarantee kind
+/// and metric support.
+fn families(a: &Args) -> Result<(), String> {
+    a.ensure_known(&[])?;
+    println!("{:<12} {:<13} {:<10} summary", "id", "guarantee", "metrics");
+    for family in wsyn_serve::registry().families() {
+        let guarantee = match family.guarantee {
+            GuaranteeKind::Deterministic => "deterministic",
+            GuaranteeKind::Measured => "measured",
+        };
+        let metrics = match family.metrics {
+            MetricSupport::Both => "abs, rel",
+            MetricSupport::AbsoluteOnly => "abs",
+            MetricSupport::RelativeOnly => "rel",
+        };
+        println!(
+            "{:<12} {:<13} {:<10} {}",
+            family.id, guarantee, metrics, family.summary
+        );
+    }
+    println!(
+        "\n(server builds also accept 'auto': solve minmax and hist, keep the\n\
+         smaller objective, ties to minmax)"
+    );
+    Ok(())
 }
 
 fn generate(a: &Args) -> Result<(), String> {
@@ -107,16 +137,13 @@ fn build(a: &Args) -> Result<(), String> {
     let algo = a.opt("algo").unwrap_or("minmax");
     let out = a.req("out")?;
     let report_path = a.opt("report").map(str::to_string);
-    // Every algorithm answers the same (budget, metric) question; build the
-    // right solver and drive it through the uniform trait.
-    let thresholder: Box<dyn Thresholder> = match algo {
-        "minmax" => Box::new(MinMaxErr::new(&data).map_err(|e| e.to_string())?),
-        "greedy" => Box::new(GreedyL2::new(&data).map_err(|e| e.to_string())?),
-        "minrelvar" => Box::new(MinRelVar::new(&data).map_err(|e| e.to_string())?),
-        "minrelbias" => Box::new(MinRelBias::new(&data).map_err(|e| e.to_string())?),
-        "stream" => Box::new(StreamMaxErr::new(&data).map_err(|e| e.to_string())?),
-        other => return Err(format!("unknown --algo '{other}'")),
-    };
+    // Every family answers the same (budget, metric) question; the
+    // registry resolves the id to a solver and the uniform trait drives
+    // it. Unknown ids fail with the registry's canonical error listing
+    // every valid id.
+    let thresholder = wsyn_serve::registry()
+        .build(algo, &data)
+        .map_err(|e| e.to_string())?;
     // Collection is free unless a report was asked for (no-op collector).
     let obs = if report_path.is_some() {
         Collector::recording()
@@ -133,15 +160,17 @@ fn build(a: &Args) -> Result<(), String> {
     let run = thresholder
         .threshold_with(&params)
         .map_err(|e| e.to_string())?;
-    let synopsis = run
-        .synopsis
-        .into_one("the CLI")
-        .map_err(|e| e.to_string())?;
+    let payload = match run.synopsis {
+        AnySynopsis::One(s) => SynopsisPayload::Wavelet(s),
+        AnySynopsis::Histogram(s) => SynopsisPayload::Histogram(s),
+        _ => return Err("the CLI builds 1-D synopses only".into()),
+    };
     if thresholder.has_guarantee() {
         println!(
-            "{}: retained {} coefficients, guaranteed max error {:.6}",
+            "{}: retained {} {}, guaranteed max error {:.6}",
             thresholder.name(),
-            synopsis.len(),
+            payload.len(),
+            payload.unit(),
             run.objective
         );
         if let (ErrorMetric::Relative { sanity }, true) = (metric, run.objective >= 1.0 - 1e-12) {
@@ -155,9 +184,10 @@ fn build(a: &Args) -> Result<(), String> {
         }
     } else {
         println!(
-            "{}: retained {} coefficients, measured max error {:.6} (no guarantee)",
+            "{}: retained {} {}, measured max error {:.6} (no guarantee)",
             thresholder.name(),
-            synopsis.len(),
+            payload.len(),
+            payload.unit(),
             run.objective
         );
     }
@@ -165,7 +195,7 @@ fn build(a: &Args) -> Result<(), String> {
         algorithm: thresholder.name().into(),
         metric: thresholder.has_guarantee().then(|| metric_spec.clone()),
         objective: thresholder.has_guarantee().then_some(run.objective),
-        synopsis,
+        payload,
     };
     io::ensure_parent(out)?;
     io::write_synopsis(out, &doc)?;
@@ -185,10 +215,10 @@ fn eval(a: &Args) -> Result<(), String> {
     a.ensure_known(&["synopsis", "input", "metric"])?;
     let doc = io::read_synopsis(a.req("synopsis")?)?;
     let data = io::read_data(a.req("input")?)?;
-    if data.len() != doc.synopsis.n() {
+    if data.len() != doc.payload.n() {
         return Err(format!(
             "domain mismatch: synopsis N = {}, data N = {}",
-            doc.synopsis.n(),
+            doc.payload.n(),
             data.len()
         ));
     }
@@ -198,9 +228,12 @@ fn eval(a: &Args) -> Result<(), String> {
         .or_else(|| doc.metric.clone())
         .unwrap_or_else(|| "rel:1.0".into());
     let metric = parse_metric(&metric_spec)?;
-    let recon = doc.synopsis.reconstruct();
+    let recon = doc.payload.reconstruct();
     println!("algorithm          : {}", doc.algorithm);
-    println!("coefficients       : {}", doc.synopsis.len());
+    println!("{:<19}: {}", doc.payload.unit(), doc.payload.len());
+    if doc.payload.is_empty() {
+        println!("note               : empty synopsis — reconstruction is all zeros");
+    }
     println!("metric             : {metric_spec}");
     println!(
         "max error          : {:.6}",
@@ -324,9 +357,14 @@ fn query(a: &Args) -> Result<(), String> {
     }
     a.ensure_known(&["synopsis"])?;
     let doc = io::read_synopsis(a.req("synopsis")?)?;
-    let engine = QueryEngine1d::new(doc.synopsis.clone());
+    // Both families answer the same workload; the interval derivations
+    // below consume only (estimate, guarantee) pairs.
+    let engine = match &doc.payload {
+        SynopsisPayload::Wavelet(s) => BuiltEngine::Wavelet(QueryEngine1d::new(s.clone())),
+        SynopsisPayload::Histogram(s) => BuiltEngine::Hist(StepEngine::new(s.clone())),
+    };
     let pos = &a.positional;
-    let n = doc.synopsis.n();
+    let n = doc.payload.n();
     let parse_idx = |s: &str, what: &str| -> Result<usize, String> {
         let v: usize = s.parse().map_err(|_| format!("bad {what} '{s}'"))?;
         if v > n {
@@ -434,7 +472,7 @@ mod tests {
         .unwrap();
         let doc = crate::io::read_synopsis(&syn_path).unwrap();
         assert_eq!(doc.algorithm, "greedy");
-        assert!(doc.synopsis.len() <= 3);
+        assert!(doc.payload.len() <= 3);
     }
 
     #[test]
@@ -451,13 +489,12 @@ mod tests {
         .unwrap();
         let doc = crate::io::read_synopsis(&syn_path).unwrap();
         assert_eq!(doc.algorithm, "stream");
-        assert!(doc.synopsis.len() <= 3);
+        assert!(doc.payload.len() <= 3);
         // The streaming objective is a guarantee, so it is persisted and
         // must upper-bound the measured error.
         let objective = doc.objective.expect("stream carries a guarantee");
-        let measured = doc
-            .synopsis
-            .max_error(&data, wsyn_synopsis::ErrorMetric::absolute());
+        let measured =
+            wsyn_synopsis::ErrorMetric::absolute().max_error(&data, &doc.payload.reconstruct());
         assert!(measured <= objective + 1e-9);
         // The streaming builder serves the absolute metric only.
         assert!(dispatch(&v(&[
@@ -509,6 +546,84 @@ mod tests {
             &format!("{dir}/abs.json"),
         ]))
         .is_err());
+    }
+
+    #[test]
+    fn build_hist_eval_query_end_to_end() {
+        let dir = tmpdir("histbuild");
+        let data_path = format!("{dir}/data.txt");
+        let syn_path = format!("{dir}/syn.json");
+        let data = [2.0, 2.0, 2.0, 9.0, 9.0, 9.0, 9.0, 4.0];
+        crate::io::write_data(&data_path, &data).unwrap();
+        dispatch(&v(&[
+            "build", "--input", &data_path, "--budget", "3", "--metric", "abs", "--algo", "hist",
+            "--out", &syn_path,
+        ]))
+        .unwrap();
+        let doc = crate::io::read_synopsis(&syn_path).unwrap();
+        assert_eq!(doc.algorithm, "hist");
+        assert_eq!(doc.objective, Some(0.0), "three plateaus, three buckets");
+        assert!(matches!(doc.payload, SynopsisPayload::Histogram(_)));
+        dispatch(&v(&[
+            "eval",
+            "--synopsis",
+            &syn_path,
+            "--input",
+            &data_path,
+        ]))
+        .unwrap();
+        dispatch(&v(&["query", "--synopsis", &syn_path, "point", "4"])).unwrap();
+        dispatch(&v(&["query", "--synopsis", &syn_path, "range", "0", "8"])).unwrap();
+        dispatch(&v(&["query", "--synopsis", &syn_path, "avg", "2", "6"])).unwrap();
+        assert!(dispatch(&v(&["query", "--synopsis", &syn_path, "point", "99"])).is_err());
+    }
+
+    #[test]
+    fn every_registry_family_builds_through_the_cli() {
+        // The --algo grammar IS the registry: every registered id
+        // builds, and an unknown id fails with the registry's error
+        // (listing the whole valid set). This is the CLI's half of the
+        // one-id-set contract shared with the server and conform.
+        let dir = tmpdir("allfamilies");
+        let data_path = format!("{dir}/data.txt");
+        crate::io::write_data(&data_path, &[2.0, 2.0, 0.0, 2.0, 3.0, 5.0, 4.0, 4.0]).unwrap();
+        for family in wsyn_serve::registry().families() {
+            let metric = match family.metrics {
+                MetricSupport::Both | MetricSupport::AbsoluteOnly => "abs",
+                MetricSupport::RelativeOnly => "rel:1.0",
+            };
+            let syn_path = format!("{dir}/{}.json", family.id);
+            dispatch(&v(&[
+                "build", "--input", &data_path, "--budget", "3", "--metric", metric, "--algo",
+                family.id, "--out", &syn_path,
+            ]))
+            .unwrap_or_else(|e| panic!("family '{}' must build: {e}", family.id));
+            assert_eq!(
+                crate::io::read_synopsis(&syn_path).unwrap().algorithm,
+                family.id
+            );
+        }
+        let err = dispatch(&v(&[
+            "build",
+            "--input",
+            &data_path,
+            "--budget",
+            "3",
+            "--algo",
+            "zorp",
+            "--out",
+            &format!("{dir}/zorp.json"),
+        ]))
+        .unwrap_err();
+        for id in wsyn_serve::registry().ids() {
+            assert!(err.contains(id), "error must list '{id}': {err}");
+        }
+    }
+
+    #[test]
+    fn families_subcommand_prints() {
+        dispatch(&v(&["families"])).unwrap();
+        assert!(dispatch(&v(&["families", "--bogus", "1"])).is_err());
     }
 
     #[test]

@@ -33,27 +33,104 @@ pub fn write_data(path: &str, data: &[f64]) -> Result<(), String> {
     fs::write(path, body).map_err(|e| format!("cannot write {path}: {e}"))
 }
 
+/// The synopsis payload of an on-disk document: one variant per
+/// persisted synopsis family. Wavelet documents store `entries`
+/// (`[index, coefficient]` pairs); histogram documents store `buckets`
+/// (`[start, value]` pairs) — the key names double as the format tag.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SynopsisPayload {
+    /// Retained wavelet coefficients.
+    Wavelet(Synopsis1d),
+    /// Step-function buckets.
+    Histogram(wsyn_hist::StepSynopsis),
+}
+
+impl SynopsisPayload {
+    /// Domain size `N`.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        match self {
+            SynopsisPayload::Wavelet(s) => s.n(),
+            SynopsisPayload::Histogram(s) => s.n(),
+        }
+    }
+
+    /// Space used: retained coefficients or buckets.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        match self {
+            SynopsisPayload::Wavelet(s) => s.len(),
+            SynopsisPayload::Histogram(s) => s.len(),
+        }
+    }
+
+    /// Whether the synopsis retains nothing.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// What `len()` counts, for human-readable output.
+    #[must_use]
+    pub fn unit(&self) -> &'static str {
+        match self {
+            SynopsisPayload::Wavelet(_) => "coefficients",
+            SynopsisPayload::Histogram(_) => "buckets",
+        }
+    }
+
+    /// The full approximate reconstruction.
+    #[must_use]
+    pub fn reconstruct(&self) -> Vec<f64> {
+        match self {
+            SynopsisPayload::Wavelet(s) => s.reconstruct(),
+            SynopsisPayload::Histogram(s) => s.reconstruct(),
+        }
+    }
+}
+
 /// On-disk synopsis document: the synopsis plus provenance metadata.
 #[derive(Debug)]
 pub struct SynopsisDoc {
-    /// Which algorithm built it (`minmax`, `greedy`, `minrelvar-draw`).
+    /// Which synopsis family built it (a registry id).
     pub algorithm: String,
     /// Metric spec string (`abs` / `rel:<sanity>`), if applicable.
     pub metric: Option<String>,
-    /// The guaranteed maximum error at build time (MinMaxErr only).
+    /// The guaranteed maximum error at build time (guarantee-providing
+    /// families only).
     pub objective: Option<f64>,
     /// The synopsis itself.
-    pub synopsis: Synopsis1d,
+    pub payload: SynopsisPayload,
 }
 
 impl SynopsisDoc {
     fn to_json(&self) -> Value {
-        let entries = self
-            .synopsis
-            .entries()
-            .iter()
-            .map(|&(j, v)| Value::Array(vec![Value::Number(j as f64), Value::Number(v)]))
-            .collect();
+        let body = match &self.payload {
+            SynopsisPayload::Wavelet(s) => {
+                let entries = s
+                    .entries()
+                    .iter()
+                    .map(|&(j, v)| Value::Array(vec![Value::Number(j as f64), Value::Number(v)]))
+                    .collect();
+                json::object(vec![
+                    ("n", Value::Number(s.n() as f64)),
+                    ("entries", Value::Array(entries)),
+                ])
+            }
+            SynopsisPayload::Histogram(s) => {
+                let buckets = s
+                    .buckets()
+                    .iter()
+                    .map(|b| {
+                        Value::Array(vec![Value::Number(b.start as f64), Value::Number(b.value)])
+                    })
+                    .collect();
+                json::object(vec![
+                    ("n", Value::Number(s.n() as f64)),
+                    ("buckets", Value::Array(buckets)),
+                ])
+            }
+        };
         json::object(vec![
             ("algorithm", Value::String(self.algorithm.clone())),
             (
@@ -66,13 +143,7 @@ impl SynopsisDoc {
                 "objective",
                 self.objective.map_or(Value::Null, Value::Number),
             ),
-            (
-                "synopsis",
-                json::object(vec![
-                    ("n", Value::Number(self.synopsis.n() as f64)),
-                    ("entries", Value::Array(entries)),
-                ]),
-            ),
+            ("synopsis", body),
         ])
     }
 
@@ -97,32 +168,45 @@ impl SynopsisDoc {
             .get("n")
             .and_then(Value::as_usize)
             .ok_or("synopsis 'n' is not a non-negative integer")?;
-        let raw_entries = syn
-            .get("entries")
-            .and_then(Value::as_array)
-            .ok_or("synopsis 'entries' is not an array")?;
-        let mut entries = Vec::with_capacity(raw_entries.len());
-        for pair in raw_entries {
-            let pair = pair
-                .as_array()
-                .filter(|p| p.len() == 2)
-                .ok_or("synopsis entry is not an [index, value] pair")?;
-            let j = pair[0]
-                .as_usize()
-                .ok_or("synopsis entry index is not a non-negative integer")?;
-            let value = pair[1]
-                .as_f64()
-                .ok_or("synopsis entry value is not a number")?;
-            entries.push((j, value));
-        }
-        // Construct without invariant checks; the caller validates, so
-        // malformed documents surface as errors instead of panics.
-        let synopsis = Synopsis1d::from_raw_parts(n, entries);
+        let pairs = |key: &str, raw: &[Value]| -> Result<Vec<(usize, f64)>, String> {
+            let mut out = Vec::with_capacity(raw.len());
+            for pair in raw {
+                let pair = pair
+                    .as_array()
+                    .filter(|p| p.len() == 2)
+                    .ok_or_else(|| format!("synopsis {key} entry is not a two-element pair"))?;
+                let j = pair[0]
+                    .as_usize()
+                    .ok_or("synopsis entry index is not a non-negative integer")?;
+                let value = pair[1]
+                    .as_f64()
+                    .ok_or("synopsis entry value is not a number")?;
+                out.push((j, value));
+            }
+            Ok(out)
+        };
+        let payload = if let Some(raw) = syn.get("entries").and_then(Value::as_array) {
+            // Construct without invariant checks; the caller validates,
+            // so malformed documents surface as errors instead of
+            // panics.
+            SynopsisPayload::Wavelet(Synopsis1d::from_raw_parts(n, pairs("entries", raw)?))
+        } else if let Some(raw) = syn.get("buckets").and_then(Value::as_array) {
+            let buckets = pairs("buckets", raw)?
+                .into_iter()
+                .map(|(start, value)| wsyn_hist::Bucket { start, value })
+                .collect();
+            SynopsisPayload::Histogram(
+                wsyn_hist::StepSynopsis::from_buckets(n, buckets)
+                    .map_err(|e| format!("invalid histogram synopsis: {e}"))?,
+            )
+        } else {
+            return Err("synopsis has neither 'entries' nor 'buckets'".to_string());
+        };
         Ok(SynopsisDoc {
             algorithm,
             metric,
             objective,
-            synopsis,
+            payload,
         })
     }
 }
@@ -141,9 +225,11 @@ pub fn read_synopsis(path: &str) -> Result<SynopsisDoc, String> {
     let value = Value::parse(&text).map_err(|e| format!("{path}: bad synopsis JSON: {e}"))?;
     let doc =
         SynopsisDoc::from_json(&value).map_err(|e| format!("{path}: bad synopsis JSON: {e}"))?;
-    doc.synopsis
-        .validate()
-        .map_err(|e| format!("{path}: invalid synopsis: {e}"))?;
+    // Histogram payloads are validated on construction in `from_json`.
+    if let SynopsisPayload::Wavelet(s) = &doc.payload {
+        s.validate()
+            .map_err(|e| format!("{path}: invalid synopsis: {e}"))?;
+    }
     Ok(doc)
 }
 
@@ -212,7 +298,7 @@ mod tests {
             algorithm: "minmax".into(),
             metric: Some("rel:1.0".into()),
             objective: Some(0.5),
-            synopsis: syn.clone(),
+            payload: SynopsisPayload::Wavelet(syn.clone()),
         };
         let dir = std::env::temp_dir().join("wsyn-cli-test-syn");
         std::fs::create_dir_all(&dir).unwrap();
@@ -220,7 +306,41 @@ mod tests {
         let path = path.to_str().unwrap();
         write_synopsis(path, &doc).unwrap();
         let back = read_synopsis(path).unwrap();
-        assert_eq!(back.synopsis, syn);
+        assert_eq!(back.payload, SynopsisPayload::Wavelet(syn));
         assert_eq!(back.objective, Some(0.5));
+    }
+
+    #[test]
+    fn histogram_synopsis_roundtrip() {
+        let run = wsyn_hist::solve(
+            &[1.0, 1.0, 5.0, 5.0, 5.0, 2.0, 2.0, 2.0],
+            None,
+            3,
+            wsyn_hist::SplitStrategy::Binary,
+        )
+        .unwrap();
+        let doc = SynopsisDoc {
+            algorithm: "hist".into(),
+            metric: Some("abs".into()),
+            objective: Some(run.objective),
+            payload: SynopsisPayload::Histogram(run.synopsis.clone()),
+        };
+        let dir = std::env::temp_dir().join("wsyn-cli-test-hist");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("h.json");
+        let path = path.to_str().unwrap();
+        write_synopsis(path, &doc).unwrap();
+        let back = read_synopsis(path).unwrap();
+        assert_eq!(back.algorithm, "hist");
+        assert_eq!(back.payload, SynopsisPayload::Histogram(run.synopsis));
+        // A malformed bucket list (unsorted starts) is rejected cleanly.
+        std::fs::write(
+            dir.join("bad.json"),
+            r#"{"algorithm":"hist","metric":"abs","objective":0.0,
+                "synopsis":{"n":8,"buckets":[[4,1.0],[0,2.0]]}}"#,
+        )
+        .unwrap();
+        let err = read_synopsis(dir.join("bad.json").to_str().unwrap()).unwrap_err();
+        assert!(err.contains("histogram"), "{err}");
     }
 }

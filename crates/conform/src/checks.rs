@@ -126,6 +126,12 @@ pub fn check_instance_observed(inst: &Instance, obs: &Collector) -> Result<Check
         );
         observed!(
             obs,
+            "family_race",
+            sum,
+            crate::family_race::check(inst, &mut sum)
+        );
+        observed!(
+            obs,
             "server_identity",
             sum,
             crate::server_identity::check(inst, &mut sum)

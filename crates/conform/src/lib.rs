@@ -23,6 +23,11 @@
 //!   and Proposition 3.3 (objective ≥ largest dropped `|coefficient|`).
 //! * [`corpus`] — the golden corpus: hand-rolled instances whose blessed
 //!   outputs live as JSON under `tests/corpus/`, checked bit-exactly.
+//! * [`family_race`] — the wavelet `minmax` DP vs. the `hist` step-
+//!   function DP on identical `(data, budget, metric)` instances: both
+//!   guarantees asserted, the hist objective bit-certified against its
+//!   bucket-enumeration oracle on small instances, and the server's
+//!   `auto` family pick held to the library-predicted winner.
 //! * [`server_identity`] — `wsyn-serve` answers vs. library answers,
 //!   compared as canonical protocol bytes over a real loopback socket,
 //!   plus the deterministic answer-stream transcript CI diffs across
@@ -42,6 +47,7 @@
 
 pub mod checks;
 pub mod corpus;
+pub mod family_race;
 pub mod gen;
 pub mod oracle;
 pub mod server_identity;

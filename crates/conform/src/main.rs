@@ -9,6 +9,8 @@
 //!                                                      corpus answer stream via wsyn-serve
 //! wsyn-conform streaming-approx [--corpus DIR] [--seed N] [--rounds N] [--report PATH]
 //!                                                      one-pass streaming builder family
+//! wsyn-conform family-race [--corpus DIR] [--seed N] [--rounds N] [--report PATH]
+//!                                                      wavelet vs histogram race + server auto picks
 //! ```
 //!
 //! `server-identity` drives every 1-D corpus instance through an
@@ -54,7 +56,8 @@ const USAGE: &str = "usage:
   wsyn-conform sweep  [--seed N] [--rounds N]
   wsyn-conform shrink --file PATH
   wsyn-conform server-identity [--corpus DIR] [--answers PATH]
-  wsyn-conform streaming-approx [--corpus DIR] [--seed N] [--rounds N] [--report PATH]";
+  wsyn-conform streaming-approx [--corpus DIR] [--seed N] [--rounds N] [--report PATH]
+  wsyn-conform family-race [--corpus DIR] [--seed N] [--rounds N] [--report PATH]";
 
 fn flag_value(args: &[String], flag: &str) -> Result<Option<String>, WsynError> {
     match args.iter().position(|a| a == flag) {
@@ -81,6 +84,7 @@ fn run(args: &[String]) -> Result<bool, WsynError> {
         "shrink" => cmd_shrink(&args[1..]),
         "server-identity" => cmd_server_identity(&args[1..]),
         "streaming-approx" => cmd_streaming_approx(&args[1..]),
+        "family-race" => cmd_family_race(&args[1..]),
         other => Err(WsynError::invalid(format!("unknown command `{other}`"))),
     }
 }
@@ -297,6 +301,55 @@ fn cmd_streaming_approx(args: &[String]) -> Result<bool, WsynError> {
             std::fs::write(&path, &transcript).map_err(|e| WsynError::io(&path, e.to_string()))?;
             println!(
                 "streaming-approx clean: {one_dim} instances, {} lines written to {path}",
+                transcript.lines().count()
+            );
+        }
+        None => print!("{transcript}"),
+    }
+    Ok(true)
+}
+
+/// Races the wavelet and histogram families over every 1-D corpus doc
+/// plus seeded zipf/spike/plateau rounds, and prints (or writes, with
+/// `--report PATH`) the deterministic transcript — objective bit
+/// patterns, oracle certifications, server `auto` picks, per-shape
+/// winners — that CI diffs across `WSYN_POOL_THREADS` settings.
+fn cmd_family_race(args: &[String]) -> Result<bool, WsynError> {
+    let dir = corpus_dir(args)?;
+    let report_path = flag_value(args, "--report")?;
+    let seed: u64 = flag_value(args, "--seed")?.map_or(Ok(2004), |v| {
+        v.parse()
+            .map_err(|e| WsynError::invalid(format!("bad --seed `{v}`: {e}")))
+    })?;
+    let rounds: u64 = flag_value(args, "--rounds")?.map_or(Ok(4), |v| {
+        v.parse()
+            .map_err(|e| WsynError::invalid(format!("bad --rounds `{v}`: {e}")))
+    })?;
+    let docs = corpus::load_dir(&dir)?;
+    if docs.is_empty() {
+        return Err(WsynError::invalid(format!(
+            "no corpus files in {} (run `bless` first)",
+            dir.display()
+        )));
+    }
+    let mut owned: Vec<Instance> = docs.into_iter().map(|(_, doc)| doc.instance).collect();
+    // The race's adversarial shapes: the paper's motivating zipf
+    // workload plus the two where one family should dominate (spikes
+    // favour wavelets, plateaus favour step functions).
+    for round in 0..rounds {
+        for kind in [Kind::Zipf, Kind::Spikes, Kind::Plateaus] {
+            owned.push(generate(kind, seed.wrapping_add(round)));
+        }
+    }
+    let instances: Vec<&Instance> = owned.iter().collect();
+    let one_dim = instances.iter().filter(|i| i.shape.len() == 1).count();
+    let transcript = wsyn_conform::family_race::report(&instances)
+        .map_err(|f| WsynError::invalid(f.to_string()))?;
+    match report_path {
+        Some(path) => {
+            std::fs::write(&path, &transcript).map_err(|e| WsynError::io(&path, e.to_string()))?;
+            println!(
+                "family-race clean: {one_dim} instances, {} lines written to {path}",
                 transcript.lines().count()
             );
         }

@@ -40,7 +40,7 @@ const MAX_POINTS: usize = 48;
 
 /// Runs `script` against a freshly bound in-process server, then shuts
 /// the server down and joins it.
-fn with_server<T>(
+pub(crate) fn with_server<T>(
     name: &str,
     script: impl FnOnce(&mut Client) -> Result<T, Failure>,
 ) -> Result<T, Failure> {
@@ -337,6 +337,7 @@ pub fn answer_stream(instances: &[&Instance]) -> Result<String, Failure> {
                             column: column.clone(),
                             budget: b,
                             metric: spec.id(),
+                            family: None,
                             trace: false,
                         },
                         client,

@@ -1,0 +1,41 @@
+//! Wire-compatibility pin: the protocol-v2 server, driven only with
+//! family-absent requests (the exact bytes every pre-v2 client sends),
+//! must reproduce the answer stream recorded before the synopsis-family
+//! field existed — byte for byte, across the whole golden corpus.
+//!
+//! The recorded stream lives at `tests/transcripts/pr8_server_identity.txt`;
+//! it pins response *payload* bytes (the framed body), so the version
+//! byte bump itself cannot hide a payload regression. If this test
+//! fails, a legacy client would observe different answers after the
+//! family API landed — that is a compatibility break, not a blessing
+//! opportunity.
+
+use wsyn_conform::gen::Instance;
+use wsyn_conform::{corpus, server_identity};
+
+#[test]
+fn family_absent_answer_stream_matches_the_pre_family_recording() {
+    let docs = corpus::load_dir(&corpus::default_dir()).expect("corpus directory loads");
+    assert!(!docs.is_empty(), "golden corpus must be present");
+    let instances: Vec<&Instance> = docs.iter().map(|(_, doc)| &doc.instance).collect();
+    let stream = server_identity::answer_stream(&instances).expect("answer stream");
+    let recorded = include_str!("transcripts/pr8_server_identity.txt");
+    assert!(
+        stream == recorded,
+        "family-absent server responses drifted from the pre-family recording;\n\
+         first diverging line:\n{}",
+        stream
+            .lines()
+            .zip(recorded.lines())
+            .enumerate()
+            .find(|(_, (a, b))| a != b)
+            .map_or_else(
+                || format!(
+                    "(no line-level diff; lengths {} vs {})",
+                    stream.lines().count(),
+                    recorded.lines().count()
+                ),
+                |(i, (a, b))| format!("line {}:\n  now:      {a}\n  recorded: {b}", i + 1)
+            )
+    );
+}

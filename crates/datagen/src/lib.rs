@@ -13,6 +13,9 @@
 //!   (locally smooth data where wavelets shine);
 //! * [`piecewise_constant`] — step signals (the adversarial case for L2
 //!   thresholding under relative error: flat regions of small values);
+//! * [`spikes`] — mostly-flat signals with a few large isolated spikes
+//!   (sparse wavelet coefficients, the greedy-L2 worst case, and the
+//!   shape where wavelets beat step-function histograms);
 //! * [`cube_bumps`] — multi-dimensional Gaussian-bump hypercubes for the
 //!   §3.2 schemes;
 //! * quantization & padding helpers.
@@ -123,6 +126,36 @@ pub fn piecewise_constant(
         for v in &mut out {
             *v += noise_sigma * gauss(&mut rng);
         }
+    }
+    out
+}
+
+/// A mostly-flat signal (uniform noise in `noise_range`) with `count`
+/// large isolated spikes whose magnitudes are drawn from `spike_range`
+/// and whose signs are coin flips. Each spike occupies a single cell,
+/// so the wavelet transform is sparse while any step function must
+/// spend two bucket boundaries per spike — the shape where the two
+/// synopsis families diverge the most.
+///
+/// # Panics
+/// Panics when `n == 0` or a range is inverted.
+pub fn spikes(
+    n: usize,
+    count: usize,
+    spike_range: (f64, f64),
+    noise_range: (f64, f64),
+    seed: u64,
+) -> Vec<f64> {
+    assert!(n > 0, "empty domain");
+    assert!(spike_range.0 <= spike_range.1 && noise_range.0 <= noise_range.1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out: Vec<f64> = (0..n)
+        .map(|_| rng.gen_range(noise_range.0..=noise_range.1))
+        .collect();
+    for _ in 0..count {
+        let i = rng.gen_range(0..n);
+        let sign = if rng.gen_range(0..2) == 0 { -1.0 } else { 1.0 };
+        out[i] = sign * rng.gen_range(spike_range.0..=spike_range.1);
     }
     out
 }
@@ -262,6 +295,15 @@ mod tests {
         // Number of value changes is at most segments - 1.
         let changes = p.windows(2).filter(|w| w[0] != w[1]).count();
         assert!(changes <= 4, "{changes} changes");
+    }
+
+    #[test]
+    fn spikes_are_sparse_and_large() {
+        let s = spikes(256, 4, (60.0, 100.0), (-3.0, 3.0), 9);
+        assert_eq!(s, spikes(256, 4, (60.0, 100.0), (-3.0, 3.0), 9));
+        let big = s.iter().filter(|v| v.abs() >= 60.0).count();
+        assert!((1..=4).contains(&big), "{big} spikes");
+        assert!(s.iter().filter(|v| v.abs() <= 3.0).count() >= 250);
     }
 
     #[test]

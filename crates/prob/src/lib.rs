@@ -48,6 +48,29 @@ use wsyn_synopsis::{ErrorMetric, Synopsis1d};
 
 pub use wsyn_synopsis::thresholder::DEFAULT_Q;
 
+/// Registry descriptors for the probabilistic families, for assembly
+/// into the canonical synopsis-family registry (`wsyn_serve::registry`).
+#[must_use]
+pub fn families() -> Vec<wsyn_synopsis::SynopsisFamily> {
+    use wsyn_synopsis::family::{GuaranteeKind, MetricSupport, MINRELBIAS, MINRELVAR};
+    vec![
+        wsyn_synopsis::SynopsisFamily {
+            id: MINRELVAR,
+            summary: "probabilistic min-relative-variance wavelet baseline (GG, one seeded draw)",
+            guarantee: GuaranteeKind::Measured,
+            metrics: MetricSupport::RelativeOnly,
+            build: |data| Ok(Box::new(MinRelVar::new(data)?)),
+        },
+        wsyn_synopsis::SynopsisFamily {
+            id: MINRELBIAS,
+            summary: "probabilistic min-relative-bias wavelet baseline (GG, one seeded draw)",
+            guarantee: GuaranteeKind::Measured,
+            metrics: MetricSupport::RelativeOnly,
+            build: |data| Ok(Box::new(MinRelBias::new(data)?)),
+        },
+    ]
+}
+
 /// A fractional-storage assignment over the coefficients of a
 /// one-dimensional error tree: the output of [`MinRelVar`] / [`MinRelBias`]
 /// and the input to randomized rounding.
@@ -446,7 +469,7 @@ impl MinRelBias {
 /// repeated calls are deterministic. The reported objective is the
 /// measured maximum error of that draw (these baselines guarantee nothing
 /// about the maximum error — the point of the comparison).
-fn threshold_via_assignment(
+fn run_via_assignment(
     data: &[f64],
     assign: impl Fn(usize, usize, f64) -> ProbAssignment,
     params: &RunParams,
@@ -485,7 +508,7 @@ impl Thresholder for MinRelVar {
     }
 
     fn threshold_with(&self, params: &RunParams) -> Result<ThresholdRun, WsynError> {
-        threshold_via_assignment(
+        run_via_assignment(
             &self.data,
             |b, q, s| self.assign(b, q, s),
             params,
@@ -500,7 +523,7 @@ impl Thresholder for MinRelBias {
     }
 
     fn threshold_with(&self, params: &RunParams) -> Result<ThresholdRun, WsynError> {
-        threshold_via_assignment(
+        run_via_assignment(
             &self.data,
             |b, q, s| self.assign(b, q, s),
             params,

@@ -82,7 +82,9 @@ impl Client {
         })
     }
 
-    /// Builds the column's synopsis.
+    /// Builds the column's synopsis under the server's default family
+    /// (the wavelet `minmax` DP). Emits the exact pre-v2 request bytes,
+    /// so the response is byte-identical to a v1 exchange.
     ///
     /// # Errors
     /// See [`Client::expect_ok`].
@@ -97,6 +99,30 @@ impl Client {
             column: column.to_string(),
             budget,
             metric: metric.to_string(),
+            family: None,
+            trace,
+        })
+    }
+
+    /// Builds the column's synopsis under a named synopsis family — a
+    /// registry id, or `auto` to let the server keep whichever
+    /// guarantee-providing family achieves the smaller objective.
+    ///
+    /// # Errors
+    /// See [`Client::expect_ok`].
+    pub fn build_with_family(
+        &mut self,
+        column: &str,
+        budget: usize,
+        metric: &str,
+        family: &str,
+        trace: bool,
+    ) -> Result<Response, String> {
+        self.expect_ok(&Request::Build {
+            column: column.to_string(),
+            budget,
+            metric: metric.to_string(),
+            family: Some(family.to_string()),
             trace,
         })
     }

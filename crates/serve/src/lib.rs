@@ -39,4 +39,46 @@ pub mod store;
 pub use client::Client;
 pub use protocol::{QueryKind, Request, Response};
 pub use server::{ServeConfig, Server};
-pub use store::{AnyColumn, Column, StreamColumn};
+pub use store::{AnyColumn, BuiltEngine, Column, StreamColumn};
+
+/// The workspace's **full synopsis-family registry**: the core families
+/// hosted by `wsyn-synopsis` (`minmax`, `greedy`, `hist`) plus the
+/// probabilistic relative-error solvers from `wsyn-prob` and the
+/// one-pass streaming builder from `wsyn-stream`.
+///
+/// This is the single assembly point every consumer shares — CLI
+/// `--algo` parsing, server-side build dispatch, and the conformance
+/// suite's solver enumeration all call this function, so a family added
+/// here appears everywhere at once (and nowhere maintains its own id
+/// list). `wsyn-serve` hosts it because it is the one crate that
+/// already links every solver layer.
+#[must_use]
+pub fn registry() -> wsyn_synopsis::Registry {
+    let mut registry = wsyn_synopsis::Registry::core();
+    for family in wsyn_prob::families() {
+        registry.install(family);
+    }
+    for family in wsyn_stream::families() {
+        registry.install(family);
+    }
+    registry
+}
+
+#[cfg(test)]
+mod registry_tests {
+    #[test]
+    fn full_registry_spans_every_solver_layer() {
+        let ids = super::registry().ids();
+        for id in [
+            "minmax",
+            "greedy",
+            "hist",
+            "minrelvar",
+            "minrelbias",
+            "stream",
+        ] {
+            assert!(ids.contains(&id), "missing family '{id}' in {ids:?}");
+        }
+        assert_eq!(ids.len(), 6, "unexpected families: {ids:?}");
+    }
+}

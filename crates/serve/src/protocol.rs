@@ -23,7 +23,16 @@ use std::io::{Read, Write};
 use wsyn_core::json::{object, Value};
 
 /// Protocol version carried in every frame.
-pub const PROTOCOL_VERSION: u8 = 1;
+///
+/// History: v1 = PR-8 launch surface; v2 = optional `family` field on
+/// `build` (synopsis-family selection). Version mismatches error out of
+/// [`read_frame`], and both the server's connection loop and the client
+/// treat that as fatal for the stream — error-and-close, never
+/// best-effort reinterpretation of a frame from the wrong dialect.
+/// Responses to requests that omit `family` are byte-identical to v1
+/// (pinned by conform's recorded-transcript compatibility test), so
+/// upgrading both ends is a drop-in change.
+pub const PROTOCOL_VERSION: u8 = 2;
 
 /// Upper bound on a frame's declared length (version byte + payload).
 /// 64 MiB comfortably holds the largest corpus column (`N = 2^20` f64
@@ -164,6 +173,12 @@ pub enum Request {
         budget: usize,
         /// Metric spec: `abs` or `rel:<sanity>`.
         metric: String,
+        /// Synopsis family id (a registry id, or `auto` for the
+        /// server-side best-objective pick). `None` means the wavelet
+        /// default and encodes exactly as a v1 `build` frame — the key
+        /// is omitted, keeping responses byte-compatible for existing
+        /// clients.
+        family: Option<String>,
         /// Whether to return a per-request trace report.
         trace: bool,
     },
@@ -259,14 +274,21 @@ impl Request {
                 column,
                 budget,
                 metric,
+                family,
                 trace,
-            } => object(vec![
-                op("build"),
-                col(column),
-                ("budget", Value::Number(*budget as f64)),
-                ("metric", Value::String(metric.clone())),
-                ("trace", Value::Bool(*trace)),
-            ]),
+            } => {
+                let mut fields = vec![
+                    op("build"),
+                    col(column),
+                    ("budget", Value::Number(*budget as f64)),
+                    ("metric", Value::String(metric.clone())),
+                ];
+                if let Some(f) = family {
+                    fields.push(("family", Value::String(f.clone())));
+                }
+                fields.push(("trace", Value::Bool(*trace)));
+                object(fields)
+            }
             Request::Query {
                 column,
                 kind,
@@ -379,6 +401,11 @@ impl Request {
                     .and_then(Value::as_str)
                     .ok_or("build missing string 'metric'")?
                     .to_string(),
+                family: match v.get("family") {
+                    None => None,
+                    Some(Value::String(f)) if !f.is_empty() => Some(f.clone()),
+                    Some(_) => return Err("build 'family' must be a non-empty string".to_string()),
+                },
                 trace,
             }),
             "query" => Ok(Request::Query {
@@ -583,7 +610,22 @@ mod tests {
                 column: "sales".to_string(),
                 budget: 8,
                 metric: "rel:1.5".to_string(),
+                family: None,
                 trace: true,
+            },
+            Request::Build {
+                column: "sales".to_string(),
+                budget: 8,
+                metric: "abs".to_string(),
+                family: Some("hist".to_string()),
+                trace: false,
+            },
+            Request::Build {
+                column: "sales".to_string(),
+                budget: 4,
+                metric: "abs".to_string(),
+                family: Some("auto".to_string()),
+                trace: false,
             },
             Request::Query {
                 column: "sales".to_string(),
@@ -632,12 +674,43 @@ mod tests {
         }
     }
 
+    /// A family-less build encodes exactly as a v1 `build` payload: the
+    /// `family` key is absent, not `null` — the wire-compat half of the
+    /// "absent ⇒ wavelet, byte-for-byte" contract.
+    #[test]
+    fn family_less_build_payload_has_no_family_key() {
+        let req = Request::Build {
+            column: "sales".to_string(),
+            budget: 8,
+            metric: "abs".to_string(),
+            family: None,
+            trace: false,
+        };
+        let text = String::from_utf8(req.to_bytes()).unwrap();
+        assert!(
+            !text.contains("family"),
+            "v1-shape payload grew a key: {text}"
+        );
+        assert_eq!(
+            text,
+            "{\"op\":\"build\",\"column\":\"sales\",\"budget\":8,\"metric\":\"abs\",\"trace\":false}"
+        );
+    }
+
     #[test]
     fn request_rejects_malformed() {
         assert!(Request::from_bytes(b"{}").is_err());
         assert!(Request::from_bytes(b"{\"op\":\"nope\"}").is_err());
         assert!(Request::from_bytes(b"{\"op\":\"put\",\"column\":\"\",\"data\":[]}").is_err());
         assert!(Request::from_bytes(b"{\"op\":\"build\",\"column\":\"c\"}").is_err());
+        assert!(Request::from_bytes(
+            b"{\"op\":\"build\",\"column\":\"c\",\"budget\":1,\"metric\":\"abs\",\"family\":7}"
+        )
+        .is_err());
+        assert!(Request::from_bytes(
+            b"{\"op\":\"build\",\"column\":\"c\",\"budget\":1,\"metric\":\"abs\",\"family\":\"\"}"
+        )
+        .is_err());
         assert!(
             Request::from_bytes(b"{\"op\":\"query\",\"column\":\"c\",\"kind\":\"cube\"}").is_err()
         );

@@ -130,10 +130,11 @@ pub fn handle(
             column,
             budget,
             metric,
+            family,
             trace,
         } => with_dynamic(columns, column, |col| {
             let obs = collector(*trace);
-            match col.build(*budget, metric, &obs) {
+            match col.build(*budget, metric, family.as_deref(), &obs) {
                 Ok(built) => {
                     let mut fields = built_fields(built);
                     fields.push((
@@ -141,14 +142,14 @@ pub fn handle(
                         Value::Array(
                             built
                                 .engine
-                                .synopsis()
-                                .indices()
+                                .retained()
                                 .iter()
                                 .map(|&i| Value::Number(i as f64))
                                 .collect(),
                         ),
                     ));
-                    ok_with_report(fields, &obs, "minmax", *budget, metric)
+                    let solver = built.family;
+                    ok_with_report(fields, &obs, solver, *budget, metric)
                 }
                 Err(e) => Response::error(e),
             }
@@ -163,18 +164,24 @@ pub fn handle(
                 AnyColumn::Dynamic(col) => match col.query(*kind, &obs) {
                     Ok(answer) => {
                         let fields = answer_fields(&answer);
-                        let (budget, spec) = match col.built() {
-                            Some(b) => (b.budget, b.metric_spec.clone()),
-                            None => (0, String::new()),
+                        let (budget, spec, solver) = match col.built() {
+                            Some(b) => (b.budget, b.metric_spec.clone(), b.family),
+                            None => (0, String::new(), wsyn_synopsis::family::MINMAX),
                         };
-                        ok_with_report(fields, &obs, "minmax", budget, &spec)
+                        ok_with_report(fields, &obs, solver, budget, &spec)
                     }
                     Err(e) => Response::error(e),
                 },
                 AnyColumn::Stream(col) => match col.query(*kind, &obs) {
                     Ok(answer) => {
                         let fields = answer_fields(&answer);
-                        ok_with_report(fields, &obs, "stream", col.budget(), "abs")
+                        ok_with_report(
+                            fields,
+                            &obs,
+                            wsyn_synopsis::family::STREAM,
+                            col.budget(),
+                            "abs",
+                        )
                     }
                     Err(e) => Response::error(e),
                 },
@@ -303,11 +310,18 @@ fn with_stream(
     })
 }
 
+/// The shared build-state fields of `build` and `info` responses. The
+/// `family` field appears only when the build request named a family —
+/// family-absent columns keep the exact pre-family response bytes.
 fn built_fields(built: &Built) -> Vec<(&'static str, Value)> {
-    vec![
+    let mut fields = vec![
         ("objective", Value::Number(built.objective)),
         ("guarantee", Value::Number(built.guarantee())),
-    ]
+    ];
+    if built.family_spec.is_some() {
+        fields.push(("family", Value::String(built.family.to_string())));
+    }
+    fields
 }
 
 /// Wraps `fields` in a success response, attaching the untimed trace
@@ -372,6 +386,7 @@ mod tests {
                 column: "c".to_string(),
                 budget: 4,
                 metric: "abs".to_string(),
+                family: None,
                 trace: true,
             },
             2.0,
@@ -451,6 +466,7 @@ mod tests {
                 column: "s".to_string(),
                 budget: 4,
                 metric: "abs".to_string(),
+                family: None,
                 trace: false,
             },
             2.0,
@@ -542,6 +558,107 @@ mod tests {
         assert!(cross
             .error_message()
             .is_some_and(|m| m.contains("not a streaming column")));
+    }
+
+    #[test]
+    fn family_builds_flow_through_the_shard() {
+        let mut columns = BTreeMap::new();
+        let data: Vec<f64> = (0..16).map(|i| if i < 5 { 1.0 } else { 9.0 }).collect();
+        handle(
+            &mut columns,
+            &Request::Put {
+                column: "c".to_string(),
+                data: data.clone(),
+            },
+            2.0,
+        );
+
+        // Family-absent and explicit minmax builds answer with the same
+        // objective, but only the named build reports a family.
+        let absent = handle(
+            &mut columns,
+            &Request::Build {
+                column: "c".to_string(),
+                budget: 4,
+                metric: "abs".to_string(),
+                family: None,
+                trace: false,
+            },
+            2.0,
+        );
+        assert!(absent.is_ok(), "{absent:?}");
+        assert!(
+            absent.get("family").is_none(),
+            "legacy responses carry no family"
+        );
+        let named = handle(
+            &mut columns,
+            &Request::Build {
+                column: "c".to_string(),
+                budget: 4,
+                metric: "abs".to_string(),
+                family: Some("minmax".to_string()),
+                trace: false,
+            },
+            2.0,
+        );
+        assert_eq!(
+            named.get("family"),
+            Some(&Value::String("minmax".to_string()))
+        );
+        assert_eq!(
+            absent.get("objective").map(Value::compact),
+            named.get("objective").map(Value::compact)
+        );
+
+        // A histogram build reports its family and bucket-start offsets.
+        let hist = handle(
+            &mut columns,
+            &Request::Build {
+                column: "c".to_string(),
+                budget: 2,
+                metric: "abs".to_string(),
+                family: Some("hist".to_string()),
+                trace: true,
+            },
+            2.0,
+        );
+        assert!(hist.is_ok(), "{hist:?}");
+        assert_eq!(hist.get("family"), Some(&Value::String("hist".to_string())));
+        assert_eq!(hist.get("objective").and_then(Value::as_f64), Some(0.0));
+        let retained = hist.get("retained").and_then(Value::as_array).unwrap();
+        assert_eq!(retained.len(), 2, "two plateaus, two buckets");
+        assert!(hist.get("report").is_some());
+
+        // Auto picks the histogram here (strictly smaller objective at
+        // b = 2) and says so.
+        let auto = handle(
+            &mut columns,
+            &Request::Build {
+                column: "c".to_string(),
+                budget: 2,
+                metric: "abs".to_string(),
+                family: Some("auto".to_string()),
+                trace: false,
+            },
+            2.0,
+        );
+        assert_eq!(auto.get("family"), Some(&Value::String("hist".to_string())));
+
+        // Unknown families are refused with the registry's id list.
+        let bad = handle(
+            &mut columns,
+            &Request::Build {
+                column: "c".to_string(),
+                budget: 2,
+                metric: "abs".to_string(),
+                family: Some("bogus".to_string()),
+                trace: false,
+            },
+            2.0,
+        );
+        let msg = bad.error_message().unwrap();
+        assert!(msg.contains("bogus") && msg.contains("minmax"), "{msg}");
     }
 
     #[test]

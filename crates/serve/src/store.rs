@@ -22,10 +22,21 @@
 //! touches the column. The rebuild decision therefore depends only on
 //! the update sequence, never on when the drain runs, which is what
 //! keeps server answers byte-identical to library answers.
+//!
+//! Builds are **family-aware**: a build request may name a synopsis
+//! family from the workspace registry (`minmax`, `hist`, or the
+//! server-side `auto` sentinel). Family-absent requests take the
+//! original wavelet path — bit-identical answers and bytes-identical
+//! responses to the pre-family protocol. `auto` solves both
+//! guarantee-providing families on the drained data and keeps the
+//! histogram iff its objective is *strictly* smaller (ties break to the
+//! wavelet), so the pick is a pure function of the column state.
 
-use wsyn_aqp::{bounds, QueryEngine1d};
+use wsyn_aqp::{bounds, QueryEngine1d, StepEngine};
 use wsyn_obs::Collector;
 use wsyn_stream::{DynamicErrorTree, StreamingMaxErr};
+use wsyn_synopsis::family::{AUTO, HIST, MINMAX};
+use wsyn_synopsis::histogram::HistThresholder;
 use wsyn_synopsis::one_dim::MinMaxErr;
 use wsyn_synopsis::thresholder::{RunParams, SolverScratch};
 use wsyn_synopsis::{ErrorMetric, Thresholder};
@@ -55,6 +66,75 @@ pub fn parse_metric(spec: &str) -> Result<ErrorMetric, String> {
     ))
 }
 
+/// The query engine of a build, dispatching on the synopsis family that
+/// produced it. Both variants answer the same point/range workload; the
+/// interval derivations downstream consume only `(estimate, guarantee)`
+/// pairs and never care which arm they came from.
+#[derive(Debug)]
+pub enum BuiltEngine {
+    /// Wavelet coefficient-domain engine (`minmax` family).
+    Wavelet(QueryEngine1d),
+    /// Step-function engine (`hist` family).
+    Hist(StepEngine),
+}
+
+impl BuiltEngine {
+    /// Approximate point query `d̂_i`.
+    #[must_use]
+    pub fn point(&self, i: usize) -> f64 {
+        match self {
+            BuiltEngine::Wavelet(e) => e.point(i),
+            BuiltEngine::Hist(e) => e.point(i),
+        }
+    }
+
+    /// Approximate range sum.
+    #[must_use]
+    pub fn range_sum(&self, range: std::ops::Range<usize>) -> f64 {
+        match self {
+            BuiltEngine::Wavelet(e) => e.range_sum(range),
+            BuiltEngine::Hist(e) => e.range_sum(range),
+        }
+    }
+
+    /// Approximate range average.
+    #[must_use]
+    pub fn range_avg(&self, range: std::ops::Range<usize>) -> f64 {
+        match self {
+            BuiltEngine::Wavelet(e) => e.range_avg(range),
+            BuiltEngine::Hist(e) => e.range_avg(range),
+        }
+    }
+
+    /// The synopsis's retained positions: coefficient indices for the
+    /// wavelet family, bucket start offsets for the histogram family.
+    #[must_use]
+    pub fn retained(&self) -> Vec<usize> {
+        match self {
+            BuiltEngine::Wavelet(e) => e.synopsis().indices().clone(),
+            BuiltEngine::Hist(e) => e.synopsis().buckets().iter().map(|b| b.start).collect(),
+        }
+    }
+
+    /// The wavelet engine, when this build is one.
+    #[must_use]
+    pub fn as_wavelet(&self) -> Option<&QueryEngine1d> {
+        match self {
+            BuiltEngine::Wavelet(e) => Some(e),
+            BuiltEngine::Hist(_) => None,
+        }
+    }
+
+    /// The step engine, when this build is one.
+    #[must_use]
+    pub fn as_hist(&self) -> Option<&StepEngine> {
+        match self {
+            BuiltEngine::Wavelet(_) => None,
+            BuiltEngine::Hist(e) => Some(e),
+        }
+    }
+}
+
 /// The most recent successful build of a column.
 #[derive(Debug)]
 pub struct Built {
@@ -64,6 +144,13 @@ pub struct Built {
     pub metric_spec: String,
     /// The parsed metric.
     pub metric: ErrorMetric,
+    /// Family spec from the build request (`None` = legacy wavelet
+    /// default; may be `auto`). Rebuilds re-resolve this spec, so an
+    /// `auto` column re-picks its family on every drift rebuild.
+    pub family_spec: Option<String>,
+    /// The concrete registry id of the family that produced `engine`
+    /// (never `auto`).
+    pub family: &'static str,
     /// The DP objective at build time — the guaranteed maximum error on
     /// the data as of the build.
     pub objective: f64,
@@ -71,7 +158,7 @@ pub struct Built {
     /// guarantee drift, as in the streaming rebuild policy).
     pub drift_abs: f64,
     /// Query engine over the built synopsis.
-    pub engine: QueryEngine1d,
+    pub engine: BuiltEngine,
 }
 
 impl Built {
@@ -81,6 +168,46 @@ impl Built {
     pub fn guarantee(&self) -> f64 {
         self.objective + self.drift_abs
     }
+}
+
+/// A validated server-side family choice (the resolution of a build
+/// request's optional family spec).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FamilyChoice {
+    /// The wavelet `minmax` DP — also the family-absent default.
+    Wavelet,
+    /// The `hist` step-function DP.
+    Hist,
+    /// Solve both, keep the strictly better objective (tie → wavelet).
+    Auto,
+}
+
+/// Resolves a build request's family spec against the server's
+/// serveable families. Unknown ids get the registry's canonical
+/// unsupported error (listing every valid id); known-but-unserveable
+/// families (measured-guarantee or stream-only solvers) get a pointed
+/// refusal.
+fn resolve_family(spec: Option<&str>) -> Result<FamilyChoice, String> {
+    match spec {
+        None => Ok(FamilyChoice::Wavelet),
+        Some(s) if s == MINMAX => Ok(FamilyChoice::Wavelet),
+        Some(s) if s == HIST => Ok(FamilyChoice::Hist),
+        Some(s) if s == AUTO => Ok(FamilyChoice::Auto),
+        Some(other) => match crate::registry().get(other) {
+            Err(e) => Err(e.to_string()),
+            Ok(_) => Err(format!(
+                "synopsis family '{other}' is not serveable for dynamic columns \
+                 (valid here: {MINMAX}, {HIST}, {AUTO})"
+            )),
+        },
+    }
+}
+
+/// One family's solve result, ready to install as a [`Built`].
+struct Solved {
+    family: &'static str,
+    objective: f64,
+    engine: BuiltEngine,
 }
 
 /// The answer to one query: the estimate, the conservative guarantee it
@@ -104,6 +231,9 @@ pub struct Column {
     /// equals `tree.updates()`.
     solver: Option<MinMaxErr>,
     solver_at: u64,
+    /// Cached histogram solver, same validity rule as `solver`.
+    hist: Option<HistThresholder>,
+    hist_at: u64,
     scratch: SolverScratch,
     built: Option<Built>,
     pending: Vec<(usize, f64)>,
@@ -131,6 +261,8 @@ impl Column {
             tree,
             solver: None,
             solver_at: 0,
+            hist: None,
+            hist_at: 0,
             scratch: SolverScratch::new(),
             built: None,
             pending: Vec::new(),
@@ -222,23 +354,28 @@ impl Column {
         Ok(())
     }
 
-    /// Re-solves at the current build's `(budget, metric)` on the
-    /// current data, resetting drift.
+    /// Re-solves at the current build's `(budget, metric, family)` on
+    /// the current data, resetting drift. An `auto` build re-picks its
+    /// family here — the pick tracks the data, not the original build.
     fn rebuild(&mut self, obs: &Collector) -> Result<(), String> {
         let Some(built) = self.built.take() else {
             return Ok(());
         };
         let span = obs.span("rebuild");
         obs.add("rebuilds", 1);
-        let rebuilt = self.solve(built.budget, built.metric, obs)?;
+        // Validated when the build was first installed.
+        let choice = resolve_family(built.family_spec.as_deref())?;
+        let rebuilt = self.solve_family(choice, built.budget, built.metric, obs)?;
         self.rebuilds += 1;
         self.built = Some(Built {
             budget: built.budget,
             metric_spec: built.metric_spec,
             metric: built.metric,
-            objective: rebuilt.0,
+            family_spec: built.family_spec,
+            family: rebuilt.family,
+            objective: rebuilt.objective,
             drift_abs: 0.0,
-            engine: QueryEngine1d::new(rebuilt.1),
+            engine: rebuilt.engine,
         });
         drop(span);
         Ok(())
@@ -271,28 +408,97 @@ impl Column {
         Ok((run.objective, synopsis))
     }
 
+    /// Runs the histogram DP at `(budget, metric)` over the current
+    /// data, (re)creating the cached solver only when the data changed
+    /// since the last histogram solve.
+    fn solve_hist(
+        &mut self,
+        budget: usize,
+        metric: ErrorMetric,
+        obs: &Collector,
+    ) -> Result<(f64, wsyn_hist::StepSynopsis), String> {
+        if self.hist.is_none() || self.hist_at != self.tree.updates() {
+            self.hist = Some(HistThresholder::new(self.tree.data()));
+            self.hist_at = self.tree.updates();
+        }
+        let Some(solver) = self.hist.as_ref() else {
+            return Err("hist solver cache invariant broken".to_string());
+        };
+        let params = RunParams::new(budget, metric).obs(obs.clone());
+        let run = solver.threshold_with(&params).map_err(|e| e.to_string())?;
+        let synopsis = run
+            .synopsis
+            .into_histogram("the server")
+            .map_err(|e| e.to_string())?;
+        Ok((run.objective, synopsis))
+    }
+
+    /// Solves under `choice`. `Auto` solves both families on the same
+    /// drained data — wavelet first, then histogram, a fixed order so
+    /// traces are deterministic — and keeps the histogram iff its
+    /// objective is strictly smaller (ties break to the wavelet).
+    fn solve_family(
+        &mut self,
+        choice: FamilyChoice,
+        budget: usize,
+        metric: ErrorMetric,
+        obs: &Collector,
+    ) -> Result<Solved, String> {
+        let wavelet = |col: &mut Column, obs: &Collector| -> Result<Solved, String> {
+            let (objective, synopsis) = col.solve(budget, metric, obs)?;
+            Ok(Solved {
+                family: MINMAX,
+                objective,
+                engine: BuiltEngine::Wavelet(QueryEngine1d::new(synopsis)),
+            })
+        };
+        let hist = |col: &mut Column, obs: &Collector| -> Result<Solved, String> {
+            let (objective, synopsis) = col.solve_hist(budget, metric, obs)?;
+            Ok(Solved {
+                family: HIST,
+                objective,
+                engine: BuiltEngine::Hist(StepEngine::new(synopsis)),
+            })
+        };
+        match choice {
+            FamilyChoice::Wavelet => wavelet(self, obs),
+            FamilyChoice::Hist => hist(self, obs),
+            FamilyChoice::Auto => {
+                let w = wavelet(self, obs)?;
+                let h = hist(self, obs)?;
+                Ok(if h.objective < w.objective { h } else { w })
+            }
+        }
+    }
+
     /// Drains pending updates, then builds the synopsis for
-    /// `(budget, metric_spec)`. Returns the fresh [`Built`].
+    /// `(budget, metric_spec)` under `family` (`None` = the wavelet
+    /// default, a registry id, or `auto`). Returns the fresh [`Built`].
     ///
     /// # Errors
-    /// A bad metric spec or a solver refusal.
+    /// A bad metric spec, an unknown or unserveable family, or a solver
+    /// refusal.
     pub fn build(
         &mut self,
         budget: usize,
         metric_spec: &str,
+        family: Option<&str>,
         obs: &Collector,
     ) -> Result<&Built, String> {
         let metric = parse_metric(metric_spec)?;
+        let choice = resolve_family(family)?;
         self.drain(obs)?;
         let span = obs.span("build");
-        let solved = self.solve(budget, metric, obs)?;
+        let solved = self.solve_family(choice, budget, metric, obs)?;
         self.built = Some(Built {
             budget,
             metric_spec: metric_spec.to_string(),
             metric,
-            objective: solved.0,
+            family_spec: family.map(str::to_string),
+            family: solved.family,
+            objective: solved.objective,
             drift_abs: 0.0,
-            engine: QueryEngine1d::new(solved.1),
+            engine: solved.engine,
         });
         drop(span);
         self.built
@@ -648,10 +854,13 @@ mod tests {
         for metric_spec in ["abs", "rel:1.0"] {
             let metric = parse_metric(metric_spec).unwrap();
             for b in [0usize, 3, 8, 16] {
-                let built = col.build(b, metric_spec, &Collector::noop()).unwrap();
+                let built = col.build(b, metric_spec, None, &Collector::noop()).unwrap();
                 let lib = reference.run(b, metric);
                 assert_eq!(built.objective.to_bits(), lib.objective.to_bits());
-                assert_eq!(built.engine.synopsis().indices(), lib.synopsis.indices());
+                assert_eq!(
+                    built.engine.as_wavelet().unwrap().synopsis().indices(),
+                    lib.synopsis.indices()
+                );
             }
         }
     }
@@ -660,7 +869,7 @@ mod tests {
     fn queries_match_library_engine_and_contain_truth() {
         let data = data();
         let mut col = Column::new(&data, 2.0).unwrap();
-        col.build(6, "abs", &Collector::noop()).unwrap();
+        col.build(6, "abs", None, &Collector::noop()).unwrap();
         let lib = MinMaxErr::new(&data)
             .unwrap()
             .run(6, ErrorMetric::absolute());
@@ -691,7 +900,7 @@ mod tests {
         let mut stream =
             wsyn_stream::AdaptiveMaxErrSynopsis::new(&data, b, metric, tolerance).unwrap();
         let mut col = Column::new(&data, tolerance).unwrap();
-        col.build(b, "abs", &Collector::noop()).unwrap();
+        col.build(b, "abs", None, &Collector::noop()).unwrap();
 
         let updates: Vec<(usize, f64)> = (0..40)
             .map(|k| {
@@ -717,7 +926,7 @@ mod tests {
         );
         assert_eq!(built.guarantee().to_bits(), stream.guarantee().to_bits());
         assert_eq!(
-            built.engine.synopsis().indices(),
+            built.engine.as_wavelet().unwrap().synopsis().indices(),
             stream.synopsis().indices()
         );
     }
@@ -732,7 +941,7 @@ mod tests {
         let mut col = Column::new(&data, 2.0).unwrap();
         let reference = MinMaxErr::new(&data).unwrap();
         for b in (0..=16).rev() {
-            let built = col.build(b, "rel:1.0", &Collector::noop()).unwrap();
+            let built = col.build(b, "rel:1.0", None, &Collector::noop()).unwrap();
             let lib = reference.run_with_pool(
                 b,
                 ErrorMetric::relative(1.0),
@@ -740,8 +949,114 @@ mod tests {
                 &Pool::with_threads(1),
             );
             assert_eq!(built.objective.to_bits(), lib.objective.to_bits(), "b={b}");
-            assert_eq!(built.engine.synopsis().indices(), lib.synopsis.indices());
+            assert_eq!(
+                built.engine.as_wavelet().unwrap().synopsis().indices(),
+                lib.synopsis.indices()
+            );
         }
+    }
+
+    #[test]
+    fn hist_family_build_matches_library_cold_run() {
+        let data = data();
+        let mut col = Column::new(&data, 2.0).unwrap();
+        for b in [0usize, 3, 8] {
+            let built = col
+                .build(b, "abs", Some("hist"), &Collector::noop())
+                .unwrap();
+            assert_eq!(built.family, "hist");
+            assert_eq!(built.family_spec.as_deref(), Some("hist"));
+            let lib = wsyn_hist::solve(&data, None, b, wsyn_hist::SplitStrategy::Binary).unwrap();
+            assert_eq!(built.objective.to_bits(), lib.objective.to_bits(), "b={b}");
+            let starts: Vec<usize> = lib.synopsis.buckets().iter().map(|bk| bk.start).collect();
+            assert_eq!(built.engine.retained(), starts);
+        }
+        // Queries flow through the step engine with intervals intact.
+        let obs = Collector::noop();
+        col.build(6, "abs", Some("hist"), &obs).unwrap();
+        for (i, &truth) in data.iter().enumerate() {
+            let a = col.query(QueryKind::Point(i), &obs).unwrap();
+            assert!(a.interval.unwrap().contains(truth), "i={i}");
+        }
+        let exact: f64 = data[4..20].iter().sum();
+        let a = col.query(QueryKind::RangeSum(4, 20), &obs).unwrap();
+        assert!(a.interval.unwrap().contains(exact));
+    }
+
+    #[test]
+    fn auto_picks_the_strictly_better_family() {
+        // A step-shaped column: the histogram nails it with few buckets
+        // while the wavelet must spend coefficients per plateau edge.
+        let step: Vec<f64> = (0..32).map(|i| if i < 11 { 4.0 } else { 7.0 }).collect();
+        let mut col = Column::new(&step, 2.0).unwrap();
+        let built = col
+            .build(2, "abs", Some("auto"), &Collector::noop())
+            .unwrap();
+        assert_eq!(built.family, "hist", "two buckets reproduce two plateaus");
+        assert_eq!(built.objective, 0.0);
+        assert_eq!(built.family_spec.as_deref(), Some("auto"));
+
+        // At full budget both families are exact: the tie breaks to the
+        // wavelet, deterministically.
+        let built = col
+            .build(32, "abs", Some("auto"), &Collector::noop())
+            .unwrap();
+        assert_eq!(built.family, "minmax", "ties break to the wavelet");
+    }
+
+    #[test]
+    fn auto_rebuild_repicks_the_family() {
+        // A non-dyadic step edge: the wavelet cannot be exact at b = 2
+        // (a mid-array step would be, tying the pick back to minmax),
+        // but two buckets are.
+        let step: Vec<f64> = (0..32).map(|i| if i < 11 { 0.0 } else { 8.0 }).collect();
+        let mut col = Column::new(&step, 1.0).unwrap();
+        let built = col
+            .build(2, "abs", Some("auto"), &Collector::noop())
+            .unwrap();
+        assert_eq!(built.family, "hist");
+        let rebuilds_before = col.rebuilds();
+        // tolerance = 1: any drift on a zero-objective build triggers a
+        // rebuild, which must re-run the auto pick on the mutated data.
+        col.enqueue(&[(3, 5.0)]).unwrap();
+        col.drain(&Collector::noop()).unwrap();
+        assert!(col.rebuilds() > rebuilds_before);
+        let built = col.built().unwrap();
+        assert_eq!(built.family_spec.as_deref(), Some("auto"));
+        assert_eq!(built.drift_abs, 0.0, "rebuild resets drift");
+    }
+
+    #[test]
+    fn explicit_minmax_is_bit_identical_to_family_absent() {
+        let data = data();
+        let mut legacy = Column::new(&data, 2.0).unwrap();
+        let mut named = Column::new(&data, 2.0).unwrap();
+        let obs = Collector::noop();
+        for b in [0usize, 5, 9] {
+            let a = legacy.build(b, "rel:1.0", None, &obs).unwrap();
+            assert_eq!(a.family, "minmax");
+            assert!(a.family_spec.is_none());
+            let a = (a.objective, a.engine.retained());
+            let b2 = named.build(b, "rel:1.0", Some("minmax"), &obs).unwrap();
+            let b2 = (b2.objective, b2.engine.retained());
+            assert_eq!(a.0.to_bits(), b2.0.to_bits());
+            assert_eq!(a.1, b2.1);
+        }
+    }
+
+    #[test]
+    fn unknown_and_unserveable_families_are_refused() {
+        let mut col = Column::new(&data(), 2.0).unwrap();
+        let err = col
+            .build(4, "abs", Some("nope"), &Collector::noop())
+            .unwrap_err();
+        assert!(err.contains("nope"), "{err}");
+        assert!(err.contains("minmax") && err.contains("hist"), "{err}");
+        let err = col
+            .build(4, "abs", Some("greedy"), &Collector::noop())
+            .unwrap_err();
+        assert!(err.contains("not serveable"), "{err}");
+        assert!(col.built().is_none(), "refused builds install nothing");
     }
 
     #[test]

@@ -61,6 +61,7 @@ fn script() -> Vec<Request> {
             column: "alpha".to_string(),
             budget: 6,
             metric: "abs".to_string(),
+            family: None,
             trace: false,
         },
         Request::Append {
@@ -71,6 +72,7 @@ fn script() -> Vec<Request> {
             column: "beta".to_string(),
             budget: 9,
             metric: "rel:1.0".to_string(),
+            family: None,
             trace: false,
         },
         Request::Update {

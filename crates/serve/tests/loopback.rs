@@ -123,6 +123,7 @@ fn columns_spread_across_shards_and_answers_do_not_depend_on_shard_count() {
                 column: name.clone(),
                 budget: 6,
                 metric: "rel:1.0".to_string(),
+                family: None,
                 trace: false,
             }));
             for i in 0..data.len() {

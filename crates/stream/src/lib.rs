@@ -46,6 +46,20 @@ pub mod streaming;
 
 pub use streaming::{StreamMaxErr, StreamRun, StreamingMaxErr};
 
+/// Registry descriptor for the streaming family, for assembly into the
+/// canonical synopsis-family registry (`wsyn_serve::registry`).
+#[must_use]
+pub fn families() -> Vec<wsyn_synopsis::SynopsisFamily> {
+    use wsyn_synopsis::family::{GuaranteeKind, MetricSupport, STREAM};
+    vec![wsyn_synopsis::SynopsisFamily {
+        id: STREAM,
+        summary: "one-pass streaming B-term construction (certified absolute guarantee)",
+        guarantee: GuaranteeKind::Deterministic,
+        metrics: MetricSupport::AbsoluteOnly,
+        build: |data| Ok(Box::new(StreamMaxErr::new(data)?)),
+    }]
+}
+
 /// Builds the thresholding algorithm [`AdaptiveMaxErrSynopsis`] re-runs on
 /// rebuild, from the *current* maintained data. A plain function pointer so
 /// the policy stays `Debug` and trivially copyable; the produced algorithm

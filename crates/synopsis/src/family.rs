@@ -1,0 +1,239 @@
+//! The synopsis-family registry: the single source of truth for which
+//! synopsis families exist and how to build them.
+//!
+//! Before this module, the CLI's `--algo` parser, the serve protocol's
+//! dispatch, and conform's solver enumeration each hand-maintained a
+//! string match over the same family ids — three lists that could (and
+//! eventually would) drift. Now there is exactly one: a
+//! [`SynopsisFamily`] descriptor per family, collected in a
+//! [`Registry`], and every layer resolves ids through it. Unknown ids
+//! fail with one [`WsynError::Unsupported`] shape that lists the valid
+//! ids, whichever layer you came in through.
+//!
+//! Dependency direction: this crate can only describe the families it
+//! can build — [`Registry::core`] holds `minmax`, `greedy`, and `hist`.
+//! Crates layered above (`wsyn-prob`, `wsyn-stream`) export descriptors
+//! for their families, and `wsyn-serve::registry()` assembles the
+//! canonical full set that the CLI, the server, and conform all share.
+
+use wsyn_core::WsynError;
+
+use crate::histogram::HistThresholder;
+use crate::one_dim::MinMaxErr;
+use crate::thresholder::{GreedyL2, Thresholder};
+
+/// Family id: the optimal 1-D max-error wavelet DP (the paper's
+/// `MinMaxErr`).
+pub const MINMAX: &str = "minmax";
+/// Family id: the conventional greedy L2 wavelet baseline.
+pub const GREEDY: &str = "greedy";
+/// Family id: Stout's optimal b-bucket L∞ step-function histogram.
+pub const HIST: &str = "hist";
+/// Family id: the probabilistic MinRelVar baseline (`wsyn-prob`).
+pub const MINRELVAR: &str = "minrelvar";
+/// Family id: the probabilistic MinRelBias baseline (`wsyn-prob`).
+pub const MINRELBIAS: &str = "minrelbias";
+/// Family id: the one-pass streaming max-error builder (`wsyn-stream`).
+pub const STREAM: &str = "stream";
+/// Sentinel accepted by the server's build request (never a registry
+/// entry): solve wavelet *and* histogram under the same budget and keep
+/// whichever achieves the smaller objective, tie-break to wavelet.
+pub const AUTO: &str = "auto";
+
+/// What a family's reported objective means.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GuaranteeKind {
+    /// The objective is a proven bound on the maximum error.
+    Deterministic,
+    /// The objective is the measured error of the returned synopsis;
+    /// the family proves nothing about it.
+    Measured,
+}
+
+/// Which error metrics a family can serve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricSupport {
+    /// Absolute and relative.
+    Both,
+    /// Absolute only (the streaming construction's quantized-error DP
+    /// is defined for the absolute metric).
+    AbsoluteOnly,
+    /// Relative only (the probabilistic baselines minimize
+    /// relative-error objectives and reject `--metric abs`).
+    RelativeOnly,
+}
+
+/// Builds a family's solver over a 1-D dataset. Plain function pointer
+/// so descriptors stay `'static` data.
+pub type BuildFn = fn(&[f64]) -> Result<Box<dyn Thresholder>, WsynError>;
+
+/// One synopsis family: a stable id, a builder, and the metadata the
+/// CLI/server/conform layers used to hard-code.
+#[derive(Clone)]
+pub struct SynopsisFamily {
+    /// Stable identifier — the `--algo` string, the serve-protocol
+    /// `family` field, and the conform solver name are all this.
+    pub id: &'static str,
+    /// One-line description for `wsyn families` and docs.
+    pub summary: &'static str,
+    /// Whether the objective is a guarantee or a measurement.
+    pub guarantee: GuaranteeKind,
+    /// Which metrics the family serves.
+    pub metrics: MetricSupport,
+    /// Constructs the solver over raw 1-D data.
+    pub build: BuildFn,
+}
+
+impl std::fmt::Debug for SynopsisFamily {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SynopsisFamily")
+            .field("id", &self.id)
+            .field("guarantee", &self.guarantee)
+            .field("metrics", &self.metrics)
+            .finish_non_exhaustive()
+    }
+}
+
+/// An ordered collection of [`SynopsisFamily`] descriptors. Order is
+/// presentation order (ids are unique, lookups are by id).
+#[derive(Debug, Clone, Default)]
+pub struct Registry {
+    families: Vec<SynopsisFamily>,
+}
+
+impl Registry {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// The families this crate can build itself: `minmax`, `greedy`,
+    /// and `hist`.
+    #[must_use]
+    pub fn core() -> Registry {
+        let mut r = Registry::new();
+        r.install(SynopsisFamily {
+            id: MINMAX,
+            summary: "optimal max-error wavelet synopsis (1-D DP, Garofalakis & Kumar)",
+            guarantee: GuaranteeKind::Deterministic,
+            metrics: MetricSupport::Both,
+            build: |data| Ok(Box::new(MinMaxErr::new(data)?)),
+        });
+        r.install(SynopsisFamily {
+            id: GREEDY,
+            summary: "greedy largest-normalized-coefficient wavelet baseline (no guarantee)",
+            guarantee: GuaranteeKind::Measured,
+            metrics: MetricSupport::Both,
+            build: |data| Ok(Box::new(GreedyL2::new(data)?)),
+        });
+        r.install(SynopsisFamily {
+            id: HIST,
+            summary: "optimal b-bucket max-error histogram (Stout's L\u{221e} step-function DP)",
+            guarantee: GuaranteeKind::Deterministic,
+            metrics: MetricSupport::Both,
+            build: |data| Ok(Box::new(HistThresholder::new(data))),
+        });
+        r
+    }
+
+    /// Adds a family.
+    ///
+    /// # Panics
+    /// On a duplicate id — registries are assembled from static
+    /// descriptor lists, so a collision is a programming error.
+    pub fn install(&mut self, family: SynopsisFamily) {
+        assert!(
+            self.families.iter().all(|f| f.id != family.id),
+            "synopsis family '{}' installed twice",
+            family.id
+        );
+        self.families.push(family);
+    }
+
+    /// The descriptors, in installation order.
+    #[must_use]
+    pub fn families(&self) -> &[SynopsisFamily] {
+        &self.families
+    }
+
+    /// The valid ids, in installation order.
+    #[must_use]
+    pub fn ids(&self) -> Vec<&'static str> {
+        self.families.iter().map(|f| f.id).collect()
+    }
+
+    /// Looks up a family by id.
+    ///
+    /// # Errors
+    /// [`WsynError::Unsupported`] naming the id and listing every valid
+    /// id — the one unknown-family error shape for every layer.
+    pub fn get(&self, id: &str) -> Result<&SynopsisFamily, WsynError> {
+        self.families.iter().find(|f| f.id == id).ok_or_else(|| {
+            WsynError::unsupported(
+                id,
+                format!("unknown synopsis family (valid: {})", self.ids().join(", ")),
+            )
+        })
+    }
+
+    /// Builds `id`'s solver over `data`.
+    ///
+    /// # Errors
+    /// Unknown id (see [`Registry::get`]) or the family's own
+    /// construction failure.
+    pub fn build(&self, id: &str, data: &[f64]) -> Result<Box<dyn Thresholder>, WsynError> {
+        (self.get(id)?.build)(data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metric::ErrorMetric;
+
+    #[test]
+    fn core_registry_builds_working_solvers() {
+        let data = [2.0, 2.0, 0.0, 2.0, 3.0, 5.0, 4.0, 4.0];
+        let reg = Registry::core();
+        assert_eq!(reg.ids(), vec![MINMAX, GREEDY, HIST]);
+        for fam in reg.families() {
+            let solver = reg.build(fam.id, &data).unwrap();
+            assert_eq!(solver.name(), fam.id, "id/name drift");
+            let run = solver.threshold(3, ErrorMetric::absolute()).unwrap();
+            assert!(run.objective.is_finite(), "{}", fam.id);
+            assert_eq!(
+                solver.has_guarantee(),
+                fam.guarantee == GuaranteeKind::Deterministic,
+                "{}: descriptor guarantee drifted from the solver",
+                fam.id
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_family_lists_the_valid_ids() {
+        let reg = Registry::core();
+        let err = reg.get("wavelettes").unwrap_err();
+        let WsynError::Unsupported { solver, reason } = &err else {
+            panic!("wrong error shape: {err:?}");
+        };
+        assert_eq!(solver, "wavelettes");
+        for id in reg.ids() {
+            assert!(reason.contains(id), "missing '{id}' in: {reason}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "installed twice")]
+    fn duplicate_install_panics() {
+        let mut reg = Registry::core();
+        reg.install(SynopsisFamily {
+            id: MINMAX,
+            summary: "imposter",
+            guarantee: GuaranteeKind::Measured,
+            metrics: MetricSupport::Both,
+            build: |_| Err(WsynError::invalid("never built")),
+        });
+    }
+}

@@ -27,11 +27,19 @@
 //!   algorithm (including the `wsyn-prob` baselines) one `(budget, metric)
 //!   → synopsis` interface for uniform dispatch in the CLI, AQP, streaming
 //!   and experiment layers.
+//! * [`family`] — the synopsis-family registry: one [`family::Registry`]
+//!   of [`family::SynopsisFamily`] descriptors that the CLI, the server,
+//!   and the conformance harness all resolve ids through.
+//! * [`histogram`] — the `wsyn-hist` step-function solver (Stout's
+//!   optimal b-bucket L∞ histogram) adapted to the [`Thresholder`]
+//!   contract, the wavelet family's classic rival.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod family;
 pub mod greedy;
+pub mod histogram;
 pub mod logdomain;
 pub mod metric;
 pub mod multi_dim;
@@ -42,6 +50,9 @@ pub mod prop33;
 pub mod synopsis;
 pub mod thresholder;
 
+pub use family::{Registry, SynopsisFamily};
 pub use metric::{rmse, ErrorMetric};
 pub use synopsis::{Synopsis1d, SynopsisNd};
-pub use thresholder::{AnySynopsis, RunParams, SolverScratch, ThresholdRun, Thresholder};
+pub use thresholder::{
+    AnySynopsis, FamilyParams, RunParams, SolverScratch, ThresholdRun, Thresholder,
+};

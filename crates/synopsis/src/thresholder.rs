@@ -25,6 +25,7 @@ use wsyn_haar::{ErrorTree1d, HaarError};
 use wsyn_obs::Collector;
 
 use crate::greedy::greedy_l2_1d;
+use crate::histogram::HistParams;
 use crate::metric::ErrorMetric;
 use crate::multi_dim::additive::AdditiveScheme;
 use crate::multi_dim::integer::IntegerExact;
@@ -72,6 +73,28 @@ pub struct RunParams {
     /// Observability collector; [`Collector::noop`] unless the caller
     /// wants a run report.
     pub obs: Collector,
+    /// Family-specific knobs (see [`FamilyParams`]); solvers ignore
+    /// another family's variant, so one `RunParams` can drive a mixed
+    /// solver set.
+    pub family: FamilyParams,
+}
+
+/// Typed family-specific parameter extension for [`RunParams`].
+///
+/// New synopsis families want knobs the shared parameter set has no
+/// business growing field-by-field (the histogram's DP split strategy,
+/// say). Rather than new trait methods per family — which would fork
+/// [`Thresholder::threshold_with`] into per-family entry points — the
+/// knobs ride here as one typed enum: solvers match their own variant
+/// and treat everything else as [`FamilyParams::Default`].
+#[derive(Debug, Clone, Default, PartialEq)]
+#[non_exhaustive]
+pub enum FamilyParams {
+    /// No family-specific knobs: every family uses its defaults.
+    #[default]
+    Default,
+    /// Histogram-family knobs.
+    Hist(HistParams),
 }
 
 impl RunParams {
@@ -87,6 +110,7 @@ impl RunParams {
             q: DEFAULT_Q,
             split_search: SplitSearch::default(),
             obs: Collector::noop(),
+            family: FamilyParams::default(),
         }
     }
 
@@ -130,6 +154,13 @@ impl RunParams {
         self.obs = obs;
         self
     }
+
+    /// Sets family-specific knobs (see [`FamilyParams`]).
+    #[must_use]
+    pub fn family_params(mut self, family: FamilyParams) -> RunParams {
+        self.family = family;
+        self
+    }
 }
 
 /// A synopsis of either dimensionality, as produced by a [`Thresholder`].
@@ -145,14 +176,18 @@ pub enum AnySynopsis {
     One(Synopsis1d),
     /// A multi-dimensional synopsis.
     Nd(SynopsisNd),
+    /// A step-function (histogram) synopsis.
+    Histogram(wsyn_hist::StepSynopsis),
 }
 
 impl AnySynopsis {
-    /// Number of retained coefficients.
+    /// Space used: retained coefficients, or buckets for the histogram
+    /// family.
     pub fn len(&self) -> usize {
         match self {
             AnySynopsis::One(s) => s.len(),
             AnySynopsis::Nd(s) => s.len(),
+            AnySynopsis::Histogram(s) => s.len(),
         }
     }
 
@@ -170,6 +205,18 @@ impl AnySynopsis {
     pub fn into_one(self, what: &str) -> Result<Synopsis1d, WsynError> {
         match self {
             AnySynopsis::One(s) => Ok(s),
+            _ => Err(WsynError::dimension_mismatch(what)),
+        }
+    }
+
+    /// The histogram synopsis, or a [`WsynError::DimensionMismatch`]
+    /// naming `what` when the run produced a wavelet one.
+    ///
+    /// # Errors
+    /// [`WsynError::DimensionMismatch`] for a non-histogram synopsis.
+    pub fn into_histogram(self, what: &str) -> Result<wsyn_hist::StepSynopsis, WsynError> {
+        match self {
+            AnySynopsis::Histogram(s) => Ok(s),
             _ => Err(WsynError::dimension_mismatch(what)),
         }
     }

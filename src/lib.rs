@@ -13,7 +13,12 @@
 //! * [`synopsis`] — the paper's algorithms: the optimal 1-D `MinMaxErr`
 //!   dynamic program (§3.1), the multi-dimensional ε-additive scheme
 //!   (§3.2.1), the `(1+ε)` absolute-error scheme (§3.2.2), the conventional
-//!   greedy L2 baseline, and exhaustive verification oracles.
+//!   greedy L2 baseline, exhaustive verification oracles, and the synopsis
+//!   **family registry** (`synopsis::family`) every front end dispatches
+//!   through.
+//! * [`hist`] — the competing synopsis family: optimal b-bucket
+//!   max-error histograms (Stout's L∞ step-function DP) with an
+//!   enumeration oracle for small-N certification.
 //! * [`prob`] — the probabilistic baselines (MinRelVar / MinRelBias) of
 //!   Garofalakis & Gibbons that the paper compares against.
 //! * [`aqp`] — an approximate-query-processing engine answering point and
@@ -49,6 +54,7 @@
 pub use wsyn_aqp as aqp;
 pub use wsyn_datagen as datagen;
 pub use wsyn_haar as haar;
+pub use wsyn_hist as hist;
 pub use wsyn_prob as prob;
 pub use wsyn_stream as stream;
 pub use wsyn_synopsis as synopsis;
